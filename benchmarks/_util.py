@@ -1,0 +1,43 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every figure/table benchmark writes its regenerated table (paper values
+side by side with measured + modeled values) both to stdout and to
+``bench_results/<name>.txt`` so the artifacts survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+
+
+def emit(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n", flush=True)
+
+
+class PhaseTimer:
+    """Accumulate wall seconds per named phase."""
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        t0 = time.perf_counter()
+        yield
+        self.seconds[name] = self.seconds.get(name, 0.0) + time.perf_counter() - t0
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def percentages(self) -> Dict[str, float]:
+        tot = max(self.total(), 1e-300)
+        return {k: 100.0 * v / tot for k, v in self.seconds.items()}

@@ -1,0 +1,171 @@
+"""Micro-benchmarks of the building blocks behind the paper's figures.
+
+Not in the paper, but they support the §II design claims: lightweight
+SFC partitioning, search-based neighbor resolution, and discretization
+kernels that dominate AMR costs.  Includes the DESIGN.md ablations:
+balance codimension, weighted vs. unweighted partition, and dG degree
+sweep.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._util import emit
+from repro.mangll.dg import DGSolver
+from repro.mangll.dgops import DGSpace
+from repro.mangll.geometry import MultilinearGeometry
+from repro.mangll.mesh import build_mesh
+from repro.mangll.models import AdvectionModel
+from repro.p4est.balance import balance, is_balanced
+from repro.p4est.bits import interleave
+from repro.p4est.builders import rotcubes, unit_cube, unit_square
+from repro.p4est.forest import Forest
+from repro.p4est.ghost import build_ghost
+from repro.p4est.nodes import lnodes
+from repro.p4est.octant import Octants
+from repro.parallel import SerialComm, spmd_run
+from repro.perf.model import format_table
+from repro.solvers.amg import smoothed_aggregation
+from repro.solvers.krylov import cg
+
+
+def test_benchmark_morton_keys(benchmark):
+    rng = np.random.default_rng(0)
+    n = 1_000_000
+    x = rng.integers(0, 2**19, n).astype(np.uint64)
+    y = rng.integers(0, 2**19, n).astype(np.uint64)
+    z = rng.integers(0, 2**19, n).astype(np.uint64)
+    out = benchmark(lambda: interleave(3, x, y, z))
+    assert len(out) == n
+
+
+def test_benchmark_uniform_new(benchmark):
+    def new():
+        return Forest.new(unit_cube(), SerialComm(), level=5)
+
+    forest = benchmark(new)
+    assert forest.global_count == 8**5
+
+
+def test_benchmark_owner_search(benchmark):
+    def prog(comm):
+        forest = Forest.new(unit_cube(), comm, level=4)
+        queries = forest.local
+        for _ in range(50):
+            owners = forest.owner_of(queries)
+        return int(owners.sum())
+
+    benchmark.pedantic(
+        lambda: spmd_run(4, prog), rounds=2, iterations=1, warmup_rounds=0
+    )
+
+
+def test_benchmark_ghost(benchmark):
+    def prog(comm):
+        forest = Forest.new(unit_cube(), comm, level=3)
+        return len(build_ghost(forest))
+
+    out = benchmark.pedantic(
+        lambda: spmd_run(4, prog), rounds=2, iterations=1, warmup_rounds=0
+    )
+    assert all(n > 0 for n in out)
+
+
+def test_benchmark_amg_vcycle(benchmark):
+    import scipy.sparse as sp
+
+    n = 64
+    I = sp.identity(n)
+    T = sp.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n))
+    A = (sp.kron(I, T) + sp.kron(T, I)).tocsr()
+    ml = smoothed_aggregation(A)
+    b = np.ones(A.shape[0])
+    x = benchmark(lambda: ml.vcycle(b))
+    assert np.isfinite(x).all()
+
+
+@pytest.mark.parametrize("degree", [2, 4, 6])
+def test_benchmark_dg_rhs_degree_sweep(benchmark, degree):
+    """Ablation: dG kernel cost vs. polynomial degree (fixed dofs-ish)."""
+    conn = unit_cube()
+    level = 2 if degree <= 4 else 1
+    forest = Forest.new(conn, SerialComm(), level=level)
+    ghost = build_ghost(forest)
+    mesh = build_mesh(forest, MultilinearGeometry(conn), degree, ghost)
+    space = DGSpace(forest, ghost, mesh, degree)
+    solver = DGSolver(space, AdvectionModel(3, [1.0, 0.3, -0.2]), SerialComm())
+    q = np.sin(mesh.coords[: mesh.nelem_local, :, 0])
+    r = benchmark(lambda: solver.rhs(q))
+    assert np.isfinite(r).all()
+
+
+def test_ablation_balance_codim(benchmark):
+    """Ablation: face-only vs. full corner balance (cost and mesh size)."""
+
+    def fractal(o, lmax=4):
+        cid = o.child_ids()
+        return ((cid == 0) | (cid == 3) | (cid == 5) | (cid == 6)) & (o.level < lmax)
+
+    rows = []
+    for codim in (1, 2, 3):
+        forest = Forest.new(rotcubes(), SerialComm(), level=1)
+        forest.refine(callback=fractal, recursive=True)
+        n0 = forest.global_count
+        import time
+
+        t0 = time.perf_counter()
+        rounds = balance(forest, codim=codim)
+        dt = time.perf_counter() - t0
+        rows.append([codim, n0, forest.global_count, rounds, round(dt, 3)])
+        assert is_balanced(forest, codim=codim)
+    emit(
+        "ablation_balance_codim",
+        format_table(
+            ["codim", "elements before", "after", "rounds", "seconds"], rows
+        ),
+    )
+    # Stronger balance refines at least as much.
+    assert rows[0][2] <= rows[1][2] <= rows[2][2]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_ablation_weighted_partition(benchmark):
+    """Ablation: weighted partition equalizes weighted load."""
+
+    def prog(comm):
+        forest = Forest.new(unit_square(), comm, level=4)
+        w = np.where(forest.local.x < forest.D.root_len // 2, 10.0, 1.0)
+        forest.partition()  # unweighted baseline
+        w = np.where(forest.local.x < forest.D.root_len // 2, 10.0, 1.0)
+        unweighted_load = float(w.sum())
+        forest.partition(weights=w)
+        w2 = np.where(forest.local.x < forest.D.root_len // 2, 10.0, 1.0)
+        return unweighted_load, float(w2.sum())
+
+    out = benchmark.pedantic(
+        lambda: spmd_run(4, prog), rounds=1, iterations=1, warmup_rounds=0
+    )
+    un = [a for a, _ in out]
+    we = [b for _, b in out]
+    spread_un = max(un) - min(un)
+    spread_we = max(we) - min(we)
+    emit(
+        "ablation_weighted_partition",
+        format_table(
+            ["scheme", "max load", "min load", "spread"],
+            [
+                ["unweighted", max(un), min(un), spread_un],
+                ["weighted", max(we), min(we), spread_we],
+            ],
+        ),
+    )
+    assert spread_we < spread_un
+
+
+def test_benchmark_nodes_degree2(benchmark):
+    forest = Forest.new(unit_cube(), SerialComm(), level=3)
+    ghost = build_ghost(forest)
+    ln = benchmark.pedantic(
+        lambda: lnodes(forest, ghost, 2), rounds=2, iterations=1, warmup_rounds=0
+    )
+    assert ln.global_num_nodes == (2 * 8 + 1) ** 3

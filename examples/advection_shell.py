@@ -1,0 +1,55 @@
+"""§III-B scenario: dynamically adapted advection on the spherical shell.
+
+Four spherical fronts rotate rigidly through the 24-octree shell while
+the mesh coarsens/refines and repartitions around them (here every 8
+steps at laboratory scale; the paper used every 32 at 3200 elements per
+core).  Prints the per-cycle element counts, the AMR-vs-integration time
+split (the Fig. 5 quantity) and the L2 error against the analytically
+advected field, and writes VTK snapshots of the adapted mesh.
+
+Run:  python examples/advection_shell.py
+"""
+
+import numpy as np
+
+from repro.apps.advection.driver import AdvectionConfig, AdvectionRun
+from repro.io.vtk import write_vtk
+from repro.parallel import SerialComm
+
+
+def main():
+    cfg = AdvectionConfig(degree=3, base_level=1, max_level=2, adapt_every=8)
+    run = AdvectionRun(SerialComm(), cfg)
+    print("Dynamically adapted dG advection on the spherical shell")
+    print("-" * 60)
+    print(f"degree {cfg.degree}, adapt every {cfg.adapt_every} steps")
+    print(f"initial elements: {run.global_elements()}, "
+          f"unknowns: {run.global_unknowns()}")
+
+    m0 = run.mass()
+    for cycle in range(3):
+        run.run(cfg.adapt_every)
+        stats = run.last_adapt
+        print(
+            f"cycle {cycle + 1}: t={run.t:.3f}  elements "
+            f"{stats.elements_before} -> {stats.elements_after} "
+            f"(refined {stats.refined}, coarsened {stats.coarsened}, "
+            f"moved {stats.moved})  L2 err {run.l2_error():.4f}"
+        )
+        mean_per_elem = run.q.mean(axis=1)
+        write_vtk(
+            f"advection_shell_{cycle + 1}.vtk",
+            run.forest,
+            run.geometry,
+            cell_data={"C": mean_per_elem},
+        )
+
+    print(f"tracer mass drift: {abs(run.mass() - m0) / m0:.2e}")
+    frac = run.amr_fraction()
+    print(f"AMR+projection share of runtime: {100 * frac:.1f}% "
+          "(paper: 7% at 12 cores -> 27% at 220K)")
+    print("wrote advection_shell_[1-3].vtk")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Fig. 1 reproduction: example forest-of-octrees domains.
+
+Top of the figure: the 2D periodic Möbius strip of five quadtrees
+(SVG with rank coloring).  Bottom: a 3D six-octree forest with mutually
+rotated coordinate systems, five of them meeting along the central axis
+(VTK with level and rank cell data).  Also writes the 24-tree cubed-
+sphere shell used by the applications.
+
+Run:  python examples/forest_gallery.py
+"""
+
+import numpy as np
+
+from repro.io.svg import draw_forest_svg
+from repro.io.vtk import write_vtk
+from repro.mangll.geometry import (
+    MoebiusGeometry,
+    MultilinearGeometry,
+    ShellGeometry,
+)
+from repro.p4est.balance import balance
+from repro.p4est.builders import moebius, rotcubes, shell
+from repro.p4est.forest import Forest
+from repro.parallel import spmd_run
+
+
+def fractal_mask(octs, maxlevel):
+    cid = octs.child_ids()
+    keep = (cid == 0) | (cid == 3) | (cid == 5) | (cid == 6)
+    return keep & (octs.level < maxlevel)
+
+
+def build(comm, conn, level, maxlevel):
+    forest = Forest.new(conn, comm, level=level)
+    forest.refine(callback=lambda o: fractal_mask(o, maxlevel), recursive=True)
+    balance(forest)
+    forest.partition()
+    return forest
+
+
+def main():
+    print("Fig. 1 gallery: adaptive forests with rank coloring")
+
+    def moebius_prog(comm):
+        forest = build(comm, moebius(), 2, 4)
+        path = draw_forest_svg("gallery_moebius.svg", forest, MoebiusGeometry())
+        return forest.global_count, path
+
+    out = spmd_run(4, moebius_prog)
+    print(f"  Möbius strip  : {out[0][0]:6d} quadrants -> {out[0][1]}")
+
+    def rotcubes_prog(comm):
+        conn = rotcubes()
+        forest = build(comm, conn, 1, 3)
+        path = write_vtk("gallery_rotcubes.vtk", forest, MultilinearGeometry(conn))
+        return forest.global_count, path
+
+    out = spmd_run(4, rotcubes_prog)
+    print(f"  rotated cubes : {out[0][0]:6d} octants   -> {out[0][1]}")
+
+    def shell_prog(comm):
+        conn = shell()
+        forest = build(comm, conn, 1, 2)
+        path = write_vtk("gallery_shell.vtk", forest, ShellGeometry())
+        return forest.global_count, path
+
+    out = spmd_run(4, shell_prog)
+    print(f"  24-tree shell : {out[0][0]:6d} octants   -> {out[0][1]}")
+
+
+if __name__ == "__main__":
+    main()

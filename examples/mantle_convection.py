@@ -1,0 +1,70 @@
+"""§IV-A scenario: adaptive global mantle flow with plates (Fig. 6).
+
+A present-day-style temperature field with slab/plume anomalies drives a
+nonlinear Stokes problem on the 24-octree shell; plate boundaries are
+narrow weak zones with viscosity lowered by five orders of magnitude.
+The mesh statically refines to the weak zones and the thermal anomalies,
+then Picard (lagged-viscosity) iterations interleave with dynamic,
+solution-adaptive refinement from strain rates and viscosity gradients.
+Writes the viscosity field and mesh to VTK (the content of Fig. 6) and
+prints the Fig. 7 runtime split.
+
+Run:  python examples/mantle_convection.py
+"""
+
+import numpy as np
+
+from repro.apps.rhea.driver import RheaConfig, RheaRun
+from repro.io.vtk import write_vtk
+from repro.parallel import SerialComm
+
+
+def main():
+    cfg = RheaConfig(
+        domain="shell",
+        base_level=1,
+        max_level=2,
+        rayleigh=1e4,
+        picard_per_adapt=2,
+        stokes_tol=1e-6,
+        stokes_maxiter=250,
+    )
+    run = RheaRun(SerialComm(), cfg)
+    print("Rhea: adaptive nonlinear mantle flow on the 24-tree shell")
+    print("-" * 60)
+    print(f"elements after static (data-adaptive) refinement: "
+          f"{run.forest.global_count}")
+    print(f"velocity/pressure unknowns: "
+          f"{run.ln.global_num_nodes * (run.dim + 1)}")
+
+    for k in range(3):
+        res = run.picard_step()
+        print(
+            f"picard {k + 1}: MINRES its {res.iterations:4d}, "
+            f"V-cycles {res.vcycles:4d}, residual {res.residuals[-1]:.2e}, "
+            f"|u|_rms {run.velocity_rms():.3e}"
+        )
+        if run.picard_count % cfg.picard_per_adapt == 0:
+            run.adapt()
+            print(f"   dynamic adapt -> {run.forest.global_count} elements")
+
+    eta = run.viscosity_field()
+    write_vtk(
+        "mantle_viscosity.vtk",
+        run.forest,
+        run.geometry,
+        cell_data={
+            "log10_eta": np.log10(eta).mean(axis=1),
+            "T": run._element_T().mean(axis=1),
+        },
+    )
+    pct = run.runtime_percentages()
+    print("runtime split (paper Fig. 7: solve 16-34%, V-cycle 66-83%, "
+          "AMR ~0.1%):")
+    for k, v in sorted(pct.items(), key=lambda kv: -kv[1]):
+        print(f"   {k:8s} {v:6.2f}%")
+    print("wrote mantle_viscosity.vtk")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro: a Python reproduction of "Extreme-Scale AMR" (SC10).
+
+Forest-of-octrees parallel AMR (the p4est algorithm suite), high-order
+cG/dG discretization on adaptive forests (the mangll layer), the paper's
+three applications (advection, Rhea mantle convection, dGea seismic
+waves), and the substrates they depend on — an in-process SPMD machine,
+Krylov/AMG solvers, and performance models of the paper's computers.
+
+Start at :mod:`repro.p4est` for the AMR core, or run
+``examples/quickstart.py``.  DESIGN.md documents the system inventory and
+the substitutions for hardware we do not have; EXPERIMENTS.md records the
+paper-vs-reproduced results for every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "parallel",
+    "p4est",
+    "mangll",
+    "solvers",
+    "amr",
+    "apps",
+    "perf",
+    "io",
+]

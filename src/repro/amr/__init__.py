@@ -1,0 +1,24 @@
+"""AMR orchestration: error indicators, marking, and the adapt loop.
+
+The paper's applications drive adaptivity in the same cycle everywhere:
+compute an indicator per element, mark for refinement/coarsening, apply
+``Refine``/``Coarsen``, re-establish 2:1 ``Balance``, transfer solution
+fields to the new mesh, and ``Partition`` carrying the fields along
+(§III-B: re-adapt every 32 time steps; §IV-A: interleave with nonlinear
+iterations).  :func:`adapt_and_rebalance` packages that cycle.
+"""
+
+from repro.amr.indicators import (
+    gradient_indicator,
+    feature_distance_indicator,
+    value_range_indicator,
+)
+from repro.amr.driver import AdaptResult, adapt_and_rebalance
+
+__all__ = [
+    "gradient_indicator",
+    "feature_distance_indicator",
+    "value_range_indicator",
+    "AdaptResult",
+    "adapt_and_rebalance",
+]

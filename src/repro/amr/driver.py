@@ -1,0 +1,147 @@
+"""The adapt cycle: mark -> coarsen/refine -> balance -> transfer -> partition.
+
+One call to :func:`adapt_and_rebalance` performs the complete dynamic
+adaptation step of the paper's applications, carrying any number of
+per-element nodal fields to the new mesh and partition.  Refinement wins
+over coarsening where both are marked; coarsening happens only for
+complete local families with every sibling marked (the ``Coarsen``
+semantics), and 2:1 balance may veto coarsening simply by re-refining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mangll.transfer import transfer_nodal_fields
+from repro.p4est.balance import balance
+from repro.p4est.forest import Forest
+
+
+@dataclass
+class AdaptResult:
+    """Statistics of one adapt cycle (globally reduced)."""
+
+    refined: int
+    coarsened: int
+    balance_rounds: int
+    moved: int
+    elements_before: int
+    elements_after: int
+
+
+def adapt_and_rebalance(
+    forest: Forest,
+    refine_mask: np.ndarray,
+    coarsen_mask: Optional[np.ndarray] = None,
+    fields: Sequence[np.ndarray] = (),
+    degree: int = 1,
+    weights_fn=None,
+    min_level: int = 0,
+    max_level: Optional[int] = None,
+    codim: Optional[int] = None,
+) -> Tuple[AdaptResult, List[np.ndarray]]:
+    """Run one full adapt cycle and return carried fields on the new mesh.
+
+    ``refine_mask`` / ``coarsen_mask`` flag local elements; ``fields`` are
+    per-element nodal arrays of the given dG ``degree``.  ``weights_fn``,
+    if given, maps the forest to per-element partition weights.
+    Collective.
+    """
+    from repro.parallel.ops import SUM
+
+    comm = forest.comm
+    n_before = forest.global_count
+    old = forest.local.copy()
+
+    refine_mask = np.asarray(refine_mask, dtype=bool)
+    if refine_mask.shape != (len(old),):
+        raise ValueError("refine_mask has wrong length")
+    if coarsen_mask is not None:
+        coarsen_mask = np.asarray(coarsen_mask, dtype=bool) & ~refine_mask
+        if coarsen_mask.shape != (len(old),):
+            raise ValueError("coarsen_mask has wrong length")
+
+    if min_level > 0:
+        refine_mask = refine_mask | (forest.local.level < min_level)
+    nref = forest.refine(mask=refine_mask, maxlevel=max_level)
+
+    ncoarse = 0
+    if coarsen_mask is not None and coarsen_mask.any():
+        # Map the coarsen flags onto the post-refinement array: refined
+        # elements are never coarsen candidates, surviving elements keep
+        # their flag (found by key lookup).
+        from repro.p4est.octant import searchsorted_octants
+
+        pos = searchsorted_octants(forest.local, old, side="left")
+        flags = np.zeros(forest.local_count, dtype=bool)
+        survived = pos < forest.local_count
+        same = np.zeros(len(old), dtype=bool)
+        cand = np.minimum(pos, forest.local_count - 1)
+        cur = forest.local[cand]
+        same = (
+            (cur.tree == old.tree)
+            & (cur.x == old.x)
+            & (cur.y == old.y)
+            & (cur.z == old.z)
+            & (cur.level == old.level)
+        )
+        sel = same & coarsen_mask
+        flags[cand[sel]] = True
+        flags &= forest.local.level > min_level
+        ncoarse = forest.coarsen(mask=flags)
+
+    rounds = balance(forest, codim=codim)
+
+    new_fields = [
+        transfer_nodal_fields(old, f, forest.local, degree) for f in fields
+    ]
+
+    weights = weights_fn(forest) if weights_fn is not None else None
+    if new_fields:
+        moved, new_fields = forest.partition(weights=weights, carry=new_fields)
+    else:
+        moved = forest.partition(weights=weights)
+
+    result = AdaptResult(
+        refined=int(comm.allreduce(nref, SUM)),
+        coarsened=int(comm.allreduce(ncoarse, SUM)),
+        balance_rounds=rounds,
+        moved=moved,
+        elements_before=n_before,
+        elements_after=forest.global_count,
+    )
+    return result, list(new_fields)
+
+
+def mark_fixed_fraction(
+    indicator: np.ndarray,
+    comm,
+    refine_fraction: float = 0.1,
+    coarsen_fraction: float = 0.1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Global fixed-fraction marking from a per-element indicator.
+
+    Elements above the (1 - refine_fraction) global quantile are marked
+    for refinement; those below the coarsen_fraction quantile for
+    coarsening.  Quantiles are estimated from a gathered histogram so all
+    ranks agree without gathering the raw values.
+    """
+    from repro.parallel.ops import MAX, MIN, SUM
+
+    lo = comm.allreduce(float(indicator.min()) if len(indicator) else np.inf, MIN)
+    hi = comm.allreduce(float(indicator.max()) if len(indicator) else -np.inf, MAX)
+    if not np.isfinite(lo) or not np.isfinite(hi) or hi <= lo:
+        z = np.zeros(len(indicator), dtype=bool)
+        return z, z
+    nbins = 256
+    edges = np.linspace(lo, hi, nbins + 1)
+    hist, _ = np.histogram(indicator, bins=edges)
+    hist = np.asarray(comm.allreduce(hist, SUM))
+    total = hist.sum()
+    cdf = np.cumsum(hist)
+    hi_cut = edges[np.searchsorted(cdf, (1 - refine_fraction) * total)]
+    lo_cut = edges[min(np.searchsorted(cdf, coarsen_fraction * total) + 1, nbins)]
+    return indicator >= hi_cut, indicator <= lo_cut

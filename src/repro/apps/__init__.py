@@ -1,0 +1,2 @@
+"""The paper's applications: dynamic-AMR advection (§III-B), Rhea global
+mantle convection (§IV-A), and dGea seismic wave propagation (§IV-B)."""

@@ -1,0 +1,13 @@
+"""Dynamically adapted dG advection on the spherical shell (§III-B).
+
+The weak-scaling workload of the paper's Fig. 5: the time-dependent
+advection equation (1) discretized with upwind nodal dG (degree 3) and
+the five-stage fourth-order Runge-Kutta integrator, on the 24-octree
+cubed-sphere shell, with the mesh coarsened/refined and repartitioned
+every 32 time steps to track four advecting spherical fronts.
+"""
+
+from repro.apps.advection.fronts import SphericalFronts
+from repro.apps.advection.driver import AdvectionConfig, AdvectionRun
+
+__all__ = ["SphericalFronts", "AdvectionConfig", "AdvectionRun"]

@@ -1,0 +1,21 @@
+"""dGea: seismic wave propagation with dG on wavelength-adapted meshes
+(§IV-B).
+
+Velocity-strain first-order elastic (and acoustic, for fluid regions)
+formulation, upwind interface fluxes with side-local impedances, a
+PREM-style radial earth model, static mesh adaptation to the local
+minimum seismic wavelength ("at least 10 points per wavelength"), a
+Ricker point source, and optional dynamic wavefront-tracking AMR.
+
+Substitution note: the global simulations run on the solid-mantle
+spherical shell (core-mantle boundary to surface) with traction-free
+boundaries at both spheres — the fluid outer core is excluded rather
+than coupled, which preserves the meshing/scaling behaviour the paper's
+Fig. 8-10 measure while avoiding a solid-sphere macro-mesh.
+"""
+
+from repro.apps.dgea.prem import PREM, prem_model
+from repro.apps.dgea.elastic import ElasticModel
+from repro.apps.dgea.driver import SeismicConfig, SeismicRun
+
+__all__ = ["PREM", "prem_model", "ElasticModel", "SeismicConfig", "SeismicRun"]

@@ -1,0 +1,273 @@
+"""Variable-viscosity Stokes: Q1/Q1 stabilized FEM and the paper's solver.
+
+Discretization (§IV-A): equal-order trilinear velocity/pressure with
+pressure-projection stabilization (Dohrmann & Bochev), viscous term in the
+full symmetric-gradient form ``int 2 eta eps(u):eps(v)``.  The saddle
+system
+
+    [ A   B^T ] [u]   [f]
+    [ B  -C   ] [p] = [0]
+
+is solved with MINRES, preconditioned in the (1,1) block by one V-cycle
+of smoothed-aggregation AMG and in the (2,2) block by the inverse-
+viscosity-weighted lumped pressure mass matrix — the exact structure the
+paper attributes to Rhea.  V-cycle count and time are recorded separately
+from the rest of the Krylov work, which is the split reported in Fig. 7.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.mangll.cgops import CGSpace, gradient_matrices
+from repro.solvers.amg import smoothed_aggregation
+from repro.solvers.krylov import minres
+
+
+@dataclass
+class StokesResult:
+    """Solution and instrumentation of one Stokes solve."""
+
+    u: np.ndarray  # (n_nodes, dim)
+    p: np.ndarray  # (n_nodes,)
+    iterations: int
+    converged: bool
+    residuals: list
+    vcycles: int
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
+class StokesProblem:
+    """Assembles and solves the stabilized variable-viscosity system."""
+
+    def __init__(self, cgs: CGSpace) -> None:
+        self.cgs = cgs
+        self.dim = cgs.dim
+        self.npts = cgs.npts
+
+    # --- element physics ------------------------------------------------------------
+
+    def _physical_gradients(self) -> Tuple[np.ndarray, np.ndarray]:
+        m = self.cgs.mesh
+        nl = m.nelem_local
+        G = gradient_matrices(self.dim, self.cgs.nq)
+        jinv = m.jinv[:nl]
+        PG = np.zeros((nl, self.npts, self.npts, self.dim))
+        for a in range(self.dim):
+            PG += jinv[:, :, a, None, :] * G[a][None, :, :, None]
+        wdet = m.detj[:nl] * m.weights[None, :]
+        return PG, wdet
+
+    def element_matrices(
+        self, eta: np.ndarray, force: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-element (K_u, B, C, f) for nodal viscosity and body force."""
+        d, npts = self.dim, self.npts
+        PG, wdet = self._physical_gradients()
+        nl = PG.shape[0]
+        weta = wdet * eta
+
+        lap = np.einsum("eq,eqik,eqjk->eij", weta, PG, PG)
+        cross = np.einsum("eq,eqib,eqja->eiajb", weta, PG, PG)
+        K = np.zeros((nl, npts * d, npts * d))
+        for c in range(d):
+            K[:, c::d, c::d] += lap
+        # eps:eps form: delta_cd grad.grad + the transposed coupling.
+        K += cross.reshape(nl, npts * d, npts * d)
+
+        B = np.zeros((nl, npts, npts * d))
+        for c in range(d):
+            B[:, :, c::d] = -(wdet[:, :, None] * PG[:, :, :, c])
+        # Note: row i uses phi_i collocated at node i (nodal basis), so
+        # B[i, (j,c)] = -wdet_i dphi_j/dx_c(node_i).
+
+        Dw = wdet / np.maximum(eta, 1e-300)
+        ssum = Dw.sum(axis=1)
+        C = -np.einsum("ei,ej->eij", Dw, Dw) / ssum[:, None, None]
+        idx = np.arange(npts)
+        C[:, idx, idx] += Dw
+
+        fvec = (wdet[..., None] * force).reshape(nl, npts * d)
+        return K, B, C, fvec
+
+    # --- assembly --------------------------------------------------------------------
+
+    def assemble(
+        self, eta: np.ndarray, force: np.ndarray
+    ) -> Tuple[sp.csr_matrix, sp.csr_matrix, sp.csr_matrix, np.ndarray]:
+        """Assembled (A, B, C, f) over local node ids with hanging
+        constraints applied element-wise."""
+        cgs = self.cgs
+        d, npts = self.dim, self.npts
+        nl = cgs.mesh.nelem_local
+        nloc = cgs.ln.num_local_nodes
+        K, Be, Ce, fe = self.element_matrices(eta, force)
+        Id = np.eye(d)
+
+        rows_A, cols_A, vals_A = [], [], []
+        rows_B, cols_B, vals_B = [], [], []
+        rows_C, cols_C, vals_C = [], [], []
+        fvec = np.zeros(nloc * d)
+        en = cgs.ln.element_nodes
+        for e in range(nl):
+            R = cgs.element_R(e)
+            Rv = np.kron(R, Id)
+            Ke = Rv.T @ K[e] @ Rv
+            Bee = R.T @ Be[e] @ Rv
+            Cee = R.T @ Ce[e] @ R
+            fee = Rv.T @ fe[e]
+            ids = en[e]
+            vids = (ids[:, None] * d + np.arange(d)[None, :]).ravel()
+            rows_A.append(np.repeat(vids, npts * d))
+            cols_A.append(np.tile(vids, npts * d))
+            vals_A.append(Ke.ravel())
+            rows_B.append(np.repeat(ids, npts * d))
+            cols_B.append(np.tile(vids, npts))
+            vals_B.append(Bee.ravel())
+            rows_C.append(np.repeat(ids, npts))
+            cols_C.append(np.tile(ids, npts))
+            vals_C.append(Cee.ravel())
+            np.add.at(fvec, vids, fee)
+
+        A = sp.coo_matrix(
+            (np.concatenate(vals_A), (np.concatenate(rows_A), np.concatenate(cols_A))),
+            shape=(nloc * d, nloc * d),
+        ).tocsr()
+        B = sp.coo_matrix(
+            (np.concatenate(vals_B), (np.concatenate(rows_B), np.concatenate(cols_B))),
+            shape=(nloc, nloc * d),
+        ).tocsr()
+        C = sp.coo_matrix(
+            (np.concatenate(vals_C), (np.concatenate(rows_C), np.concatenate(cols_C))),
+            shape=(nloc, nloc),
+        ).tocsr()
+        return A, B, C, fvec
+
+    # --- solve ------------------------------------------------------------------------
+
+    def solve(
+        self,
+        eta: np.ndarray,
+        force: np.ndarray,
+        fixed_velocity: np.ndarray,
+        tol: float = 1e-8,
+        maxiter: int = 500,
+        eta_nodal_for_schur: Optional[np.ndarray] = None,
+    ) -> StokesResult:
+        """Assemble and solve with the paper's preconditioned MINRES.
+
+        ``fixed_velocity`` is a boolean (n_nodes, dim) mask of Dirichlet
+        (zero) velocity components.  Currently serial (one rank);
+        parallel scaling enters through the performance model.
+        """
+        cgs = self.cgs
+        if cgs.comm.size != 1:
+            raise NotImplementedError(
+                "the Stokes solve runs serially; scaling is modeled (DESIGN.md)"
+            )
+        d = self.dim
+        nloc = cgs.ln.num_local_nodes
+        t0 = time.perf_counter()
+        A, B, C, f = self.assemble(eta, force)
+        fixed = np.asarray(fixed_velocity, dtype=bool).reshape(nloc * d)
+
+        # Symmetric elimination of fixed (zero) velocity components.
+        keepm = ~fixed
+        A = A.tolil()
+        ii = np.flatnonzero(fixed)
+        A[ii, :] = 0.0
+        A[:, ii] = 0.0
+        for i in ii:
+            A[i, i] = 1.0
+        A = A.tocsr()
+        B = B.tolil()
+        B[:, ii] = 0.0
+        B = B.tocsr()
+        f = f.copy()
+        f[fixed] = 0.0
+        t_assemble = time.perf_counter() - t0
+
+        K = sp.bmat([[A, B.T], [B, -C]], format="csr")
+        rhs = np.concatenate([f, np.zeros(nloc)])
+
+        t0 = time.perf_counter()
+        ml = smoothed_aggregation(A, block_size=d)
+        t_amg_setup = time.perf_counter() - t0
+
+        # Pressure block: lumped mass weighted by 1/eta -> its inverse is
+        # the paper's (2,2) preconditioner.
+        m = self.cgs.mesh
+        nl = m.nelem_local
+        wdet = m.detj[:nl] * m.weights[None, :]
+        mass_over_eta = np.zeros(nloc)
+        inv_eta = wdet / np.maximum(eta, 1e-300)
+        for e in range(nl):
+            R = cgs.element_R(e)
+            np.add.at(mass_over_eta, cgs.ln.element_nodes[e], R.T @ inv_eta[e])
+        mass_over_eta = np.maximum(mass_over_eta, 1e-300)
+
+        nv = nloc * d
+        vcycle_time = [0.0]
+
+        def project_pressure(x):
+            x = x.copy()
+            x[nv:] -= x[nv:].mean()
+            return x
+
+        def Kmv(x):
+            return project_pressure(K @ x)
+
+        def M(r):
+            z = np.empty_like(r)
+            t1 = time.perf_counter()
+            z[:nv] = ml.vcycle(r[:nv])
+            vcycle_time[0] += time.perf_counter() - t1
+            z[nv:] = r[nv:] / mass_over_eta
+            return project_pressure(z)
+
+        rhs = project_pressure(rhs)
+        t0 = time.perf_counter()
+        res = minres(Kmv, rhs, M=M, tol=tol, maxiter=maxiter)
+        t_solve = time.perf_counter() - t0
+
+        u = res.x[:nv].reshape(nloc, d)
+        p = res.x[nv:]
+        p = p - p.mean()
+        return StokesResult(
+            u=u,
+            p=p,
+            iterations=res.iterations,
+            converged=res.converged,
+            residuals=res.residuals,
+            vcycles=ml.cycles_applied,
+            timings={
+                "assemble": t_assemble,
+                "amg_setup": t_amg_setup,
+                "vcycle": vcycle_time[0],
+                "solve_total": t_solve,
+                "krylov_other": max(t_solve - vcycle_time[0], 0.0),
+            },
+        )
+
+    # --- post-processing ---------------------------------------------------------------
+
+    def strain_rate_invariant(self, u: np.ndarray) -> np.ndarray:
+        """Nodal II = eps(u):eps(u) per element (for the rheology)."""
+        cgs = self.cgs
+        nl = cgs.mesh.nelem_local
+        d, npts = self.dim, self.npts
+        PG, _ = self._physical_gradients()
+        en = cgs.ln.element_nodes
+        II = np.zeros((nl, npts))
+        for e in range(nl):
+            R = cgs.element_R(e)
+            ue = R @ u[en[e]]  # geometric nodal velocities (npts, d)
+            grad = np.einsum("qjc,jd->qcd", PG[e], ue)  # du_d/dx_c
+            epsm = 0.5 * (grad + grad.transpose(0, 2, 1))
+            II[e] = np.einsum("qcd,qcd->q", epsm, epsm)
+        return II

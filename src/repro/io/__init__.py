@@ -1,0 +1,6 @@
+"""Output: legacy-VTK meshes/fields and 2D SVG forest drawings."""
+
+from repro.io.vtk import write_vtk
+from repro.io.svg import draw_forest_svg
+
+__all__ = ["write_vtk", "draw_forest_svg"]

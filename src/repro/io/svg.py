@@ -1,0 +1,108 @@
+"""SVG drawings of 2D forests: elements, partition colors, and the SFC.
+
+Reproduces the visual content of the paper's Fig. 1 (top) and Fig. 2:
+leaves colored by owning rank, optionally overlaid with the z-shaped
+space-filling curve that the partition cuts into per-rank segments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mangll.geometry import Geometry
+from repro.p4est.forest import Forest, octants_from_wire, octants_to_wire
+
+_PALETTE = [
+    "#4C78A8",
+    "#F58518",
+    "#54A24B",
+    "#E45756",
+    "#72B7B2",
+    "#EECA3B",
+    "#B279A2",
+    "#FF9DA6",
+]
+
+
+def draw_forest_svg(
+    path: str,
+    forest: Forest,
+    geometry: Geometry,
+    size: int = 640,
+    draw_sfc: bool = True,
+    stroke: str = "#222222",
+) -> Optional[str]:
+    """Render the (2D) forest to an SVG file on rank 0.
+
+    Elements are filled by owner rank; ``draw_sfc`` overlays the global
+    space-filling curve through element centers.  Returns the path on
+    rank 0, None on other ranks.  Collective.
+    """
+    if forest.dim != 2:
+        raise ValueError("SVG drawing supports 2D forests only")
+    comm = forest.comm
+    wires = comm.gather(octants_to_wire(forest.local))
+    if comm.rank != 0:
+        return None
+    from repro.p4est.octant import Octants
+
+    parts = [octants_from_wire(2, w) for w in wires if len(w)]
+    octs = Octants.concat(parts) if parts else forest.local
+    owners = np.concatenate(
+        [np.full(len(w), r, dtype=int) for r, w in enumerate(wires)]
+    )
+
+    L = forest.D.root_len
+    n = len(octs)
+    h = octs.lens().astype(float)
+    base = np.stack([octs.x.astype(float), octs.y.astype(float)], axis=1)
+
+    # Map the four corners and center of every leaf.
+    corners = np.zeros((n, 4, 3))
+    centers = np.zeros((n, 3))
+    for tree in np.unique(octs.tree):
+        sel = np.flatnonzero(octs.tree == tree)
+        for c in range(4):
+            off = np.array([c & 1, (c >> 1) & 1], dtype=float)
+            u = (base[sel] + off * h[sel, None]) / L
+            corners[sel, c] = geometry.map_points(int(tree), u)
+        uc = (base[sel] + 0.5 * h[sel, None]) / L
+        centers[sel] = geometry.map_points(int(tree), uc)
+
+    xy = corners[..., :2]
+    lo = xy.reshape(-1, 2).min(axis=0)
+    hi = xy.reshape(-1, 2).max(axis=0)
+    span = max(hi - lo) or 1.0
+    pad = 0.03 * span
+
+    def tx(p):
+        q = (p - lo + pad) / (span + 2 * pad) * size
+        return q[0], size - q[1]
+
+    lines = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}" '
+        f'viewBox="0 0 {size} {size}">'
+    ]
+    # SFC order = global order in `octs` (rank segments concatenated).
+    order = np.lexsort((octs.keys(), octs.tree))
+    for i in order:
+        quad = [tx(xy[i, c]) for c in (0, 1, 3, 2)]
+        pstr = " ".join(f"{a:.2f},{b:.2f}" for a, b in quad)
+        color = _PALETTE[owners[i] % len(_PALETTE)]
+        lines.append(
+            f'<polygon points="{pstr}" fill="{color}" fill-opacity="0.55" '
+            f'stroke="{stroke}" stroke-width="0.8"/>'
+        )
+    if draw_sfc and n > 1:
+        cpts = [tx(centers[i, :2]) for i in order]
+        d = "M " + " L ".join(f"{a:.2f} {b:.2f}" for a, b in cpts)
+        lines.append(
+            f'<path d="{d}" fill="none" stroke="#000000" stroke-width="1.6" '
+            'stroke-opacity="0.8"/>'
+        )
+    lines.append("</svg>")
+    with open(path, "w") as f:
+        f.write("\n".join(lines))
+    return path

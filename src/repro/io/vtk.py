@@ -1,0 +1,110 @@
+"""Legacy-VTK (ASCII) output of forest meshes and element fields.
+
+Writes one unstructured-grid file per call: each leaf becomes one linear
+quad/hexahedron using the geometry map's corner positions (the same
+convention as p4est's VTK output — the diffeomorphic transformation is
+used "for visualization, and to pass the geometry to an external
+application", §II-D).  Cell data supports per-element scalars (level,
+owner rank, indicator values, nodal field means).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.mangll.geometry import Geometry
+from repro.p4est.forest import Forest
+
+# z-order corner -> VTK vertex order for quads and hexahedra.
+_VTK_QUAD = (0, 1, 3, 2)
+_VTK_HEX = (0, 1, 3, 2, 4, 5, 7, 6)
+
+
+def write_vtk(
+    path: str,
+    forest: Forest,
+    geometry: Geometry,
+    cell_data: Optional[Dict[str, np.ndarray]] = None,
+    gather: bool = True,
+) -> Optional[str]:
+    """Write the forest's leaves as a legacy VTK unstructured grid.
+
+    With ``gather=True`` (default) rank 0 collects all ranks' leaves and
+    writes one file (returns the path on rank 0, None elsewhere); with
+    ``gather=False`` every rank writes ``<path>.rank<r>.vtk``.
+    ``cell_data`` maps names to per-local-element scalars.
+    """
+    comm = forest.comm
+    octs = forest.local
+    data = dict(cell_data or {})
+    data.setdefault("level", octs.level.astype(np.float64))
+    data.setdefault("mpirank", np.full(len(octs), comm.rank, dtype=np.float64))
+    for k, v in data.items():
+        v = np.asarray(v, dtype=np.float64).reshape(len(octs), -1)[:, 0]
+        data[k] = v
+
+    from repro.p4est.forest import octants_from_wire, octants_to_wire
+
+    if gather:
+        wires = comm.gather(octants_to_wire(octs))
+        payload = comm.gather({k: v for k, v in data.items()})
+        if comm.rank != 0:
+            return None
+        from repro.p4est.octant import Octants
+
+        parts = [octants_from_wire(forest.dim, w) for w in wires if len(w)]
+        octs = Octants.concat(parts) if parts else octs
+        merged: Dict[str, np.ndarray] = {}
+        for k in data:
+            merged[k] = np.concatenate([p[k] for p in payload])
+        data = merged
+        out_path = path
+    else:
+        out_path = f"{path}.rank{comm.rank}.vtk" if comm.size > 1 else path
+
+    _write_file(out_path, forest, octs, geometry, data)
+    return out_path
+
+
+def _write_file(path, forest, octs, geometry, data):
+    dim = forest.dim
+    L = forest.D.root_len
+    ncorn = forest.D.num_corners
+    n = len(octs)
+    pts = np.zeros((n * ncorn, 3))
+    h = octs.lens().astype(np.float64)
+    base = np.stack(
+        [octs.x.astype(float), octs.y.astype(float), octs.z.astype(float)], axis=1
+    )
+    for c in range(ncorn):
+        off = np.array([(c >> a) & 1 for a in range(3)], dtype=float)
+        u = (base + off * h[:, None]) / L
+        for tree in np.unique(octs.tree):
+            sel = np.flatnonzero(octs.tree == tree)
+            mapped = geometry.map_points(int(tree), u[sel][:, :dim])
+            pts[sel * ncorn + c] = mapped
+
+    order = _VTK_QUAD if dim == 2 else _VTK_HEX
+    ctype = 9 if dim == 2 else 12
+
+    with open(path, "w") as f:
+        f.write("# vtk DataFile Version 3.0\n")
+        f.write("repro forest-of-octrees output\nASCII\n")
+        f.write("DATASET UNSTRUCTURED_GRID\n")
+        f.write(f"POINTS {n * ncorn} double\n")
+        np.savetxt(f, pts, fmt="%.10g")
+        f.write(f"CELLS {n} {n * (ncorn + 1)}\n")
+        cells = np.empty((n, ncorn + 1), dtype=np.int64)
+        cells[:, 0] = ncorn
+        for i, c in enumerate(order):
+            cells[:, 1 + i] = np.arange(n) * ncorn + c
+        np.savetxt(f, cells, fmt="%d")
+        f.write(f"CELL_TYPES {n}\n")
+        np.savetxt(f, np.full(n, ctype, dtype=np.int64), fmt="%d")
+        if data:
+            f.write(f"CELL_DATA {n}\n")
+            for name, vals in data.items():
+                f.write(f"SCALARS {name} double 1\nLOOKUP_TABLE default\n")
+                np.savetxt(f, np.asarray(vals, dtype=float), fmt="%.10g")

@@ -1,0 +1,34 @@
+"""High-order discretization on forest-of-octrees meshes (the mangll layer).
+
+mangll sits on top of :mod:`repro.p4est` exactly as in the paper (§II-E):
+the forest supplies ``Ghost`` and ``Nodes``; this package supplies
+polynomial spaces, numerical integration, high-order interpolation on
+hanging faces and edges, curvilinear geometry, and the parallel
+scatter/gather of unknowns — for both discontinuous (dG) and continuous
+(cG) Galerkin discretizations.
+"""
+
+from repro.mangll.quadrature import (
+    gauss_lobatto,
+    gauss_legendre,
+    lagrange_interpolation_matrix,
+    differentiation_matrix,
+)
+from repro.mangll.geometry import (
+    Geometry,
+    MultilinearGeometry,
+    ShellGeometry,
+)
+from repro.mangll.mesh import Mesh, build_mesh
+
+__all__ = [
+    "gauss_lobatto",
+    "gauss_legendre",
+    "lagrange_interpolation_matrix",
+    "differentiation_matrix",
+    "Geometry",
+    "MultilinearGeometry",
+    "ShellGeometry",
+    "Mesh",
+    "build_mesh",
+]

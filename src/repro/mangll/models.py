@@ -1,0 +1,120 @@
+"""Flux models for the dG solver: scalar advection and linear waves.
+
+The advection model implements the upwind nodal dG discretization of
+equation (1) of the paper, ``dC/dt + u . grad C = 0``, in conservative
+form for divergence-free velocity fields.  The acoustic model is the
+simplest member of the velocity-strain family used by dGea (§IV-B); the
+full elastic model lives in :mod:`repro.apps.dgea`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+Velocity = Union[np.ndarray, Callable[[np.ndarray], np.ndarray]]
+
+
+class AdvectionModel:
+    """Upwind dG flux for scalar advection by a given velocity field.
+
+    ``velocity`` is either a constant vector or a callable ``v(x)`` over
+    node coordinate arrays ``(..., dim) -> (..., dim)``.  ``inflow`` gives
+    the Dirichlet state on inflow boundary faces (default 0); outflow
+    boundaries are handled by upwinding automatically.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        velocity: Velocity,
+        inflow: float = 0.0,
+    ) -> None:
+        self.dim = dim
+        self.nfields = 1
+        self._inflow = inflow
+        if callable(velocity):
+            self._vel = velocity
+        else:
+            v = np.asarray(velocity, dtype=np.float64).reshape(-1)[:dim]
+            self._vel = lambda x: np.broadcast_to(v, x.shape[:-1] + (dim,))
+
+    def velocity(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(self._vel(x[..., : self.dim]))
+
+    def volume_flux(self, q: np.ndarray, x: np.ndarray) -> np.ndarray:
+        v = self.velocity(x)
+        return q[..., :, None] * v[..., None, :]
+
+    def numerical_flux(
+        self, qm: np.ndarray, qp: np.ndarray, n: np.ndarray, x: np.ndarray
+    ) -> np.ndarray:
+        v = self.velocity(x)
+        vn = np.einsum("...c,...c->...", v, n[..., : self.dim])
+        central = 0.5 * vn[..., None] * (qm + qp)
+        upwind = 0.5 * np.abs(vn)[..., None] * (qm - qp)
+        return central + upwind
+
+    def boundary_state(
+        self, qm: np.ndarray, n: np.ndarray, x: np.ndarray, t: float
+    ) -> np.ndarray:
+        v = self.velocity(x)
+        vn = np.einsum("...c,...c->...", v, n[..., : self.dim])
+        # Inflow (v.n < 0): prescribed state; outflow: copy (pure upwind).
+        return np.where(vn[..., None] < 0, self._inflow, qm)
+
+    def max_wave_speed(self, q: np.ndarray, x: np.ndarray) -> np.ndarray:
+        v = self.velocity(x)
+        return np.linalg.norm(v, axis=-1).max(axis=-1)
+
+
+class AcousticModel:
+    """First-order acoustic system (p, u): dp/dt + c^2 rho div u = 0,
+    du/dt + grad p / rho = 0, with an exact upwind (Godunov) flux.
+
+    Fields: ``q = (p, u_1..u_dim)``.  Constant sound speed ``c`` and
+    density ``rho``; reflecting (p mirror) walls by default.
+    """
+
+    def __init__(self, dim: int, c: float = 1.0, rho: float = 1.0) -> None:
+        self.dim = dim
+        self.nfields = 1 + dim
+        self.c = c
+        self.rho = rho
+
+    def volume_flux(self, q: np.ndarray, x: np.ndarray) -> np.ndarray:
+        dim = self.dim
+        p = q[..., 0]
+        u = q[..., 1 : 1 + dim]
+        F = np.zeros(q.shape[:-1] + (self.nfields, dim))
+        F[..., 0, :] = self.rho * self.c**2 * u
+        for a in range(dim):
+            F[..., 1 + a, a] = p / self.rho
+        return F
+
+    def numerical_flux(self, qm, qp, n, x):
+        dim = self.dim
+        c, rho = self.c, self.rho
+        Z = rho * c
+        pm, pp = qm[..., 0], qp[..., 0]
+        unm = np.einsum("...c,...c->...", qm[..., 1 : 1 + dim], n[..., :dim])
+        unp = np.einsum("...c,...c->...", qp[..., 1 : 1 + dim], n[..., :dim])
+        # Exact Riemann (upwind) flux for the linear acoustic system.
+        pstar = 0.5 * (pm + pp) + 0.5 * Z * (unm - unp)
+        ustar = 0.5 * (unm + unp) + 0.5 * (pm - pp) / Z
+        out = np.zeros_like(qm)
+        out[..., 0] = rho * c**2 * ustar
+        out[..., 1 : 1 + dim] = (pstar / rho)[..., None] * n[..., :dim]
+        return out
+
+    def boundary_state(self, qm, n, x, t):
+        # Rigid wall: mirror the normal velocity, keep pressure.
+        dim = self.dim
+        un = np.einsum("...c,...c->...", qm[..., 1 : 1 + dim], n[..., :dim])
+        qp = qm.copy()
+        qp[..., 1 : 1 + dim] -= 2 * un[..., None] * n[..., :dim]
+        return qp
+
+    def max_wave_speed(self, q, x):
+        return np.full(q.shape[0], self.c)

@@ -1,0 +1,95 @@
+"""Point probes: sample dG fields at arbitrary physical points.
+
+dGea-style "receivers": invert the geometry map to (tree, reference)
+coordinates, locate the owning leaf through the SFC search, and evaluate
+the element's tensor Lagrange interpolant at the point.  Sampling is
+collective — every rank gets every probe's value (owners evaluate, one
+allreduce merges).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mangll.geometry import Geometry
+from repro.mangll.quadrature import gauss_lobatto, lagrange_interpolation_matrix
+from repro.p4est.forest import Forest
+from repro.p4est.search import locate_points
+from repro.parallel.ops import SUM
+
+
+class PointProbe:
+    """Sampler for a fixed set of physical points on a forest mesh.
+
+    Build once per mesh (re-build after adaptation); :meth:`sample` then
+    evaluates per-element nodal fields at the probes.  Points outside the
+    domain are reported with NaN samples.
+    """
+
+    def __init__(
+        self,
+        forest: Forest,
+        geometry: Geometry,
+        degree: int,
+        points: np.ndarray,
+    ) -> None:
+        self.forest = forest
+        self.degree = degree
+        self.dim = forest.dim
+        points = np.asarray(points, dtype=np.float64).reshape(-1, 3)
+        self.points = points
+        n = len(points)
+
+        trees, uref = geometry.locate(points, forest.conn.num_trees)
+        self.found = trees >= 0
+        L = forest.D.root_len
+        lattice = np.zeros((n, self.dim), dtype=np.int64)
+        lattice[self.found] = np.minimum(
+            (uref[self.found, : self.dim] * L).astype(np.int64), L - 1
+        )
+        ranks, local_idx = locate_points(
+            forest, np.where(self.found, trees, 0), lattice
+        )
+        self.owned = self.found & (ranks == forest.comm.rank) & (local_idx >= 0)
+        self._elems = local_idx
+
+        # Interpolation row per owned probe: tensor Lagrange basis at the
+        # point's position within its leaf.
+        nq = degree + 1
+        xi, _ = gauss_lobatto(nq)
+        self._rows = np.zeros((n, nq**self.dim))
+        for i in np.flatnonzero(self.owned):
+            e = int(local_idx[i])
+            leaf = forest.local.octant(e)
+            h = leaf.len(self.dim)
+            base = np.array([leaf.x, leaf.y, leaf.z][: self.dim], dtype=np.float64)
+            upt = uref[i, : self.dim] * L
+            loc = 2.0 * (upt - base) / h - 1.0  # [-1, 1] element coords
+            mats = [
+                lagrange_interpolation_matrix(xi, np.array([loc[a]]))[0]
+                for a in range(self.dim)
+            ]
+            row = mats[0]
+            for a in range(1, self.dim):
+                row = np.kron(mats[a], row)
+            self._rows[i] = row
+
+    def sample(self, q_local: np.ndarray) -> np.ndarray:
+        """Evaluate a per-element nodal field at every probe (collective).
+
+        ``q_local`` is (nelem_local, npts[, nfields]); returns
+        (nprobes[, nfields]) with NaN where the point is outside the
+        domain.
+        """
+        squeeze = q_local.ndim == 2
+        if squeeze:
+            q_local = q_local[..., None]
+        nf = q_local.shape[-1]
+        out = np.zeros((len(self.points), nf))
+        for i in np.flatnonzero(self.owned):
+            out[i] = self._rows[i] @ q_local[int(self._elems[i])]
+        total = np.asarray(self.forest.comm.allreduce(out, SUM))
+        total[~self.found] = np.nan
+        return total[..., 0] if squeeze else total

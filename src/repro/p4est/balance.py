@@ -1,0 +1,263 @@
+"""2:1 balance across faces, edges, and corners, within and between trees.
+
+``Balance`` (paper §II-C) refines octants locally until no leaf differs by
+more than one level from any neighbor, where "neighbor" includes octants
+in other trees reached through macro-face, -edge, or -corner connections
+with arbitrary rotations.
+
+The algorithm iterates a bulk-synchronous round until a global fixpoint:
+
+1. every rank generates *constraints* from its leaves — for each leaf at
+   level ``l`` and each neighbor direction, the same-size neighbor region,
+   transformed into the neighbor tree when it lies outside the leaf's own
+   tree (faces use the rigid :class:`CellTransform`; edge/corner regions
+   use the pinned seeds of the edge/corner links);
+2. constraints are routed to the ranks owning any leaf overlapping them
+   (SFC owner search) with one sparse exchange;
+3. each rank refines any leaf that is a *proper ancestor* of a constraint
+   region with ``level < constraint.level - 1`` (in a valid leaf set this
+   is the only way a leaf can violate 2:1 against the region), repeating
+   locally until stable;
+4. a logical-or allreduce decides whether another round is needed.
+
+Refinement is monotone and bounded by ``maxlevel``, so the loop
+terminates; at the fixpoint the 2:1 condition holds globally by
+construction.  :func:`is_balanced` re-runs the generation in check-only
+mode and is used by the tests as an independent verifier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.p4est.connectivity import Connectivity
+from repro.p4est.forest import Forest, octants_from_wire, octants_to_wire
+from repro.p4est.octant import (
+    Octants,
+    is_ancestor_pairwise,
+    neighbor_offsets,
+    searchsorted_octants,
+)
+from repro.parallel.ops import LAND, LOR
+
+
+def edge_index(axis: int, sides: Dict[int, int]) -> int:
+    """3D edge number from its direction axis and transverse side bits."""
+    trans = [a for a in range(3) if a != axis]
+    s0, s1 = sides[trans[0]], sides[trans[1]]
+    return 4 * axis + s0 + 2 * s1
+
+
+def corner_index(dim: int, sides: Dict[int, int]) -> int:
+    c = 0
+    for a in range(dim):
+        c |= sides[a] << a
+    return c
+
+
+def generate_neighbor_regions(
+    conn: Connectivity, leaves: Octants, codim: int
+) -> Octants:
+    """Same-size neighbor regions of all leaves, across codimensions
+    1..codim, mapped into valid tree coordinates.
+
+    Regions beyond an unconnected tree boundary are dropped.  The result
+    may contain duplicates; callers dedup as needed.
+    """
+    dim = conn.dim
+    D = conn.D
+    L = D.root_len
+    out: List[Octants] = []
+    h = leaves.lens()
+    for c in range(1, codim + 1):
+        for off in neighbor_offsets(dim, c):
+            nb = leaves.shifted(off[0] * h, off[1] * h, off[2] * h)
+            inside = nb.inside_root()
+            if inside.any():
+                out.append(nb[inside])
+            outside = ~inside
+            if not outside.any():
+                continue
+            ext = nb[outside]
+            out.extend(_route_exterior(conn, ext))
+    if not out:
+        return Octants.empty(dim)
+    return Octants.concat(out)
+
+
+def _route_exterior(conn: Connectivity, ext: Octants) -> List[Octants]:
+    """Map exterior octants through face/edge/corner links of their tree.
+
+    Octants outside exactly one axis go through the face transform;
+    outside two axes through the edge links (3D) or corner links (2D);
+    outside three axes through the corner links.
+    """
+    dim = conn.dim
+    L = conn.D.root_len
+    coords = [ext.x, ext.y, ext.z]
+    # Per-axis status: 0 inside, 1 out-low, 2 out-high.
+    patt = np.zeros(len(ext), dtype=np.int64)
+    nout = np.zeros(len(ext), dtype=np.int64)
+    for a in range(dim):
+        lowa = coords[a] < 0
+        higha = coords[a] >= L
+        patt += (lowa * 1 + higha * 2) * (3**a)
+        nout += lowa | higha
+    results: List[Octants] = []
+    combined = ext.tree.astype(np.int64) * (3**dim) + patt
+    for code in np.unique(combined):
+        sel = np.flatnonzero(combined == code)
+        group = ext[sel]
+        tree = int(code // (3**dim))
+        p = int(code % (3**dim))
+        digits = [(p // (3**a)) % 3 for a in range(dim)]
+        out_axes = [a for a in range(dim) if digits[a] != 0]
+        sides = {a: digits[a] - 1 for a in out_axes}
+        n_out = len(out_axes)
+        if n_out == 1:
+            a = out_axes[0]
+            face = 2 * a + sides[a]
+            link = conn.face_links.get((tree, face))
+            if link is not None:
+                results.append(link.transform.apply_octants(group, link.nb_tree))
+        elif n_out == 2 and dim == 3:
+            axis = next(a for a in range(3) if a not in out_axes)
+            e = edge_index(axis, sides)
+            for elink in conn.edge_links.get((tree, e), ()):  # all sharers
+                results.append(elink.seed_octants(group, L))
+        else:
+            # Corner region: 2 axes out in 2D, 3 axes out in 3D.
+            cidx = corner_index(dim, sides)
+            for clink in conn.corner_links.get((tree, cidx), ()):
+                results.append(clink.seed_octants(group, L))
+    return results
+
+
+def dedup_octants(octs: Octants) -> Octants:
+    if len(octs) < 2:
+        return octs
+    return octs.sorted().dedup()
+
+
+def _enforce_constraints(leaves: Octants, constraints: Octants) -> Tuple[Octants, bool]:
+    """Refine leaves violating the constraints until locally stable.
+
+    A leaf violates a constraint region C iff the leaf is a proper
+    ancestor of C with ``leaf.level < C.level - 1``; then the leaf is
+    split.  Returns the updated leaf set and whether anything changed.
+    """
+    changed = False
+    # Constraints of level <= 1 can never force a refinement.
+    keep = constraints.level > 1
+    constraints = constraints[keep]
+    while len(constraints) and len(leaves):
+        pos = searchsorted_octants(leaves, constraints, side="right")
+        cand = np.maximum(pos - 1, 0)
+        has_prev = pos > 0
+        anc = leaves[cand]
+        viol = (
+            has_prev
+            & is_ancestor_pairwise(anc, constraints)
+            & (anc.level < constraints.level - 1)
+        )
+        if not viol.any():
+            break
+        marks = np.unique(cand[viol])
+        mask = np.zeros(len(leaves), dtype=bool)
+        mask[marks] = True
+        split = leaves[mask].children()
+        rest = leaves[~mask]
+        leaves = Octants.concat([rest, split]) if len(rest) else split
+        leaves = leaves.sorted()
+        changed = True
+    return leaves, changed
+
+
+def route_to_owners(forest: Forest, regions: Octants) -> Octants:
+    """Exchange ``regions`` so each rank receives the regions that overlap
+    its leaf segment; returns the received (deduplicated) set.
+
+    Every region is sent to each rank in its inclusive owner range, which
+    by the SFC ownership argument covers every rank holding a leaf that
+    intersects the region.  One sparse exchange total.
+    """
+    comm = forest.comm
+    outbox: Dict[int, np.ndarray] = {}
+    if len(regions):
+        lo, hi = forest.owner_range(regions)
+        span = int((hi - lo).max())
+        dest_lists: Dict[int, List[np.ndarray]] = {}
+        for k in range(span + 1):
+            p_arr = lo + k
+            valid = p_arr <= hi
+            if not valid.any():
+                break
+            for p in np.unique(p_arr[valid]):
+                idx = np.flatnonzero(valid & (p_arr == p))
+                dest_lists.setdefault(int(p), []).append(idx)
+        for p, idx_parts in dest_lists.items():
+            idxs = np.unique(np.concatenate(idx_parts))
+            outbox[p] = octants_to_wire(regions[idxs])
+    inbox = comm.exchange(outbox)
+    received = [octants_from_wire(forest.dim, w) for w in inbox.values() if len(w)]
+    if not received:
+        return Octants.empty(forest.dim)
+    return dedup_octants(Octants.concat(received))
+
+
+def _violations(leaves: Octants, constraints: Octants) -> np.ndarray:
+    """Boolean per constraint: some leaf is >1 level coarser than it.
+
+    In a valid leaf set the only leaf that can contain a constraint region
+    is the one immediately preceding it on the SFC.
+    """
+    if not len(leaves) or not len(constraints):
+        return np.zeros(len(constraints), dtype=bool)
+    pos = searchsorted_octants(leaves, constraints, side="right")
+    cand = np.maximum(pos - 1, 0)
+    anc = leaves[cand]
+    return (
+        (pos > 0)
+        & is_ancestor_pairwise(anc, constraints)
+        & (anc.level < constraints.level - 1)
+    )
+
+
+def balance(forest: Forest, codim: Optional[int] = None) -> int:
+    """Enforce 2:1 neighbor size relations globally (``Balance``).
+
+    ``codim`` selects the adjacency: 1 = faces only, 2 = faces+edges
+    (3D) or faces+corners (2D), 3 = full corner balance in 3D.  Default
+    is the full balance (``dim``), matching the paper's usage.  Returns
+    the number of bulk-synchronous rounds.
+    """
+    dim = forest.dim
+    codim = dim if codim is None else codim
+    if not 1 <= codim <= dim:
+        raise ValueError(f"codim must be in [1, {dim}]")
+    comm = forest.comm
+    rounds = 0
+    while True:
+        rounds += 1
+        regions = generate_neighbor_regions(forest.conn, forest.local, codim)
+        regions = dedup_octants(regions[regions.level > 1])
+        constraints = route_to_owners(forest, regions)
+        new_local, changed = _enforce_constraints(forest.local, constraints)
+        forest.local = new_local
+        if not comm.allreduce(changed, LOR):
+            break
+    forest._refresh_counts()
+    return rounds
+
+
+def is_balanced(forest: Forest, codim: Optional[int] = None) -> bool:
+    """Collectively check the 2:1 condition without modifying the forest."""
+    dim = forest.dim
+    codim = dim if codim is None else codim
+    regions = generate_neighbor_regions(forest.conn, forest.local, codim)
+    regions = dedup_octants(regions[regions.level > 1])
+    constraints = route_to_owners(forest, regions)
+    ok = not _violations(forest.local, constraints).any()
+    return bool(forest.comm.allreduce(ok, LAND))

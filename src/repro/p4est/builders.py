@@ -1,0 +1,306 @@
+"""Built-in forest connectivities.
+
+These mirror the ``p4est_connectivity_new_*`` constructors used in the
+paper's experiments:
+
+* :func:`unit_square` / :func:`unit_cube` — single tree.
+* :func:`brick_2d` / :func:`brick_3d` — rectangular arrays of trees with
+  optional periodicity (a fully periodic brick is a topological torus).
+* :func:`moebius` — the 2D five-quadtree periodic Möbius strip (Fig. 1 top).
+* :func:`rotcubes` — a six-octree forest with mutually rotated coordinate
+  systems, five trees meeting along a central axis edge (Fig. 1 bottom);
+  this is the configuration of the Fig. 4 weak-scaling study.
+* :func:`shell` — the 24-octree cubed-sphere spherical shell of §III-B and
+  §IV (6 caps x 4 patches, radial tree axis).
+* :func:`two_trees_2d` — the two-quadtree strip of Fig. 2.
+
+All topology is derived by shared-vertex matching; the geometric vertex
+positions attached here are reference coordinates for the geometry maps
+and visualization only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.p4est.connectivity import Connectivity
+
+
+def _conn(
+    vertices: Sequence[Sequence[float]],
+    t2v: Sequence[Sequence[int]],
+    dim: int,
+    extra=None,
+    derive_faces: bool = True,
+) -> Connectivity:
+    return Connectivity(
+        dim,
+        np.asarray(vertices, dtype=float),
+        np.asarray(t2v),
+        extra_face_links=extra,
+        derive_faces=derive_faces,
+    )
+
+
+def unit_square() -> Connectivity:
+    """One quadtree covering the unit square."""
+    verts = [(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0)]
+    return _conn(verts, [[0, 1, 2, 3]], 2)
+
+
+def unit_cube() -> Connectivity:
+    """One octree covering the unit cube."""
+    verts = [(x, y, z) for z in (0, 1) for y in (0, 1) for x in (0, 1)]
+    return _conn(verts, [list(range(8))], 3)
+
+
+def brick_2d(nx: int, ny: int, periodic_x: bool = False, periodic_y: bool = False) -> Connectivity:
+    """An ``nx x ny`` array of quadtrees, optionally periodic per axis.
+
+    Periodic axes require at least two trees along that axis (a single
+    periodic tree cannot be expressed through shared vertices; use
+    ``extra_face_links`` on :class:`Connectivity` directly for that).
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError("brick extents must be positive")
+    if (periodic_x and nx < 2) or (periodic_y and ny < 2):
+        raise ValueError("periodic axes need at least two trees")
+    mx = nx if periodic_x else nx + 1
+    my = ny if periodic_y else ny + 1
+
+    def vid(i: int, j: int) -> int:
+        return (j % my) * mx + (i % mx)
+
+    def tid(i: int, j: int) -> int:
+        return (j % ny) * nx + (i % nx)
+
+    verts = [(i, j, 0.0) for j in range(my) for i in range(mx)]
+    t2v = []
+    for j in range(ny):
+        for i in range(nx):
+            t2v.append([vid(i, j), vid(i + 1, j), vid(i, j + 1), vid(i + 1, j + 1)])
+    # Explicit axis-aligned face links (identity correspondence): vertex
+    # matching is ambiguous for small periodic bricks.
+    links = []
+    for j in range(ny):
+        for i in range(nx):
+            if i + 1 < nx or periodic_x:
+                links.append((tid(i, j), 1, tid(i + 1, j), 0, (0, 1)))
+            if j + 1 < ny or periodic_y:
+                links.append((tid(i, j), 3, tid(i, j + 1), 2, (0, 1)))
+    return _conn(verts, t2v, 2, extra=links, derive_faces=False)
+
+
+def brick_3d(
+    nx: int,
+    ny: int,
+    nz: int,
+    periodic_x: bool = False,
+    periodic_y: bool = False,
+    periodic_z: bool = False,
+) -> Connectivity:
+    """An ``nx x ny x nz`` array of octrees, optionally periodic per axis."""
+    if min(nx, ny, nz) < 1:
+        raise ValueError("brick extents must be positive")
+    for p, n in ((periodic_x, nx), (periodic_y, ny), (periodic_z, nz)):
+        if p and n < 2:
+            raise ValueError("periodic axes need at least two trees")
+    mx = nx if periodic_x else nx + 1
+    my = ny if periodic_y else ny + 1
+    mz = nz if periodic_z else nz + 1
+
+    def vid(i: int, j: int, k: int) -> int:
+        return ((k % mz) * my + (j % my)) * mx + (i % mx)
+
+    def tid(i: int, j: int, k: int) -> int:
+        return ((k % nz) * ny + (j % ny)) * nx + (i % nx)
+
+    verts = [(i, j, k) for k in range(mz) for j in range(my) for i in range(mx)]
+    t2v = []
+    for k in range(nz):
+        for j in range(ny):
+            for i in range(nx):
+                t2v.append(
+                    [
+                        vid(i, j, k),
+                        vid(i + 1, j, k),
+                        vid(i, j + 1, k),
+                        vid(i + 1, j + 1, k),
+                        vid(i, j, k + 1),
+                        vid(i + 1, j, k + 1),
+                        vid(i, j + 1, k + 1),
+                        vid(i + 1, j + 1, k + 1),
+                    ]
+                )
+    ident4 = (0, 1, 2, 3)
+    links = []
+    for k in range(nz):
+        for j in range(ny):
+            for i in range(nx):
+                if i + 1 < nx or periodic_x:
+                    links.append((tid(i, j, k), 1, tid(i + 1, j, k), 0, ident4))
+                if j + 1 < ny or periodic_y:
+                    links.append((tid(i, j, k), 3, tid(i, j + 1, k), 2, ident4))
+                if k + 1 < nz or periodic_z:
+                    links.append((tid(i, j, k), 5, tid(i, j, k + 1), 4, ident4))
+    return _conn(verts, t2v, 3, extra=links, derive_faces=False)
+
+
+def two_trees_2d() -> Connectivity:
+    """Two quadtrees side by side (the Fig. 2 configuration)."""
+    return brick_2d(2, 1)
+
+
+def moebius() -> Connectivity:
+    """Five quadtrees forming a periodic Möbius strip (Fig. 1 top).
+
+    Trees 0-3 are glued side by side; tree 4 closes the ring with a flip
+    of the transverse direction, producing the half twist.
+    """
+    n = 5
+    # Vertex ids: b_j = j (one rail), t_j = n + j (other rail).  The
+    # embedding is the genuine half-twist band p(th, s) with s = -+w: the
+    # rail offset direction rotates by th/2, so at th = 2*pi the top rail
+    # lands on the bottom rail's start — exactly the flipped gluing below.
+    w = 0.4
+
+    def rail(j: int, s: float):
+        th = 2 * np.pi * j / n
+        r = 1.0 + s * np.cos(th / 2)
+        return (r * np.cos(th), r * np.sin(th), s * np.sin(th / 2))
+
+    verts = [rail(j, -w) for j in range(n)] + [rail(j, +w) for j in range(n)]
+    t2v = []
+    for j in range(n - 1):
+        t2v.append([j, j + 1, n + j, n + j + 1])
+    # Last tree spans position n-1 -> 0 with the rails exchanged.
+    t2v.append([n - 1, n, 2 * n - 1, 0])
+    return _conn(verts, t2v, 2)
+
+
+def rotcubes() -> Connectivity:
+    """Six octrees with mutually rotated coordinate systems (Fig. 1 bottom).
+
+    Five wedge cubes form a pinwheel around a central vertical edge (which
+    is therefore shared by five trees), glued cyclically face 0 <-> face 2
+    so consecutive trees are rotated relative to each other.  A sixth cube
+    caps tree 0 from above through a 90-degree-rotated face gluing.  This
+    configuration activates face, edge, and corner connections with
+    nontrivial orientations, as required by the Fig. 4 study.
+    """
+    nw = 5
+    # Vertex ids.
+    c0, c1 = 0, 1  # central axis, bottom and top
+    sb = [2 + j for j in range(nw)]  # spoke bottom
+    st = [2 + nw + j for j in range(nw)]  # spoke top
+    ob = [2 + 2 * nw + j for j in range(nw)]  # outer bottom
+    ot = [2 + 3 * nw + j for j in range(nw)]  # outer top
+    u = [2 + 4 * nw + j for j in range(4)]  # cap-top corners
+
+    verts: List[Tuple[float, float, float]] = [(0, 0, 0), (0, 0, 1)]
+    for ring, z, rad, shift in (
+        (sb, 0.0, 1.0, 0.0),
+        (st, 1.0, 1.0, 0.0),
+        (ob, 0.0, 1.5, 0.5),
+        (ot, 1.0, 1.5, 0.5),
+    ):
+        for j in range(nw):
+            th = 2 * np.pi * (j + shift) / nw
+            verts.append((rad * np.cos(th), rad * np.sin(th), z))
+    # Cap-top corners sit above wedge 0's top quad.
+    th0 = 0.0
+    th1 = 2 * np.pi / nw
+    ths = 2 * np.pi * 0.5 / nw
+    verts.extend(
+        [
+            (0, 0, 2.0),
+            (np.cos(th0), np.sin(th0), 2.0),
+            (np.cos(th1), np.sin(th1), 2.0),
+            (1.5 * np.cos(ths), 1.5 * np.sin(ths), 2.0),
+        ]
+    )
+
+    t2v = []
+    for j in range(nw):
+        jn = (j + 1) % nw
+        t2v.append([c0, sb[j], sb[jn], ob[j], c1, st[j], st[jn], ot[j]])
+    # Cap: bottom face is wedge 0's top face, rotated one step around the
+    # quad cycle c1 -> st0 -> ot0 -> st1; top face uses fresh vertices.
+    t2v.append([st[0], ot[0], c1, st[1], u[1], u[3], u[0], u[2]])
+    return _conn(verts, t2v, 3)
+
+
+# Cubed-sphere shell --------------------------------------------------------------
+
+# For each cube face (+x, -x, +y, -y, +z, -z): outward normal axis/sign and
+# the (u, v) tangential axes chosen so that u x v points outward
+# (right-handed trees with the radial direction as local z).
+_SHELL_FACES = (
+    (0, +1, 1, 2),  # +x: u=y, v=z
+    (0, -1, 2, 1),  # -x: u=z, v=y
+    (1, +1, 2, 0),  # +y: u=z, v=x
+    (1, -1, 0, 2),  # -y: u=x, v=z
+    (2, +1, 0, 1),  # +z: u=x, v=y
+    (2, -1, 1, 0),  # -z: u=y, v=x
+)
+
+
+def connectivity_from_hexes(hex_corners: np.ndarray, decimals: int = 9) -> Connectivity:
+    """Build a connectivity by geometric vertex identification.
+
+    ``hex_corners`` is ``(K, 8, 3)``: corner positions of each hex in
+    z-order.  Corners within ``10**-decimals`` are identified, which is
+    how gluings (including rotated ones) are discovered.  This mirrors how
+    ``p4est`` builds its shell/sphere connectivities from point sets.
+    """
+    hex_corners = np.asarray(hex_corners, dtype=np.float64)
+    if hex_corners.ndim != 3 or hex_corners.shape[1:] != (8, 3):
+        raise ValueError("hex_corners must have shape (K, 8, 3)")
+    key_of: Dict[Tuple[float, ...], int] = {}
+    verts: List[Tuple[float, float, float]] = []
+    t2v = np.empty((len(hex_corners), 8), dtype=np.int64)
+    for k in range(len(hex_corners)):
+        for c in range(8):
+            p = hex_corners[k, c]
+            key = tuple(np.round(p, decimals) + 0.0)
+            vid = key_of.get(key)
+            if vid is None:
+                vid = len(verts)
+                key_of[key] = vid
+                verts.append(tuple(p))
+            t2v[k, c] = vid
+    return Connectivity(3, np.asarray(verts), t2v)
+
+
+def shell(inner_radius: float = 0.55, outer_radius: float = 1.0) -> Connectivity:
+    """The 24-octree cubed-sphere spherical shell (§III-B, §IV-A).
+
+    Each of the six cube faces carries a 2x2 array of patches; every patch
+    is extruded radially from the inner to the outer sphere, with the tree's
+    local z axis pointing outward.  Patch corner points on the reference
+    cube surface are identified geometrically, which generates all intercap
+    rotations automatically.  The default radii follow the earth-mantle
+    aspect ratio (core-mantle boundary at ~0.55 earth radii).
+    """
+    if not 0 < inner_radius < outer_radius:
+        raise ValueError("require 0 < inner_radius < outer_radius")
+    hexes = []
+    for axis, sgn, ua, va in _SHELL_FACES:
+        for j in range(2):
+            for i in range(2):
+                quad = []
+                for vv in (j - 1, j):
+                    for uu in (i - 1, i):
+                        p = np.zeros(3)
+                        p[axis] = sgn
+                        p[ua] = uu
+                        p[va] = vv
+                        quad.append(p)
+                # Project the cube-surface quad onto the two spheres.
+                quad = [q / np.linalg.norm(q) for q in quad]
+                inner = [inner_radius * q for q in quad]
+                outer = [outer_radius * q for q in quad]
+                hexes.append(np.array(inner + outer))
+    return connectivity_from_hexes(np.array(hexes))

@@ -1,0 +1,441 @@
+"""Octant storage and linear-octree primitives.
+
+:class:`Octants` is the bulk container used everywhere: a struct-of-arrays
+``(tree, x, y, z, level)`` with vectorized tree operations — children,
+parents, descendants, neighbor generation, SFC sorting, overlap search.
+:class:`Octant` is the scalar view used for partition markers and tests.
+
+Coordinates are lattice integers per :mod:`repro.p4est.bits`; an octant of
+level ``l`` occupies the half-open cube ``[x, x+h) x [y, y+h) x [z, z+h)``
+with ``h = 2**(maxlevel-l)``.  In 2D the ``z`` column is identically zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.p4est.bits import Dimension, dimension, interleave, sfc_key
+
+
+@dataclass(frozen=True, order=False)
+class Octant:
+    """A single octant: owning tree, lattice coordinates, refinement level."""
+
+    tree: int
+    x: int
+    y: int
+    z: int
+    level: int
+
+    def key(self, dim: int) -> Tuple[int, int]:
+        """Total-order key ``(tree, packed sfc key)``."""
+        return (self.tree, int(sfc_key(dim, self.x, self.y, self.z, self.level)))
+
+    def len(self, dim: int) -> int:
+        return dimension(dim).octant_len(self.level)
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        return (self.tree, self.x, self.y, self.z, self.level)
+
+
+class Octants:
+    """A vectorized array of octants, the unit of distributed storage.
+
+    The arrays are owned (never views of caller data) and kept in
+    struct-of-arrays layout for cache-friendly columnar operations.
+    """
+
+    __slots__ = ("dim", "D", "tree", "x", "y", "z", "level")
+
+    def __init__(
+        self,
+        dim: int,
+        tree: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        z: Optional[np.ndarray] = None,
+        level: Optional[np.ndarray] = None,
+    ) -> None:
+        self.dim = dim
+        self.D: Dimension = dimension(dim)
+        n = len(tree)
+        self.tree = np.ascontiguousarray(tree, dtype=np.int32)
+        self.x = np.ascontiguousarray(x, dtype=np.int64)
+        self.y = np.ascontiguousarray(y, dtype=np.int64)
+        if z is None:
+            z = np.zeros(n, dtype=np.int64)
+        self.z = np.ascontiguousarray(z, dtype=np.int64)
+        if level is None:
+            raise ValueError("level array is required")
+        self.level = np.ascontiguousarray(level, dtype=np.int8)
+        if not (len(self.x) == len(self.y) == len(self.z) == len(self.level) == n):
+            raise ValueError("octant column lengths disagree")
+
+    # Construction ----------------------------------------------------------
+
+    @classmethod
+    def empty(cls, dim: int) -> "Octants":
+        e = np.empty(0, dtype=np.int64)
+        return cls(dim, e, e, e, e, e)
+
+    @classmethod
+    def from_octants(cls, dim: int, octs: Iterable[Octant]) -> "Octants":
+        rows = [(o.tree, o.x, o.y, o.z, o.level) for o in octs]
+        if not rows:
+            return cls.empty(dim)
+        a = np.array(rows, dtype=np.int64)
+        return cls(dim, a[:, 0], a[:, 1], a[:, 2], a[:, 3], a[:, 4])
+
+    @classmethod
+    def concat(cls, parts: Sequence["Octants"]) -> "Octants":
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            raise ValueError("cannot concatenate an empty list without a dimension")
+        dim = parts[0].dim
+        return cls(
+            dim,
+            np.concatenate([p.tree for p in parts]),
+            np.concatenate([p.x for p in parts]),
+            np.concatenate([p.y for p in parts]),
+            np.concatenate([p.z for p in parts]),
+            np.concatenate([p.level for p in parts]),
+        )
+
+    @classmethod
+    def uniform_slice(
+        cls, dim: int, num_trees: int, level: int, start: int, stop: int
+    ) -> "Octants":
+        """Octants ``start <= g < stop`` of the uniform level-``level``
+        refinement of ``num_trees`` trees, in global SFC order.
+
+        This is how ``New`` creates each rank's share without communication.
+        """
+        D = dimension(dim)
+        per_tree = 1 << (dim * level)
+        total = num_trees * per_tree
+        if not (0 <= start <= stop <= total):
+            raise ValueError("uniform slice out of range")
+        g = np.arange(start, stop, dtype=np.uint64)
+        tree = (g // np.uint64(per_tree)).astype(np.int32)
+        m = g % np.uint64(per_tree)
+        shift = np.uint64(D.maxlevel - level)
+        if dim == 2:
+            from repro.p4est.bits import compact2
+
+            x = compact2(m) << shift
+            y = compact2(m >> np.uint64(1)) << shift
+            z = np.zeros(len(g), dtype=np.int64)
+        else:
+            from repro.p4est.bits import compact3
+
+            x = compact3(m) << shift
+            y = compact3(m >> np.uint64(1)) << shift
+            z = (compact3(m >> np.uint64(2)) << shift).astype(np.int64)
+        lev = np.full(len(g), level, dtype=np.int8)
+        return cls(dim, tree, x.astype(np.int64), y.astype(np.int64), z, lev)
+
+    # Basic protocol ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def __getitem__(self, idx) -> "Octants":
+        if isinstance(idx, (int, np.integer)):
+            idx = slice(idx, idx + 1)
+        return Octants(
+            self.dim, self.tree[idx], self.x[idx], self.y[idx], self.z[idx], self.level[idx]
+        )
+
+    def octant(self, i: int) -> Octant:
+        return Octant(
+            int(self.tree[i]), int(self.x[i]), int(self.y[i]), int(self.z[i]), int(self.level[i])
+        )
+
+    def iter_octants(self) -> Iterator[Octant]:
+        for i in range(len(self)):
+            yield self.octant(i)
+
+    def copy(self) -> "Octants":
+        return Octants(
+            self.dim,
+            self.tree.copy(),
+            self.x.copy(),
+            self.y.copy(),
+            self.z.copy(),
+            self.level.copy(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Octants(dim={self.dim}, n={len(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Octants):
+            return NotImplemented
+        return (
+            self.dim == other.dim
+            and len(self) == len(other)
+            and bool(np.array_equal(self.tree, other.tree))
+            and bool(np.array_equal(self.x, other.x))
+            and bool(np.array_equal(self.y, other.y))
+            and bool(np.array_equal(self.z, other.z))
+            and bool(np.array_equal(self.level, other.level))
+        )
+
+    # Geometry on the lattice -------------------------------------------------
+
+    def lens(self) -> np.ndarray:
+        """Side length of each octant."""
+        return self.D.octant_len(self.level.astype(np.int64))
+
+    def keys(self) -> np.ndarray:
+        """Packed intra-tree SFC keys (uint64)."""
+        return sfc_key(self.dim, self.x, self.y, self.z, self.level)
+
+    def mortons(self) -> np.ndarray:
+        return interleave(self.dim, self.x, self.y, self.z)
+
+    def sort_order(self) -> np.ndarray:
+        return np.lexsort((self.keys(), self.tree))
+
+    def sorted(self) -> "Octants":
+        """Return a copy in global SFC order (tree-major, Morton within)."""
+        order = self.sort_order()
+        return self[order]
+
+    def is_sorted(self) -> bool:
+        t, k = self.tree, self.keys()
+        if len(t) < 2:
+            return True
+        same = t[1:] == t[:-1]
+        return bool(np.all((t[1:] > t[:-1]) | (same & (k[1:] >= k[:-1]))))
+
+    def dedup(self) -> "Octants":
+        """Remove duplicate octants; requires sorted input."""
+        if len(self) < 2:
+            return self.copy()
+        k = self.keys()
+        keep = np.ones(len(self), dtype=bool)
+        keep[1:] = (self.tree[1:] != self.tree[:-1]) | (k[1:] != k[:-1])
+        return self[keep]
+
+    # Tree structure -----------------------------------------------------------
+
+    def child_ids(self) -> np.ndarray:
+        """Which child (0..2^d-1) each octant is of its parent (z-order)."""
+        shift = (self.D.maxlevel - self.level.astype(np.int64)).astype(np.int64)
+        cid = ((self.x >> shift) & 1) | (((self.y >> shift) & 1) << 1)
+        if self.dim == 3:
+            cid |= ((self.z >> shift) & 1) << 2
+        # Level-0 octants are roots; define their child id as 0.
+        return np.where(self.level > 0, cid, 0).astype(np.int8)
+
+    def parents(self) -> "Octants":
+        """Parent of each octant (requires all levels > 0)."""
+        if np.any(self.level <= 0):
+            raise ValueError("cannot take parent of a level-0 octant")
+        plev = (self.level - 1).astype(np.int8)
+        ph = self.D.octant_len(plev.astype(np.int64))
+        mask = ~(ph - 1)
+        return Octants(self.dim, self.tree, self.x & mask, self.y & mask, self.z & mask, plev)
+
+    def ancestors(self, level) -> "Octants":
+        """Ancestor at the given level (scalar or per-octant array).
+
+        Requires ``level <= self.level`` elementwise.
+        """
+        lev = np.broadcast_to(np.asarray(level, dtype=np.int64), self.level.shape)
+        if np.any(lev > self.level):
+            raise ValueError("ancestor level exceeds octant level")
+        h = self.D.octant_len(lev)
+        mask = ~(h - 1)
+        return Octants(
+            self.dim, self.tree, self.x & mask, self.y & mask, self.z & mask, lev.astype(np.int8)
+        )
+
+    def children(self) -> "Octants":
+        """All 2^d children of each octant, in z-order, concatenated."""
+        if np.any(self.level >= self.D.maxlevel):
+            raise ValueError("cannot refine beyond maxlevel")
+        nc = self.D.num_children
+        clev = (self.level.astype(np.int64) + 1)
+        ch = self.D.octant_len(clev)
+        n = len(self)
+        tree = np.repeat(self.tree, nc)
+        x = np.repeat(self.x, nc)
+        y = np.repeat(self.y, nc)
+        z = np.repeat(self.z, nc)
+        h = np.repeat(ch, nc)
+        cid = np.tile(np.arange(nc, dtype=np.int64), n)
+        x = x + (cid & 1) * h
+        y = y + ((cid >> 1) & 1) * h
+        if self.dim == 3:
+            z = z + ((cid >> 2) & 1) * h
+        lev = np.repeat(clev, nc).astype(np.int8)
+        return Octants(self.dim, tree, x, y, z, lev)
+
+    def first_descendants(self) -> "Octants":
+        """Deepest-level first descendant (same lower-left corner, maxlevel)."""
+        lev = np.full(len(self), self.D.maxlevel, dtype=np.int8)
+        return Octants(self.dim, self.tree, self.x, self.y, self.z, lev)
+
+    def last_descendants(self) -> "Octants":
+        """Deepest-level last descendant (upper corner minus unit)."""
+        h = self.lens()
+        lev = np.full(len(self), self.D.maxlevel, dtype=np.int8)
+        zz = self.z + h - 1 if self.dim == 3 else self.z
+        return Octants(self.dim, self.tree, self.x + h - 1, self.y + h - 1, zz, lev)
+
+    def volumes(self) -> List[int]:
+        """Lattice volume of each octant as exact Python ints."""
+        exp = self.dim * (self.D.maxlevel - self.level.astype(np.int64))
+        return [1 << int(e) for e in exp]
+
+    def total_volume(self) -> int:
+        return sum(self.volumes())
+
+    # Adjacency ------------------------------------------------------------------
+
+    def face_neighbors(self, face: int) -> "Octants":
+        """Same-size neighbor across ``face`` (0=-x, 1=+x, 2=-y, 3=+y, 4=-z, 5=+z).
+
+        The result may lie outside the root cube (exterior octants, paper
+        Fig. 3); callers route those through the connectivity transforms.
+        """
+        if not 0 <= face < self.D.num_faces:
+            raise ValueError(f"face {face} out of range for dim {self.dim}")
+        h = self.lens()
+        axis, sign = face // 2, face % 2
+        dxyz = [np.zeros(len(self), dtype=np.int64) for _ in range(3)]
+        dxyz[axis] = h if sign == 1 else -h
+        return Octants(
+            self.dim,
+            self.tree,
+            self.x + dxyz[0],
+            self.y + dxyz[1],
+            self.z + dxyz[2],
+            self.level.copy(),
+        )
+
+    def shifted(self, dx: np.ndarray, dy: np.ndarray, dz: np.ndarray) -> "Octants":
+        """Translate each octant by per-octant lattice offsets."""
+        return Octants(
+            self.dim, self.tree, self.x + dx, self.y + dy, self.z + dz, self.level.copy()
+        )
+
+    def inside_root(self) -> np.ndarray:
+        """Boolean mask: octant lies fully inside its tree's root cube."""
+        L = self.D.root_len
+        ok = (self.x >= 0) & (self.x < L) & (self.y >= 0) & (self.y < L)
+        if self.dim == 3:
+            ok &= (self.z >= 0) & (self.z < L)
+        return ok
+
+
+def neighbor_offsets(dim: int, codim: int) -> np.ndarray:
+    """Unit offset vectors of all neighbors of the given codimension.
+
+    codim 1 = across faces, 2 = across edges (3D) or corners (2D),
+    3 = across corners (3D).  Each row is in {-1, 0, +1}^3 with exactly
+    ``codim`` nonzero entries (z entry always 0 in 2D).
+    """
+    if dim == 2 and codim not in (1, 2):
+        raise ValueError("2D supports codim 1 (faces) and 2 (corners)")
+    if dim == 3 and codim not in (1, 2, 3):
+        raise ValueError("3D supports codim 1, 2, 3")
+    offsets = []
+    rng = (-1, 0, 1)
+    for dz in rng if dim == 3 else (0,):
+        for dy in rng:
+            for dx in rng:
+                nz = (dx != 0) + (dy != 0) + (dz != 0)
+                if nz == codim:
+                    offsets.append((dx, dy, dz))
+    return np.array(offsets, dtype=np.int64)
+
+
+def all_neighbor_offsets(dim: int, max_codim: int) -> np.ndarray:
+    """All neighbor offsets with codimension 1..max_codim, stacked."""
+    parts = [neighbor_offsets(dim, c) for c in range(1, max_codim + 1)]
+    return np.concatenate(parts, axis=0)
+
+
+# Linear octree relations ------------------------------------------------------
+
+
+def is_ancestor_pairwise(anc: Octants, desc: Octants) -> np.ndarray:
+    """Elementwise: is ``anc[i]`` an (improper) ancestor of ``desc[i]``?"""
+    if anc.dim != desc.dim or len(anc) != len(desc):
+        raise ValueError("mismatched octant arrays")
+    h = anc.lens()
+    mask = ~(h - 1)
+    ok = (anc.tree == desc.tree) & (anc.level <= desc.level)
+    ok &= (desc.x & mask) == anc.x
+    ok &= (desc.y & mask) == anc.y
+    if anc.dim == 3:
+        ok &= (desc.z & mask) == anc.z
+    return ok
+
+
+def searchsorted_octants(sorted_octs: Octants, queries: Octants, side: str = "left") -> np.ndarray:
+    """Positions of ``queries`` in the globally sorted array ``sorted_octs``.
+
+    Comparison is the (tree, key) lexicographic total order.  Implemented
+    by packing tree and key into a comparable pair via a stable two-stage
+    searchsorted on a combined sort array.
+    """
+    # Combine (tree, key) into sortable numpy structured comparisons by
+    # sorting on a single array: since tree < 2^31 and key uses all 64 bits,
+    # build a 2-column view and use np.searchsorted on a structured dtype.
+    base = np.empty(len(sorted_octs), dtype=[("t", np.int64), ("k", np.uint64)])
+    base["t"] = sorted_octs.tree
+    base["k"] = sorted_octs.keys()
+    q = np.empty(len(queries), dtype=base.dtype)
+    q["t"] = queries.tree
+    q["k"] = queries.keys()
+    return np.searchsorted(base, q, side=side)
+
+
+def overlaps_any(sorted_octs: Octants, queries: Octants) -> np.ndarray:
+    """Boolean per query: does any octant in ``sorted_octs`` intersect it?
+
+    ``sorted_octs`` must be a sorted, overlap-free linear octree (a leaf
+    set).  Two octants intersect iff one is an (improper) ancestor of the
+    other.
+    """
+    n = len(queries)
+    result = np.zeros(n, dtype=bool)
+    if len(sorted_octs) == 0 or n == 0:
+        return result
+    # Proper-descendants-of-query test.  Descendants sharing the query's
+    # corner carry a *smaller* key than the maxlevel first descendant
+    # (deeper level, same Morton), so the range must start just after the
+    # query itself, not at first_descendants().
+    lo = searchsorted_octants(sorted_octs, queries, side="right")
+    hi = searchsorted_octants(sorted_octs, queries.last_descendants(), side="right")
+    result |= hi > lo
+    # Ancestor-of-query test: the leaf immediately at/before the query in SFC
+    # order is the only candidate ancestor.
+    pos = searchsorted_octants(sorted_octs, queries, side="right")
+    cand = np.maximum(pos - 1, 0)
+    has_prev = pos > 0
+    anc = sorted_octs[cand]
+    result |= has_prev & is_ancestor_pairwise(anc, queries)
+    return result
+
+
+def validate_leaf_set(octs: Octants) -> None:
+    """Raise ValueError unless ``octs`` is a sorted, overlap-free leaf set."""
+    if not octs.is_sorted():
+        raise ValueError("octants are not in SFC order")
+    if len(octs) < 2:
+        return
+    a = octs[np.arange(len(octs) - 1)]
+    b = octs[np.arange(1, len(octs))]
+    k = octs.keys()
+    if np.any((octs.tree[1:] == octs.tree[:-1]) & (k[1:] == k[:-1])):
+        raise ValueError("duplicate octants present")
+    if np.any(is_ancestor_pairwise(a, b)):
+        raise ValueError("overlapping octants present (ancestor precedes descendant)")

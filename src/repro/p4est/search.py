@@ -1,0 +1,88 @@
+"""Search facilities over the space-filling curve.
+
+The paper (§II-D): the total ordering "can then be used for fast binary
+search, finding any of Np local octants in O(log Np) steps", and the
+partition markers locate the owner rank of any position with O(log P)
+work.  This module exposes both as a public API: exact octant lookup,
+point location (which leaf contains a lattice point), and owner queries.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.p4est.bits import interleave
+from repro.p4est.forest import Forest
+from repro.p4est.octant import Octants, is_ancestor_pairwise, searchsorted_octants
+
+
+def find_octants(haystack: Octants, needles: Octants) -> np.ndarray:
+    """Local indices of ``needles`` in the sorted ``haystack`` (-1 absent)."""
+    if len(needles) == 0:
+        return np.empty(0, dtype=np.int64)
+    if len(haystack) == 0:
+        return np.full(len(needles), -1, dtype=np.int64)
+    pos = searchsorted_octants(haystack, needles, side="left")
+    posc = np.minimum(pos, len(haystack) - 1)
+    cand = haystack[posc]
+    hit = (
+        (cand.tree == needles.tree)
+        & (cand.x == needles.x)
+        & (cand.y == needles.y)
+        & (cand.z == needles.z)
+        & (cand.level == needles.level)
+    )
+    return np.where(hit, posc, -1).astype(np.int64)
+
+
+def locate_points(
+    forest: Forest, tree: np.ndarray, coords: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Locate lattice points: (owner rank, local leaf index or -1).
+
+    ``coords`` is (n, dim) integer lattice positions in each point's tree
+    (half-open cell convention: a point on a cell boundary belongs to the
+    cell whose lower corner it is; the far domain boundary is clamped
+    inward).  The local index is -1 for points owned by other ranks.
+    """
+    tree = np.asarray(tree, dtype=np.int64)
+    coords = np.asarray(coords, dtype=np.int64)
+    n = len(tree)
+    dim = forest.dim
+    L = forest.D.root_len
+    cols = [np.clip(coords[:, a], 0, L - 1) for a in range(dim)]
+    while len(cols) < 3:
+        cols.append(np.zeros(n, dtype=np.int64))
+    morton = interleave(dim, cols[0], cols[1], cols[2])
+    ranks = forest.markers.owner_of_points(tree, morton)
+
+    # Local lookup: the leaf containing the unit cell at the point.
+    unit = Octants(
+        dim,
+        tree,
+        cols[0],
+        cols[1],
+        cols[2],
+        np.full(n, forest.D.maxlevel, dtype=np.int8),
+    )
+    local_idx = np.full(n, -1, dtype=np.int64)
+    mine = ranks == forest.comm.rank
+    if mine.any() and len(forest.local):
+        q = unit[np.flatnonzero(mine)]
+        pos = searchsorted_octants(forest.local, q, side="right")
+        cand = np.maximum(pos - 1, 0)
+        anc = forest.local[cand]
+        ok = (pos > 0) & is_ancestor_pairwise(anc, q)
+        out = np.where(ok, cand, -1)
+        local_idx[np.flatnonzero(mine)] = out
+    return ranks, local_idx
+
+
+def contains_point(forest: Forest, tree: int, x: int, y: int, z: int = 0) -> int:
+    """Local leaf index containing one lattice point, or -1 (not local)."""
+    ranks, idx = locate_points(
+        forest, np.array([tree]), np.array([[x, y, z][: forest.dim]])
+    )
+    return int(idx[0])

@@ -1,0 +1,30 @@
+"""In-process SPMD substrate: an MPI-like communicator and machine.
+
+The paper's algorithms ran under MPI on the Jaguar Cray XT5.  This package
+provides the substitute substrate: rank programs are ordinary Python
+callables ``fn(comm, ...)`` executed SPMD, either on a single rank
+(:class:`SerialComm`) or on ``P`` concurrent in-process ranks
+(:func:`spmd_run`, backed by one thread per rank).  The only channel
+between ranks is the :class:`Comm` interface, mirroring the discipline of
+distributed-memory code; all traffic is metered by :class:`CommStats` so
+the benchmark harness can charge an alpha-beta communication model.
+"""
+
+from repro.parallel.comm import Comm, SerialComm
+from repro.parallel.machine import ThreadComm, SpmdError, spmd_run
+from repro.parallel.ops import MAX, MIN, PROD, SUM, payload_nbytes
+from repro.parallel.stats import CommStats
+
+__all__ = [
+    "Comm",
+    "SerialComm",
+    "ThreadComm",
+    "SpmdError",
+    "spmd_run",
+    "CommStats",
+    "SUM",
+    "MIN",
+    "MAX",
+    "PROD",
+    "payload_nbytes",
+]

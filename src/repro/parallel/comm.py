@@ -1,0 +1,151 @@
+"""The communicator interface and its single-rank implementation.
+
+:class:`Comm` is the only channel rank programs may use to interact; it
+offers the collectives the forest algorithms need (barrier, bcast,
+gather, scatter, allgather, reduce, allreduce, scan, exscan, alltoall)
+plus :meth:`Comm.exchange`, a sparse all-to-all-v that subsumes the
+point-to-point octant traffic of Partition/Balance/Ghost/Nodes.
+
+:class:`SerialComm` is the size-1 fast path; the multi-rank
+:class:`~repro.parallel.machine.ThreadComm` lives in
+:mod:`repro.parallel.machine`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional
+
+from repro.parallel.ops import SUM, ReduceOp, identity_for, payload_nbytes
+from repro.parallel.stats import CommStats
+
+
+class Comm(ABC):
+    """Abstract SPMD communicator for ``size`` ranks, of which this is ``rank``."""
+
+    rank: int
+    size: int
+    stats: CommStats
+
+    @abstractmethod
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier."""
+
+    @abstractmethod
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns root's value."""
+
+    @abstractmethod
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Gather one value per rank; ``root`` returns the list, others ``None``."""
+
+    @abstractmethod
+    def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
+        """Scatter ``objs[r]`` (given at ``root``) to each rank ``r``."""
+
+    @abstractmethod
+    def allgather(self, obj: Any) -> List[Any]:
+        """Gather one value per rank and return the full list on every rank."""
+
+    @abstractmethod
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Reduce ``value`` over all ranks with ``op``; result on every rank."""
+
+    @abstractmethod
+    def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Exclusive prefix reduction: rank r gets op-fold of ranks 0..r-1.
+
+        Rank 0 receives the identity element of ``op``.
+        """
+
+    @abstractmethod
+    def scan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Inclusive prefix reduction: rank r gets op-fold of ranks 0..r."""
+
+    @abstractmethod
+    def alltoall(self, objs: List[Any]) -> List[Any]:
+        """Dense personalized exchange: send ``objs[r]`` to rank r; return
+        the list of values received, indexed by source rank."""
+
+    @abstractmethod
+    def exchange(self, outbox: Dict[int, Any]) -> Dict[int, Any]:
+        """Sparse personalized exchange (the workhorse of the forest code).
+
+        ``outbox`` maps destination rank to payload; returns the inbox
+        mapping source rank to payload.  Self-sends are delivered.  Every
+        rank must call this collectively (possibly with an empty outbox).
+        """
+
+    # Derived conveniences -------------------------------------------------
+
+    def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
+        """Reduce to ``root`` (others get ``None``); default via allreduce."""
+        result = self.allreduce(value, op)
+        return result if self.rank == root else None
+
+
+class SerialComm(Comm):
+    """The trivial single-rank communicator.
+
+    All collectives are local identities; ``exchange`` delivers self-sends.
+    Algorithms written against :class:`Comm` run unchanged (and fast) on a
+    single rank.
+    """
+
+    def __init__(self) -> None:
+        self.rank = 0
+        self.size = 1
+        self.stats = CommStats()
+
+    def barrier(self) -> None:
+        self.stats.record("barrier", 0, 0)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_root(root)
+        self.stats.record("bcast", 0, 0)
+        return obj
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        self._check_root(root)
+        self.stats.record("gather", 0, payload_nbytes(obj))
+        return [obj]
+
+    def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
+        self._check_root(root)
+        if objs is None or len(objs) != 1:
+            raise ValueError("scatter on SerialComm requires a 1-element list")
+        self.stats.record("scatter", 0, payload_nbytes(objs[0]))
+        return objs[0]
+
+    def allgather(self, obj: Any) -> List[Any]:
+        self.stats.record("allgather", 0, payload_nbytes(obj))
+        return [obj]
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        self.stats.record("allreduce", 0, payload_nbytes(value))
+        return value
+
+    def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        self.stats.record("exscan", 0, payload_nbytes(value))
+        return identity_for(op, value)
+
+    def scan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        self.stats.record("scan", 0, payload_nbytes(value))
+        return value
+
+    def alltoall(self, objs: List[Any]) -> List[Any]:
+        if len(objs) != 1:
+            raise ValueError("alltoall on SerialComm requires a 1-element list")
+        self.stats.record("alltoall", 0, payload_nbytes(objs[0]))
+        return list(objs)
+
+    def exchange(self, outbox: Dict[int, Any]) -> Dict[int, Any]:
+        for dest in outbox:
+            if dest != 0:
+                raise ValueError(f"exchange to rank {dest} on a size-1 comm")
+        self.stats.record("exchange", 0, sum(payload_nbytes(v) for v in outbox.values()))
+        return dict(outbox)
+
+    def _check_root(self, root: int) -> None:
+        if root != 0:
+            raise ValueError(f"root {root} out of range for size-1 comm")

@@ -1,0 +1,297 @@
+"""Thread-backed SPMD execution of rank programs.
+
+:func:`spmd_run` launches one thread per rank, each executing the same
+``fn(comm, *args)`` against its own :class:`ThreadComm`.  Collectives are
+implemented with a shared two-phase barrier protocol: every rank deposits
+its contribution, the barrier's leader combines, a second barrier releases
+the results.  The protocol is deterministic (results never depend on
+thread scheduling) and exception-safe: a raising rank aborts the barrier,
+unblocking all peers, and the original exception is re-raised from
+:func:`spmd_run`.
+
+This machine is the stand-in for MPI on the paper's Cray XT5: algorithms
+exercise real distributed storage and real communication structure, while
+:class:`~repro.parallel.stats.CommStats` meters the traffic for the
+performance model.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.parallel.comm import Comm
+from repro.parallel.ops import SUM, ReduceOp, identity_for, payload_nbytes
+from repro.parallel.stats import CommStats
+
+MAX_RANKS = 1024
+
+
+class SpmdError(RuntimeError):
+    """Raised on all surviving ranks when a peer rank fails."""
+
+
+class _Shared:
+    """State shared by the ranks of one SPMD run."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.slots: List[Any] = [None] * size
+        self.result: Any = None
+        self.failure: Optional[BaseException] = None
+        self.failed_rank: Optional[int] = None
+
+    def abort(self, rank: int, exc: BaseException) -> None:
+        if self.failure is None:
+            self.failure = exc
+            self.failed_rank = rank
+        self.barrier.abort()
+
+
+class ThreadComm(Comm):
+    """Communicator handle for one rank of a thread-backed SPMD run."""
+
+    def __init__(self, rank: int, shared: _Shared) -> None:
+        self.rank = rank
+        self.size = shared.size
+        self.stats = CommStats()
+        self._shared = shared
+        self.compute_seconds = 0.0
+        self._mark = time.thread_time()
+
+    # Internal machinery ---------------------------------------------------
+
+    def _wait(self) -> int:
+        try:
+            return self._shared.barrier.wait()
+        except threading.BrokenBarrierError:
+            raise SpmdError(
+                f"SPMD run aborted (failure on rank {self._shared.failed_rank})"
+            ) from None
+
+    def _collect(self, contribution: Any, combine: Callable[[List[Any]], Any]) -> Any:
+        """Two-phase collective: deposit, leader combines, all read."""
+        shared = self._shared
+        shared.slots[self.rank] = contribution
+        if self._wait() == 0:
+            shared.result = combine(list(shared.slots))
+        self._wait()
+        result = shared.result
+        return result
+
+    def _begin(self) -> None:
+        now = time.thread_time()
+        self.compute_seconds += now - self._mark
+
+    def _end(self) -> None:
+        self._mark = time.thread_time()
+
+    # Collectives ----------------------------------------------------------
+
+    def barrier(self) -> None:
+        self._begin()
+        self.stats.record("barrier", 0, 0)
+        self._wait()
+        self._wait()
+        self._end()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._begin()
+        self._check_root(root)
+        sent = payload_nbytes(obj) if self.rank == root else 0
+        self.stats.record("bcast", self.size - 1 if self.rank == root else 0, sent)
+        result = self._collect(obj if self.rank == root else None, lambda slots: slots[root])
+        self._end()
+        return result
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        self._begin()
+        self._check_root(root)
+        self.stats.record("gather", 0 if self.rank == root else 1, payload_nbytes(obj))
+        result = self._collect(obj, list)
+        self._end()
+        return result if self.rank == root else None
+
+    def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
+        self._begin()
+        self._check_root(root)
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("scatter requires a list of one value per rank at root")
+            sent = sum(payload_nbytes(o) for i, o in enumerate(objs) if i != root)
+            self.stats.record("scatter", self.size - 1, sent)
+        else:
+            self.stats.record("scatter", 0, 0)
+        result = self._collect(objs if self.rank == root else None, lambda slots: slots[root])
+        self._end()
+        return result[self.rank]
+
+    def allgather(self, obj: Any) -> List[Any]:
+        self._begin()
+        self.stats.record("allgather", self.size - 1, payload_nbytes(obj))
+        result = self._collect(obj, list)
+        self._end()
+        return list(result)
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        self._begin()
+        self.stats.record("allreduce", self.size - 1, payload_nbytes(value))
+
+        def combine(slots: List[Any]) -> Any:
+            acc = slots[0]
+            for v in slots[1:]:
+                acc = op(acc, v)
+            return acc
+
+        result = self._collect(value, combine)
+        self._end()
+        return result
+
+    def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        self._begin()
+        self.stats.record("exscan", 1, payload_nbytes(value))
+
+        def combine(slots: List[Any]) -> List[Any]:
+            prefixes = [identity_for(op, slots[0])]
+            acc = slots[0]
+            for v in slots[1:]:
+                prefixes.append(acc)
+                acc = op(acc, v)
+            return prefixes
+
+        result = self._collect(value, combine)
+        self._end()
+        return result[self.rank]
+
+    def scan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        self._begin()
+        self.stats.record("scan", 1, payload_nbytes(value))
+
+        def combine(slots: List[Any]) -> List[Any]:
+            prefixes = []
+            acc = None
+            for i, v in enumerate(slots):
+                acc = v if i == 0 else op(acc, v)
+                prefixes.append(acc)
+            return prefixes
+
+        result = self._collect(value, combine)
+        self._end()
+        return result[self.rank]
+
+    def alltoall(self, objs: List[Any]) -> List[Any]:
+        self._begin()
+        if len(objs) != self.size:
+            raise ValueError("alltoall requires one value per destination rank")
+        sent = sum(payload_nbytes(o) for i, o in enumerate(objs) if i != self.rank)
+        self.stats.record("alltoall", self.size - 1, sent)
+        result = self._collect(list(objs), lambda slots: slots)
+        received = [result[src][self.rank] for src in range(self.size)]
+        self._end()
+        return received
+
+    def exchange(self, outbox: Dict[int, Any]) -> Dict[int, Any]:
+        self._begin()
+        for dest in outbox:
+            if not 0 <= dest < self.size:
+                raise ValueError(f"exchange destination {dest} out of range")
+        nmsg = sum(1 for d in outbox if d != self.rank)
+        nbytes = sum(payload_nbytes(v) for d, v in outbox.items() if d != self.rank)
+        self.stats.record("exchange", nmsg, nbytes)
+        all_outboxes = self._collect(dict(outbox), lambda slots: slots)
+        inbox = {
+            src: all_outboxes[src][self.rank]
+            for src in range(self.size)
+            if self.rank in all_outboxes[src]
+        }
+        self._end()
+        return inbox
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise ValueError(f"root {root} out of range for size-{self.size} comm")
+
+
+@dataclass
+class RankOutcome:
+    """Result and metering for one rank of an SPMD run."""
+
+    value: Any
+    stats: CommStats
+    compute_seconds: float
+
+
+@dataclass
+class SpmdReport:
+    """Everything :func:`spmd_run_detailed` learned about a run."""
+
+    outcomes: List[RankOutcome]
+    wall_seconds: float
+
+    @property
+    def values(self) -> List[Any]:
+        return [o.value for o in self.outcomes]
+
+    @property
+    def max_compute_seconds(self) -> float:
+        return max(o.compute_seconds for o in self.outcomes)
+
+    def merged_stats(self) -> CommStats:
+        merged = CommStats()
+        for o in self.outcomes:
+            for op, s in o.stats.ops.items():
+                st = merged.ops.setdefault(op, type(s)())
+                st.calls += s.calls
+                st.messages += s.messages
+                st.bytes_sent += s.bytes_sent
+        return merged
+
+
+def spmd_run_detailed(
+    size: int, fn: Callable[..., Any], *args: Any, **kwargs: Any
+) -> SpmdReport:
+    """Run ``fn(comm, *args, **kwargs)`` SPMD on ``size`` ranks with metering."""
+    if not 1 <= size <= MAX_RANKS:
+        raise ValueError(f"size must be in [1, {MAX_RANKS}], got {size}")
+    shared = _Shared(size)
+    outcomes: List[Optional[RankOutcome]] = [None] * size
+
+    def runner(rank: int) -> None:
+        comm = ThreadComm(rank, shared)
+        try:
+            value = fn(comm, *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must unblock peers
+            shared.abort(rank, exc)
+            return
+        comm._begin()  # flush trailing compute time
+        outcomes[rank] = RankOutcome(value, comm.stats, comm.compute_seconds)
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}", daemon=True)
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+
+    if shared.failure is not None:
+        if isinstance(shared.failure, SpmdError):
+            raise shared.failure
+        raise shared.failure
+    assert all(o is not None for o in outcomes)
+    return SpmdReport([o for o in outcomes if o is not None], wall)
+
+
+def spmd_run(size: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
+    """Run ``fn(comm, *args, **kwargs)`` SPMD on ``size`` ranks.
+
+    Returns the list of per-rank return values.  If any rank raises, that
+    exception propagates (peers are unblocked via barrier abort).
+    """
+    return spmd_run_detailed(size, fn, *args, **kwargs).values

@@ -1,0 +1,89 @@
+"""Reduction operators and payload size accounting.
+
+Reduction operators work elementwise on numbers, numpy arrays, and
+same-length tuples/lists of either, matching the subset of MPI_Op behaviour
+the forest algorithms need.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable
+
+import numpy as np
+
+ReduceOp = Callable[[Any, Any], Any]
+
+
+def _elementwise(scalar_op: Callable[[Any, Any], Any]) -> ReduceOp:
+    def op(a: Any, b: Any) -> Any:
+        if isinstance(a, (tuple, list)):
+            if len(a) != len(b):
+                raise ValueError("reduction of sequences of unequal length")
+            combined = [op(x, y) for x, y in zip(a, b)]
+            return type(a)(combined)
+        return scalar_op(a, b)
+
+    return op
+
+
+SUM: ReduceOp = _elementwise(lambda a, b: a + b)
+PROD: ReduceOp = _elementwise(lambda a, b: a * b)
+MIN: ReduceOp = _elementwise(lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b))
+MAX: ReduceOp = _elementwise(lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b))
+LOR: ReduceOp = _elementwise(lambda a, b: bool(a) or bool(b))
+LAND: ReduceOp = _elementwise(lambda a, b: bool(a) and bool(b))
+
+
+def identity_for(op: ReduceOp, sample: Any) -> Any:
+    """Neutral element of ``op`` shaped like ``sample`` (used by exscan at rank 0)."""
+    if isinstance(sample, (tuple, list)):
+        return type(sample)(identity_for(op, x) for x in sample)
+    if op is SUM:
+        return np.zeros_like(sample) if isinstance(sample, np.ndarray) else type(sample)(0)
+    if op is PROD:
+        return np.ones_like(sample) if isinstance(sample, np.ndarray) else type(sample)(1)
+    if op is MIN:
+        if isinstance(sample, np.ndarray):
+            return np.full_like(sample, np.iinfo(sample.dtype).max if sample.dtype.kind in "iu" else np.inf)
+        return float("inf") if isinstance(sample, float) else (1 << 62)
+    if op is MAX:
+        if isinstance(sample, np.ndarray):
+            return np.full_like(sample, np.iinfo(sample.dtype).min if sample.dtype.kind in "iu" else -np.inf)
+        return float("-inf") if isinstance(sample, float) else -(1 << 62)
+    if op is LOR:
+        return False
+    if op is LAND:
+        return True
+    raise ValueError("no identity known for custom reduction op")
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimate the wire size of ``obj`` for communication accounting.
+
+    Numpy arrays and raw byte strings are exact; containers are summed with
+    a small per-item overhead; anything unrecognized falls back to its
+    pickled length.  Accuracy within a small factor is sufficient: the cost
+    model only needs volumes, not a serialization format.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 + sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    nbytes = getattr(obj, "nbytes", None)
+    if isinstance(nbytes, (int, np.integer)):
+        return int(nbytes)
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64

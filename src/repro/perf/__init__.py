@@ -1,0 +1,21 @@
+"""Performance modeling: machine descriptions and scaling extrapolation.
+
+The library itself never depends on this package; it exists for the
+benchmark harness.  Real algorithm executions at laboratory scale supply
+per-octant work rates and exact communication counts; an alpha-beta-gamma
+model calibrated to the paper's machines (Jaguar Cray XT5, TACC Longhorn)
+converts them into modeled runtimes at the paper's core counts, which is
+how the Fig. 4/5/7/9/10 tables are regenerated (see DESIGN.md §1).
+"""
+
+from repro.perf.machine import JAGUAR_XT5, LONGHORN_GPU, MachineModel
+from repro.perf.model import CommCost, ScalingModel, WeakScalingSeries
+
+__all__ = [
+    "MachineModel",
+    "JAGUAR_XT5",
+    "LONGHORN_GPU",
+    "CommCost",
+    "ScalingModel",
+    "WeakScalingSeries",
+]

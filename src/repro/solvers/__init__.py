@@ -1,0 +1,12 @@
+"""Linear solvers: Krylov methods, smoothed-aggregation AMG, and the
+block preconditioner for variable-viscosity Stokes (§IV-A).
+
+These stand in for the PETSc/Trilinos-ML stack of the paper's Rhea code:
+MINRES preconditioned by one AMG V-cycle on the (1,1) block and an
+inverse-viscosity pressure mass matrix on the (2,2) block.
+"""
+
+from repro.solvers.krylov import cg, gmres, minres
+from repro.solvers.amg import AMGHierarchy, smoothed_aggregation
+
+__all__ = ["cg", "minres", "gmres", "AMGHierarchy", "smoothed_aggregation"]

@@ -1,0 +1,161 @@
+"""Tests for the adapt cycle and marking strategies."""
+
+import numpy as np
+import pytest
+
+from repro.amr.driver import adapt_and_rebalance, mark_fixed_fraction
+from repro.amr.indicators import (
+    feature_distance_indicator,
+    gradient_indicator,
+    value_range_indicator,
+)
+from repro.mangll.geometry import BrickGeometry, MultilinearGeometry
+from repro.mangll.mesh import build_mesh
+from repro.p4est.balance import is_balanced
+from repro.p4est.builders import brick_2d, unit_square
+from repro.p4est.forest import Forest
+from repro.parallel import SerialComm, spmd_run
+
+
+def test_adapt_refines_and_transfers():
+    conn = unit_square()
+    comm = SerialComm()
+    forest = Forest.new(conn, comm, level=2)
+    geo = MultilinearGeometry(conn)
+    mesh = build_mesh(forest, geo, 2)
+    f = lambda x: x[..., 0] ** 2 + x[..., 1]
+    q = f(mesh.coords[: mesh.nelem_local])
+    refine = forest.local.x < forest.D.root_len // 2
+    result, (q2,) = adapt_and_rebalance(
+        forest, refine, fields=[q], degree=2
+    )
+    assert result.refined > 0 and result.coarsened == 0
+    assert result.elements_after > result.elements_before
+    assert is_balanced(forest)
+    mesh2 = build_mesh(forest, geo, 2)
+    np.testing.assert_allclose(q2, f(mesh2.coords[: mesh2.nelem_local]), atol=1e-11)
+
+
+def test_adapt_coarsens():
+    conn = unit_square()
+    forest = Forest.new(conn, SerialComm(), level=3)
+    n0 = forest.global_count
+    refine = np.zeros(forest.local_count, dtype=bool)
+    coarsen = np.ones(forest.local_count, dtype=bool)
+    result, _ = adapt_and_rebalance(forest, refine, coarsen)
+    assert result.coarsened > 0
+    assert forest.global_count < n0
+
+
+def test_refine_wins_over_coarsen():
+    conn = unit_square()
+    forest = Forest.new(conn, SerialComm(), level=2)
+    both = np.ones(forest.local_count, dtype=bool)
+    result, _ = adapt_and_rebalance(forest, both, both)
+    # Everything marked both ways: refinement wins, nothing coarsens.
+    assert result.refined == 16
+    assert result.coarsened == 0
+
+
+def test_min_max_level_respected():
+    conn = unit_square()
+    forest = Forest.new(conn, SerialComm(), level=1)
+    refine = np.ones(forest.local_count, dtype=bool)
+    adapt_and_rebalance(forest, refine, max_level=2)
+    assert forest.local.level.max() == 2
+    # min_level forces refinement even with nothing marked.
+    forest2 = Forest.new(conn, SerialComm(), level=1)
+    adapt_and_rebalance(
+        forest2, np.zeros(forest2.local_count, dtype=bool), min_level=2
+    )
+    assert forest2.local.level.min() >= 2
+
+
+@pytest.mark.parametrize("size", [2, 4])
+def test_adapt_parallel_consistency(size):
+    conn = brick_2d(2, 1)
+
+    def prog(comm):
+        forest = Forest.new(conn, comm, level=2)
+        geo = MultilinearGeometry(conn)
+        mesh = build_mesh(forest, geo, 1)
+        q = mesh.coords[: mesh.nelem_local, :, 0]
+        refine = forest.local.tree == 0
+        result, (q2,) = adapt_and_rebalance(forest, refine, fields=[q], degree=1)
+        forest.validate()
+        mesh2 = build_mesh(forest, geo, 1)
+        np.testing.assert_allclose(
+            q2, mesh2.coords[: mesh2.nelem_local, :, 0], atol=1e-12
+        )
+        return forest.global_count
+
+    out = spmd_run(size, prog)
+    assert len(set(out)) == 1
+
+
+def test_gradient_indicator_flags_steep_elements():
+    conn = unit_square()
+    forest = Forest.new(conn, SerialComm(), level=3)
+    geo = MultilinearGeometry(conn)
+    mesh = build_mesh(forest, geo, 2)
+    x = mesh.coords[: mesh.nelem_local]
+    q = np.tanh(40 * (x[..., 0] - 0.5))
+    ind = gradient_indicator(mesh, q)
+    steep = np.abs(x[..., 0] - 0.5).min(axis=1) < 0.1
+    assert ind[steep].min() > ind[~steep].max()
+
+
+def test_gradient_indicator_zero_for_constant():
+    conn = unit_square()
+    forest = Forest.new(conn, SerialComm(), level=2)
+    mesh = build_mesh(forest, MultilinearGeometry(conn), 1)
+    q = np.full((mesh.nelem_local, mesh.npts), 3.14)
+    np.testing.assert_allclose(gradient_indicator(mesh, q), 0.0, atol=1e-12)
+
+
+def test_value_range_indicator():
+    conn = unit_square()
+    forest = Forest.new(conn, SerialComm(), level=2)
+    mesh = build_mesh(forest, MultilinearGeometry(conn), 1)
+    q = mesh.coords[: mesh.nelem_local, :, 0]
+    ind = value_range_indicator(mesh, q)
+    np.testing.assert_allclose(ind, 0.25, atol=1e-12)  # h per element
+
+
+def test_feature_distance_indicator_peaks_on_feature():
+    conn = unit_square()
+    forest = Forest.new(conn, SerialComm(), level=3)
+    mesh = build_mesh(forest, MultilinearGeometry(conn), 1)
+
+    def dist(x):
+        return x[..., 0] - 0.5  # vertical front at x = 0.5
+
+    ind = feature_distance_indicator(mesh, dist)
+    x = mesh.coords[: mesh.nelem_local]
+    on_front = np.abs(x[..., 0] - 0.5).min(axis=1) < 1e-12
+    assert ind[on_front].min() > 0.99
+    assert ind[~on_front].max() < 0.7
+
+
+@pytest.mark.parametrize("size", [1, 3])
+def test_mark_fixed_fraction(size):
+    def prog(comm):
+        rng = np.random.default_rng(42 + comm.rank)
+        ind = rng.random(100)
+        ref, coar = mark_fixed_fraction(ind, comm, 0.1, 0.2)
+        from repro.parallel.ops import SUM
+
+        nref = comm.allreduce(int(ref.sum()), SUM)
+        ncoar = comm.allreduce(int(coar.sum()), SUM)
+        total = comm.allreduce(100, SUM)
+        return nref / total, ncoar / total
+
+    for fr, fc in spmd_run(size, prog):
+        assert 0.05 <= fr <= 0.2
+        assert 0.1 <= fc <= 0.3
+
+
+def test_mark_fixed_fraction_constant_indicator():
+    comm = SerialComm()
+    ref, coar = mark_fixed_fraction(np.ones(50), comm)
+    assert not ref.any() and not coar.any()

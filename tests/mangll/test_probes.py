@@ -1,0 +1,88 @@
+"""Tests for geometry inversion and point probes (receivers)."""
+
+import numpy as np
+import pytest
+
+from repro.mangll.geometry import MultilinearGeometry, ShellGeometry
+from repro.mangll.mesh import build_mesh
+from repro.mangll.probes import PointProbe
+from repro.p4est.builders import brick_2d, shell, unit_square
+from repro.p4est.forest import Forest
+from repro.parallel import SerialComm, spmd_run
+
+
+def test_shell_locate_roundtrip():
+    geo = ShellGeometry(0.55, 1.0)
+    rng = np.random.default_rng(0)
+    trees = rng.integers(0, 24, 30)
+    u = rng.random((30, 3))
+    x = np.stack(
+        [geo.map_points(int(t), uu[None, :])[0] for t, uu in zip(trees, u)]
+    )
+    t2, u2 = geo.locate(x)
+    # The located tree must reproduce the point (tree ids can differ on
+    # exact patch boundaries).
+    for i in range(30):
+        assert t2[i] >= 0
+        p = geo.map_points(int(t2[i]), u2[i][None, :])[0]
+        np.testing.assert_allclose(p, x[i], atol=1e-10)
+
+
+def test_shell_locate_outside():
+    geo = ShellGeometry(0.55, 1.0)
+    t, _ = geo.locate(np.array([[0.0, 0.0, 0.1], [0.0, 0.0, 2.0]]))
+    assert t[0] == -1 and t[1] == -1
+
+
+def test_generic_locate_multilinear():
+    conn = brick_2d(2, 1)
+    geo = MultilinearGeometry(conn)
+    x = np.array([[0.25, 0.5, 0.0], [1.75, 0.25, 0.0]])
+    t, u = geo.locate(x, conn.num_trees)
+    assert t[0] == 0 and t[1] == 1
+    for i in range(2):
+        p = geo.map_points(int(t[i]), u[i][None, :])[0]
+        np.testing.assert_allclose(p[:2], x[i, :2], atol=1e-8)
+
+
+@pytest.mark.parametrize("size", [1, 3])
+def test_probe_samples_polynomial_exactly(size):
+    conn = brick_2d(2, 1)
+
+    def prog(comm):
+        forest = Forest.new(conn, comm, level=2)
+        geo = MultilinearGeometry(conn)
+        mesh = build_mesh(forest, geo, 2)
+        pts = np.array(
+            [
+                [0.3, 0.7, 0.0],
+                [1.01, 0.5, 0.0],
+                [1.99, 0.01, 0.0],
+                [5.0, 5.0, 0.0],  # outside
+            ]
+        )
+        probe = PointProbe(forest, geo, 2, pts)
+        f = lambda x: x[..., 0] ** 2 - 0.5 * x[..., 0] * x[..., 1] + 1.0
+        q = f(mesh.coords[: mesh.nelem_local])
+        vals = probe.sample(q)
+        np.testing.assert_allclose(vals[:3], f(pts[:3][None, :, :2])[0], atol=1e-10)
+        assert np.isnan(vals[3])
+        return True
+
+    assert all(spmd_run(size, prog))
+
+
+def test_probe_on_shell_vector_field():
+    conn = shell()
+    forest = Forest.new(conn, SerialComm(), level=1)
+    geo = ShellGeometry()
+    mesh = build_mesh(forest, geo, 3)
+    pts = np.array([[0.0, 0.0, 0.8], [0.7, 0.0, 0.0]])
+    probe = PointProbe(forest, geo, 3, pts)
+    q = np.stack(
+        [mesh.coords[: mesh.nelem_local, :, a] for a in range(3)], axis=-1
+    )
+    vals = probe.sample(q)
+    # Sampling the coordinate field returns the probe positions (the
+    # interpolant of the discrete geometry).
+    np.testing.assert_allclose(vals, pts, atol=1e-4)

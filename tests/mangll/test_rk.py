@@ -1,0 +1,93 @@
+"""Tests for the Carpenter-Kennedy LSRK(5,4) integrator."""
+
+import numpy as np
+import pytest
+
+from repro.mangll.rk import RK_A, RK_B, RK_C, lsrk45_integrate, lsrk45_step
+
+
+def test_coefficients_consistency():
+    # First stage starts fresh; abscissae start at 0 and stay in [0, 1).
+    assert RK_A[0] == 0.0
+    assert RK_C[0] == 0.0
+    assert np.all((RK_C >= 0) & (RK_C < 1))
+    # First-order consistency of the 2N-storage scheme: the cumulative
+    # weights advance the solution by exactly dt for q' = 1.
+    q = np.array([0.0])
+    q2 = lsrk45_step(q, 0.0, 1.0, lambda u, t: np.ones_like(u))
+    np.testing.assert_allclose(q2, 1.0, atol=1e-14)
+
+
+def test_exact_for_cubic_time_polynomials():
+    # A 4th-order scheme integrates q' = p(t), deg p <= 3, exactly.
+    coef = np.array([1.0, -2.0, 3.0, 0.5])
+
+    def rhs(q, t):
+        return np.array([np.polyval(coef, t)])
+
+    dt = 0.3
+    q = lsrk45_step(np.array([0.0]), 0.0, dt, rhs)
+    from numpy.polynomial import polynomial as P
+
+    exact = np.polyval(np.polyder(np.polyint(np.append(coef, 0.0))), 0) * 0
+    # Integral of p from 0 to dt:
+    anti = np.polyint(coef)
+    np.testing.assert_allclose(q[0], np.polyval(anti, dt), atol=1e-13)
+
+
+def test_fourth_order_convergence():
+    # q' = -q with q(0)=1: error ~ dt^4.
+    def rhs(q, t):
+        return -q
+
+    errs = []
+    for n in (8, 16, 32):
+        q = lsrk45_integrate(np.array([1.0]), 0.0, 1.0, 1.0 / n, rhs)
+        errs.append(abs(q[0] - np.exp(-1.0)))
+    r1 = np.log2(errs[0] / errs[1])
+    r2 = np.log2(errs[1] / errs[2])
+    assert 3.7 < r1 < 4.3 and 3.7 < r2 < 4.3, (errs, r1, r2)
+
+
+def test_integrate_hits_final_time_exactly():
+    calls = []
+
+    def rhs(q, t):
+        calls.append(t)
+        return np.zeros_like(q)
+
+    q = lsrk45_integrate(np.array([1.0]), 0.0, 1.0, 0.3, rhs)
+    np.testing.assert_allclose(q, 1.0)
+    # The last partial step must not overshoot t = 1.
+    assert max(calls) <= 1.0 + 1e-12
+
+
+def test_step_hook_can_reshape_state():
+    def rhs(q, t):
+        return np.zeros_like(q)
+
+    sizes = []
+
+    def hook(q, t, istep):
+        sizes.append(len(q))
+        return np.concatenate([q, [0.0]])  # grow the state (like AMR)
+
+    q = lsrk45_integrate(np.array([1.0]), 0.0, 0.5, 0.1, rhs, step_hook=hook)
+    assert len(q) == 1 + len(sizes)
+
+
+def test_rejects_bad_dt():
+    with pytest.raises(ValueError):
+        lsrk45_integrate(np.zeros(1), 0.0, 1.0, 0.0, lambda q, t: q)
+
+
+def test_linear_oscillator_energy_accuracy():
+    # Harmonic oscillator: the 4th-order scheme nearly conserves energy
+    # over moderate horizons.
+    def rhs(q, t):
+        return np.array([q[1], -q[0]])
+
+    q = np.array([1.0, 0.0])
+    dt = 2 * np.pi / 200
+    q = lsrk45_integrate(q, 0.0, 2 * np.pi, dt, rhs)
+    np.testing.assert_allclose(q, [1.0, 0.0], atol=1e-7)

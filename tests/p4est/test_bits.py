@@ -1,0 +1,150 @@
+"""Tests for Morton interleaving and SFC key packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.p4est.bits import (
+    DIM2,
+    DIM3,
+    LEVEL_BITS,
+    MAXLEVEL_2D,
+    MAXLEVEL_3D,
+    compact2,
+    compact3,
+    deinterleave,
+    dimension,
+    interleave,
+    key_level,
+    key_morton,
+    sfc_key,
+    spread2,
+    spread3,
+)
+
+
+def test_dimension_facts():
+    assert DIM2.num_children == 4
+    assert DIM2.num_faces == 4
+    assert DIM2.num_corners == 4
+    assert DIM2.num_edges == 0
+    assert DIM3.num_children == 8
+    assert DIM3.num_faces == 6
+    assert DIM3.num_edges == 12
+    assert DIM3.num_corners == 8
+    assert DIM2.root_len == 1 << MAXLEVEL_2D
+    assert DIM3.root_len == 1 << MAXLEVEL_3D
+    assert dimension(2) is DIM2
+    assert dimension(3) is DIM3
+    with pytest.raises(ValueError):
+        dimension(4)
+
+
+def test_octant_len():
+    assert DIM3.octant_len(0) == DIM3.root_len
+    assert DIM3.octant_len(MAXLEVEL_3D) == 1
+    lv = np.array([0, 1, 2], dtype=np.int64)
+    np.testing.assert_array_equal(
+        DIM2.octant_len(lv), [DIM2.root_len, DIM2.root_len // 2, DIM2.root_len // 4]
+    )
+
+
+def test_spread_compact_small_values():
+    assert int(spread2(0b1011)) == 0b1000101
+    assert int(spread3(0b11)) == 0b1001
+    assert int(compact2(spread2(12345))) == 12345
+    assert int(compact3(spread3(54321))) == 54321
+
+
+@given(st.integers(0, 2**32 - 1))
+def test_spread2_roundtrip(x):
+    assert int(compact2(spread2(x))) == x
+
+
+@given(st.integers(0, 2**21 - 1))
+def test_spread3_roundtrip(x):
+    assert int(compact3(spread3(x))) == x
+
+
+@given(
+    st.integers(0, 2**MAXLEVEL_2D - 1),
+    st.integers(0, 2**MAXLEVEL_2D - 1),
+)
+def test_interleave2_roundtrip(x, y):
+    m = interleave(2, x, y)
+    rx, ry = deinterleave(2, m)
+    assert (int(rx), int(ry)) == (x, y)
+
+
+@given(
+    st.integers(0, 2**MAXLEVEL_3D - 1),
+    st.integers(0, 2**MAXLEVEL_3D - 1),
+    st.integers(0, 2**MAXLEVEL_3D - 1),
+)
+def test_interleave3_roundtrip(x, y, z):
+    m = interleave(3, x, y, z)
+    rx, ry, rz = deinterleave(3, m)
+    assert (int(rx), int(ry), int(rz)) == (x, y, z)
+
+
+def test_interleave_z_order_first_quadrants():
+    # Unit lattice: z-order visits (0,0), (1,0), (0,1), (1,1).
+    pts = [(0, 0), (1, 0), (0, 1), (1, 1)]
+    ms = [int(interleave(2, x, y)) for x, y in pts]
+    assert ms == [0, 1, 2, 3]
+    pts3 = [(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0), (0, 0, 1)]
+    ms3 = [int(interleave(3, *p)) for p in pts3]
+    assert ms3 == [0, 1, 2, 3, 4]
+
+
+def test_interleave_vectorized_matches_scalar():
+    rng = np.random.default_rng(0)
+    x = rng.integers(0, 2**MAXLEVEL_3D, 100).astype(np.uint64)
+    y = rng.integers(0, 2**MAXLEVEL_3D, 100).astype(np.uint64)
+    z = rng.integers(0, 2**MAXLEVEL_3D, 100).astype(np.uint64)
+    mv = interleave(3, x, y, z)
+    for i in range(100):
+        assert int(mv[i]) == int(interleave(3, int(x[i]), int(y[i]), int(z[i])))
+
+
+@given(
+    st.integers(0, 2**MAXLEVEL_3D - 1),
+    st.integers(0, 2**MAXLEVEL_3D - 1),
+    st.integers(0, 2**MAXLEVEL_3D - 1),
+    st.integers(0, MAXLEVEL_3D),
+)
+def test_sfc_key_fields(x, y, z, level):
+    # Snap coordinates to the level grid as real octants are.
+    h = 1 << (MAXLEVEL_3D - level)
+    x, y, z = x & ~(h - 1), y & ~(h - 1), z & ~(h - 1)
+    k = sfc_key(3, x, y, z, level)
+    assert int(key_level(k)) == level
+    assert int(key_morton(k)) == int(interleave(3, x, y, z))
+
+
+def test_ancestor_sorts_before_descendants():
+    # An ancestor shares the Morton prefix of its first descendant and must
+    # sort first; it must also sort before every other descendant.
+    lmax = MAXLEVEL_3D
+    parent = sfc_key(3, 0, 0, 0, 2)
+    h = 1 << (lmax - 3)
+    children = [
+        sfc_key(3, cx * h, cy * h, cz * h, 3)
+        for cz in (0, 1)
+        for cy in (0, 1)
+        for cx in (0, 1)
+    ]
+    assert all(int(parent) < int(c) for c in children)
+    # Sibling order is z-order.
+    assert [int(c) for c in children] == sorted(int(c) for c in children)
+
+
+def test_key_bit_budget():
+    # The largest possible key must fit in uint64 without overflow.
+    for dim, maxl in ((2, MAXLEVEL_2D), (3, MAXLEVEL_3D)):
+        top = 2**maxl - 1
+        k = sfc_key(dim, top, top, top if dim == 3 else 0, maxl)
+        assert 0 < int(k) < 2**64
+        assert int(key_level(k)) == maxl
+    assert LEVEL_BITS == 6

@@ -1,0 +1,382 @@
+"""Tests for forest macro-topology and inter-tree transforms.
+
+Includes a reproduction of the paper's Fig. 3 worked example: an exterior
+octant of size 1/4 with coordinates (2, -1, 1) relative to tree k maps to
+coordinates (1, 1, 0) relative to tree k' across a face-2 <-> face-4
+connection of non-aligned coordinate systems.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.p4est.bits import DIM2, DIM3
+from repro.p4est.builders import (
+    brick_2d,
+    brick_3d,
+    connectivity_from_hexes,
+    moebius,
+    rotcubes,
+    shell,
+    two_trees_2d,
+    unit_cube,
+    unit_square,
+)
+from repro.p4est.connectivity import (
+    EDGE_CORNERS,
+    FACE_CORNERS,
+    CellTransform,
+    Connectivity,
+    corner_coords,
+    edge_axis,
+    edge_transverse_sides,
+    face_axis_side,
+    face_tangential_axes,
+)
+from repro.p4est.octant import Octant, Octants
+
+
+ALL_BUILDERS = [
+    unit_square,
+    unit_cube,
+    two_trees_2d,
+    moebius,
+    rotcubes,
+    shell,
+    lambda: brick_2d(3, 2),
+    lambda: brick_2d(2, 2, periodic_x=True, periodic_y=True),
+    lambda: brick_3d(2, 2, 2),
+    lambda: brick_3d(2, 1, 1, periodic_x=True),
+]
+
+
+@pytest.mark.parametrize("builder", ALL_BUILDERS)
+def test_builders_validate(builder):
+    conn = builder()
+    conn.validate()
+
+
+def test_face_tables_consistent():
+    for dim in (2, 3):
+        for f, corners in FACE_CORNERS[dim].items():
+            axis, side = face_axis_side(f)
+            for c in corners:
+                assert ((c >> axis) & 1) == side
+            # Face z-order: position bits follow tangential axes.
+            tang = face_tangential_axes(dim, f)
+            for pos, c in enumerate(corners):
+                for k, a in enumerate(tang):
+                    assert ((c >> a) & 1) == ((pos >> k) & 1)
+
+
+def test_edge_tables_consistent():
+    for e, (c0, c1) in EDGE_CORNERS.items():
+        a = edge_axis(e)
+        assert ((c0 >> a) & 1) == 0 and ((c1 >> a) & 1) == 1
+        assert c1 - c0 == 1 << a
+        sides = edge_transverse_sides(e)
+        assert set(sides) == {x for x in range(3) if x != a}
+
+
+def test_unit_square_has_no_links():
+    conn = unit_square()
+    assert conn.num_trees == 1
+    assert not conn.face_links
+    assert not conn.corner_links
+    for f in range(4):
+        assert conn.is_boundary_face(0, f)
+
+
+def test_brick_2d_links():
+    conn = brick_2d(3, 2)
+    assert conn.num_trees == 6
+    # Tree 0 (lower-left): +x face links to tree 1, +y to tree 3.
+    assert conn.face_links[(0, 1)].nb_tree == 1
+    assert conn.face_links[(0, 1)].nb_face == 0
+    assert conn.face_links[(0, 3)].nb_tree == 3
+    assert conn.face_links[(0, 3)].nb_face == 2
+    assert conn.is_boundary_face(0, 0)
+    assert conn.is_boundary_face(0, 2)
+    # Axis-aligned bricks produce identity-like transforms (no rotation).
+    t = conn.face_links[(0, 1)].transform
+    assert t.perm == (0, 1)
+    assert t.sign == (1, 1)
+    # Interior corner of the brick is shared by four trees.
+    corner_share = conn.corner_links[(0, 3)]
+    assert len(corner_share) == 3
+
+
+def test_brick_periodic_wraps():
+    conn = brick_2d(2, 1, periodic_x=True)
+    # Tree 1's +x face wraps to tree 0's -x face.
+    link = conn.face_links[(1, 1)]
+    assert (link.nb_tree, link.nb_face) == (0, 0)
+    conn2 = brick_2d(2, 2, periodic_x=True, periodic_y=True)
+    for k in range(4):
+        for f in range(4):
+            assert not conn2.is_boundary_face(k, f)
+
+
+def test_brick_periodic_single_tree_rejected():
+    with pytest.raises(ValueError):
+        brick_2d(1, 1, periodic_x=True)
+    with pytest.raises(ValueError):
+        brick_3d(1, 2, 2, periodic_x=True)
+
+
+def test_brick_3d_edges_shared_by_four():
+    conn = brick_3d(2, 2, 1)
+    # The interior vertical edge (x=1, y=1 in brick coords) is shared by
+    # all four trees: tree 0's edge 11 region.
+    links = conn.edge_links[(0, 11)]
+    nb_trees = sorted(l.nb_tree for l in links)
+    assert nb_trees == [1, 2, 3]
+    for l in links:
+        assert not l.flipped  # axis-aligned brick: no edge reversal
+
+
+def test_moebius_structure():
+    conn = moebius()
+    assert conn.num_trees == 5
+    conn.validate()
+    # The ring is closed: every tree's x faces are linked.
+    for k in range(5):
+        assert not conn.is_boundary_face(k, 0)
+        assert not conn.is_boundary_face(k, 1)
+        # The strip sides are boundary.
+        assert conn.is_boundary_face(k, 2)
+        assert conn.is_boundary_face(k, 3)
+    # The closing link flips the transverse axis (the half twist).
+    link = conn.face_links[(4, 1)]
+    assert link.nb_tree == 0 and link.nb_face == 0
+    t = link.transform
+    # y axis (transverse) must be flipped.
+    assert t.sign[1] == -1
+
+
+def test_rotcubes_structure():
+    conn = rotcubes()
+    assert conn.num_trees == 6
+    conn.validate()
+    # Five wedge trees share the central axis edge (tree 0's edge 8,
+    # between corners 0 and 4 = vertices c0, c1).
+    links = conn.edge_links[(0, 8)]
+    wedge_neighbors = {l.nb_tree for l in links}
+    assert wedge_neighbors == {1, 2, 3, 4}
+    # Consecutive wedges glue face 0 <-> face 2 (a rotation).
+    link = conn.face_links[(0, 0)]
+    assert link.nb_face == 2
+    assert not link.transform.is_identity()
+    # The cap is glued to wedge 0's top with a rotated correspondence.
+    cap = conn.face_links[(0, 5)]
+    assert cap.nb_tree == 5 and cap.nb_face == 4
+    assert cap.corner_map != (0, 1, 2, 3)
+    # The central bottom vertex c0 is shared by all five wedges.
+    assert len(conn.corner_links[(0, 0)]) == 4
+
+
+def test_shell_structure():
+    conn = shell()
+    assert conn.num_trees == 24
+    conn.validate()
+    # Every radial face (z of each tree) is boundary (inner/outer sphere).
+    for k in range(24):
+        assert conn.is_boundary_face(k, 4)
+        assert conn.is_boundary_face(k, 5)
+        # All four lateral faces are connected (the sphere has no seams).
+        for f in range(4):
+            assert not conn.is_boundary_face(k, f)
+    # Intercap gluings include genuine rotations.
+    rotated = [
+        l for l in conn.face_links.values() if not l.transform.is_identity()
+    ]
+    assert rotated
+
+
+def test_fig3_exterior_octant_transform():
+    """The worked example of paper Fig. 3, built as an explicit gluing.
+
+    Tree k's face 2 meets tree k''s face 4; k's x maps to k''s x flipped,
+    k's z maps to k''s y.  In units of L/4 the exterior octant at
+    (2, -1, 1) of size 1 w.r.t. k is (1, 1, 0) w.r.t. k'.
+    """
+    verts = [(i, j, k) for k in (0, 1) for j in (0, 1) for i in (0, 1)]
+    verts = verts + [(v[0] + 10, v[1] + 10, v[2] + 10) for v in verts]
+    t2v = [list(range(8)), list(range(8, 16))]
+    sigma = (1, 0, 3, 2)  # derived from the figure's axis alignment
+    conn = Connectivity(
+        3, np.array(verts, float), np.array(t2v), extra_face_links=[(0, 2, 1, 4, sigma)]
+    )
+    conn.validate()
+    link = conn.face_links[(0, 2)]
+    assert (link.nb_tree, link.nb_face) == (1, 4)
+
+    L = DIM3.root_len
+    h = L // 4  # octant of size 1/4: level 2
+    red = Octants.from_octants(3, [Octant(0, 2 * h, -1 * h, 1 * h, 2)])
+    image = link.transform.apply_octants(red, link.nb_tree)
+    got = image.octant(0)
+    assert (got.x, got.y, got.z) == (1 * h, 1 * h, 0)
+    assert got.tree == 1 and got.level == 2
+    # And the inverse transform takes it back.
+    back = conn.face_links[(1, 4)].transform.apply_octants(image, 0)
+    assert back.octant(0) == red.octant(0)
+
+
+def test_cell_transform_identity_and_inverse():
+    t = CellTransform.identity(3)
+    assert t.is_identity()
+    assert t.inverse().is_identity()
+    assert t.compose(t).is_identity()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.permutations([0, 1, 2]),
+    st.tuples(*[st.sampled_from([-1, 1])] * 3),
+    st.integers(0, 3),
+)
+def test_cell_transform_roundtrip(perm, sign, seed):
+    """Random rigid maps invert exactly on octants and points."""
+    L = DIM3.root_len
+    offset = tuple(L if s < 0 else 0 for s in sign)
+    t = CellTransform(3, tuple(perm), sign, offset)
+    inv = t.inverse()
+    assert t.compose(inv).is_identity()
+    assert inv.compose(t).is_identity()
+    rng = np.random.default_rng(seed)
+    level = int(rng.integers(1, 6))
+    h = L >> level
+    coords = (rng.integers(0, 1 << level, 3) * h).astype(np.int64)
+    o = Octants.from_octants(3, [Octant(0, *coords.tolist(), level)])
+    img = t.apply_octants(o, 1)
+    assert img.inside_root()[0]
+    back = inv.apply_octants(img, 0)
+    assert back.octant(0) == o.octant(0)
+    # Point roundtrip.
+    pts = [np.array([int(c)]) for c in coords]
+    img_pts = t.apply_points(pts)
+    back_pts = inv.apply_points(img_pts)
+    for a, b in zip(pts, back_pts):
+        assert int(a[0]) == int(b[0])
+
+
+@pytest.mark.parametrize("builder", [moebius, rotcubes, shell, lambda: brick_3d(2, 2, 2)])
+def test_face_transform_maps_boundary_octants_inside(builder):
+    """Octants just outside a linked face map inside the neighbor tree."""
+    conn = builder()
+    D = conn.D
+    L = D.root_len
+    level = 2
+    h = L >> level
+    rng = np.random.default_rng(0)
+    for (k, f), link in list(conn.face_links.items())[:20]:
+        axis, side = face_axis_side(f)
+        # A random octant hanging just off the face.
+        coords = [int(c) * h for c in rng.integers(0, 1 << level, 3)]
+        coords[axis] = L if side == 1 else -h
+        if conn.dim == 2:
+            coords[2] = 0
+        o = Octants.from_octants(conn.dim, [Octant(k, coords[0], coords[1], coords[2], level)])
+        img = link.transform.apply_octants(o, link.nb_tree)
+        assert img.inside_root()[0], (k, f, img.octant(0))
+        # Roundtrip through the partner link.
+        partner = conn.face_links[(link.nb_tree, link.nb_face)]
+        back = partner.transform.apply_octants(img, k)
+        assert back.octant(0) == o.octant(0)
+
+
+def test_edge_link_seed_octants():
+    conn = brick_3d(2, 2, 1)
+    L = DIM3.root_len
+    level = 3
+    h = L >> level
+    # Tree 0's edge 11 (x=1, y=1 vertical interior edge); an octant touching
+    # it from inside tree 0 sits at (L-h, L-h, z).
+    o = Octants.from_octants(3, [Octant(0, L - h, L - h, 2 * h, level)])
+    for link in conn.edge_links[(0, 11)]:
+        seed = link.seed_octants(o, L)
+        s = seed.octant(0)
+        assert seed.inside_root()[0]
+        assert s.tree == link.nb_tree
+        assert s.z == 2 * h  # along-edge coordinate preserved (no flips here)
+        sides = edge_transverse_sides(link.nb_edge)
+        for ax, side in sides.items():
+            coord = (s.x, s.y, s.z)[ax]
+            assert coord == (0 if side == 0 else L - h)
+
+
+def test_edge_link_flip():
+    """An edge shared with reversed direction maps along-coordinates L-x-h."""
+    # Construct two cubes glued so an edge reverses: use rotcubes, which
+    # contains rotated gluings, and verify flipped links behave.
+    conn = rotcubes()
+    L = DIM3.root_len
+    h = L >> 2
+    flipped = [
+        (key, l) for key, links in conn.edge_links.items() for l in links if l.flipped
+    ]
+    assert flipped, "rotcubes should contain at least one flipped edge link"
+    (k, e), link = flipped[0]
+    a = edge_axis(e)
+    coords = [0, 0, 0]
+    sides = edge_transverse_sides(e)
+    for ax, side in sides.items():
+        coords[ax] = 0 if side == 0 else L - h
+    coords[a] = h
+    o = Octants.from_octants(3, [Octant(k, *coords, 2)])
+    seed = link.seed_octants(o, L)
+    s = seed.octant(0)
+    a2 = edge_axis(link.nb_edge)
+    assert (s.x, s.y, s.z)[a2] == L - h - h
+
+
+def test_corner_link_seed():
+    conn = brick_2d(2, 2)
+    D = DIM2
+    L = D.root_len
+    h = L >> 2
+    # Tree 0's corner 3 is the brick center, shared with trees 1, 2, 3.
+    links = conn.corner_links[(0, 3)]
+    assert {l.nb_tree for l in links} == {1, 2, 3}
+    o = Octants.from_octants(2, [Octant(0, L - h, L - h, 0, 2)])
+    for link in links:
+        seed = link.seed_octants(o, L)
+        s = seed.octant(0)
+        assert seed.inside_root()[0]
+        expect = corner_coords(2, link.nb_corner, L)
+        assert s.x == (0 if expect[0] == 0 else L - h)
+        assert s.y == (0 if expect[1] == 0 else L - h)
+
+
+def test_nonconforming_rejected():
+    # Three trees claiming the same face must raise.
+    verts = [(i, j, 0) for j in (0, 1) for i in (0, 1)]
+    t2v = [[0, 1, 2, 3]] * 3
+    with pytest.raises(ValueError, match="more than two"):
+        Connectivity(2, np.array(verts, float), np.array(t2v))
+
+
+def test_bad_inputs():
+    verts = np.zeros((4, 3))
+    with pytest.raises(ValueError):
+        Connectivity(2, verts, np.array([[0, 1, 2]]))  # wrong corner count
+    with pytest.raises(ValueError):
+        Connectivity(2, verts, np.array([[0, 1, 2, 9]]))  # unknown vertex
+    with pytest.raises(ValueError):
+        Connectivity(2, verts, np.zeros((0, 4), dtype=int))  # no trees
+    with pytest.raises(ValueError):
+        connectivity_from_hexes(np.zeros((2, 4, 3)))
+
+
+def test_connectivity_from_hexes_identifies_shared_points():
+    a = np.array(
+        [[x, y, z] for z in (0, 1) for y in (0, 1) for x in (0, 1)], dtype=float
+    )
+    b = a + [1, 0, 0]
+    conn = connectivity_from_hexes(np.array([a, b]))
+    assert conn.num_trees == 2
+    link = conn.face_links[(0, 1)]
+    assert (link.nb_tree, link.nb_face) == (1, 0)
+    conn.validate()

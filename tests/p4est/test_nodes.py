@@ -1,0 +1,319 @@
+"""Tests for the Nodes (cG numbering) algorithm.
+
+Independent verification strategy: for uniform meshes the node count has a
+closed form; for multi-tree uniform meshes at degree 1 we additionally
+dedupe *geometric* corner positions (trilinear map through the tree
+vertices) and require the same count — topology vs. geometry must agree.
+Hanging meshes are checked against hand-counted configurations and
+structural invariants (dependent slots reference coarse neighbor nodes).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.p4est.balance import balance, is_balanced
+from repro.p4est.builders import (
+    brick_2d,
+    brick_3d,
+    moebius,
+    rotcubes,
+    shell,
+    unit_cube,
+    unit_square,
+)
+from repro.p4est.forest import Forest
+from repro.p4est.ghost import build_ghost
+from repro.p4est.nodes import lnodes
+from repro.parallel import SerialComm, spmd_run
+from repro.parallel.ops import SUM
+
+from tests.p4est.test_forest import fractal_mask
+
+
+def make_lnodes(conn, comm, level=2, degree=1, refine_fn=None, do_balance=True):
+    forest = Forest.new(conn, comm, level=level)
+    if refine_fn is not None:
+        refine_fn(forest)
+    if do_balance:
+        balance(forest)
+    forest.partition()
+    ghost = build_ghost(forest)
+    return forest, ghost, lnodes(forest, ghost, degree)
+
+
+def geometric_corner_count(conn, forest_locals, decimals=8):
+    """Reference count of distinct element corner positions (degree 1)."""
+    from repro.p4est.forest import octants_from_wire
+
+    pts = set()
+    L = conn.D.root_len
+    for octs in forest_locals:
+        for i in range(len(octs)):
+            t = int(octs.tree[i])
+            h = int(octs.lens()[i])
+            base = np.array([octs.x[i], octs.y[i], octs.z[i]], dtype=float)
+            corners = conn.vertices[conn.tree_to_vertex[t]]
+            for c in range(conn.D.num_corners):
+                off = np.array(
+                    [(c >> a) & 1 for a in range(3)], dtype=float
+                ) * h
+                u = (base + off) / L
+                if conn.dim == 2:
+                    u[2] = 0.0
+                # Multilinear blend of the tree corner vertices.
+                p = np.zeros(3)
+                for cc in range(conn.D.num_corners):
+                    w = 1.0
+                    for a in range(conn.dim):
+                        b = (cc >> a) & 1
+                        w *= u[a] if b else (1.0 - u[a])
+                    p += w * corners[cc]
+                pts.add(tuple(np.round(p, decimals)))
+    return len(pts)
+
+
+@pytest.mark.parametrize("degree", [1, 2, 3])
+@pytest.mark.parametrize("level", [1, 2])
+def test_uniform_unit_square_count(degree, level):
+    n = 2**level
+    _, _, ln = make_lnodes(unit_square(), SerialComm(), level, degree)
+    assert ln.global_num_nodes == (degree * n + 1) ** 2
+    assert ln.num_owned == ln.global_num_nodes
+    assert np.all(ln.hanging_face == -1)
+
+
+@pytest.mark.parametrize("degree", [1, 2])
+def test_uniform_unit_cube_count(degree):
+    n = 4
+    _, _, ln = make_lnodes(unit_cube(), SerialComm(), 2, degree)
+    assert ln.global_num_nodes == (degree * n + 1) ** 3
+    assert np.all(ln.hanging_edge == -1)
+
+
+@pytest.mark.parametrize("degree", [1, 2])
+def test_uniform_two_tree_brick(degree):
+    level, n = 2, 4
+    _, _, ln = make_lnodes(brick_2d(2, 1), SerialComm(), level, degree)
+    assert ln.global_num_nodes == (degree * 2 * n + 1) * (degree * n + 1)
+
+
+def test_uniform_periodic_brick():
+    level, n = 2, 4
+    _, _, ln = make_lnodes(brick_2d(2, 1, periodic_x=True), SerialComm(), level, 1)
+    # Periodic in x: the wrap identifies the two end columns.
+    assert ln.global_num_nodes == (2 * n) * (n + 1)
+
+
+def test_uniform_moebius_count():
+    level, n = 2, 4
+    _, _, ln = make_lnodes(moebius(), SerialComm(), level, 1)
+    # Ring of five trees, one transverse flip: a (5n x n) periodic band.
+    assert ln.global_num_nodes == (5 * n) * (n + 1)
+
+
+@pytest.mark.parametrize("builder", [moebius, rotcubes, shell])
+def test_uniform_multitree_matches_geometry(builder):
+    conn = builder()
+    forest, ghost, ln = make_lnodes(conn, SerialComm(), 1, 1)
+    expect = geometric_corner_count(conn, [forest.local])
+    assert ln.global_num_nodes == expect
+
+
+def test_hanging_2d_hand_counted():
+    """One level-1 quadrant refined once: 9 coarse nodes + 1 center +
+    2 boundary midpoints are independent; the 2 interior hanging
+    midpoints are not."""
+    conn = unit_square()
+
+    def refine(forest):
+        mask = (forest.local.x == 0) & (forest.local.y == 0)
+        forest.refine(mask=mask)
+
+    forest, ghost, ln = make_lnodes(conn, SerialComm(), 1, 1, refine)
+    assert forest.global_count == 7
+    assert ln.global_num_nodes == 12
+    # Exactly two elements have one hanging face each... the fine elements
+    # adjacent to the two coarse neighbors.
+    n_hanging = int((ln.hanging_face >= 0).sum())
+    assert n_hanging == 4  # 2 fine elements x 1 face toward each coarse nbr
+
+
+def test_hanging_slots_reference_coarse_nodes():
+    """Slots on a hanging face carry the coarse neighbor's node keys."""
+    conn = unit_square()
+
+    def refine(forest):
+        mask = (forest.local.x == 0) & (forest.local.y == 0)
+        forest.refine(mask=mask)
+
+    forest, ghost, ln = make_lnodes(conn, SerialComm(), 1, 1, refine)
+    L = forest.D.root_len
+    half = L // 2
+    # Find a fine element whose +x face is hanging (toward the coarse
+    # right neighbor).
+    fine = np.flatnonzero(ln.hanging_face[:, 1] >= 0)
+    assert len(fine)
+    e = fine[0]
+    # Slot order for degree 1: (i, j) -> i + 2j; +x face slots are 1, 3.
+    keys = ln.keys[ln.element_nodes[e]]
+    for slot in (1, 3):
+        k = keys[slot]
+        # Parent-grid x coordinate: the coarse face plane at x = L/2.
+        assert k[1] == half
+        # y on the coarse neighbor's grid: its face corners at 0 and L/2.
+        assert k[2] in (0, half)
+
+
+def test_hanging_3d_hand_counted():
+    """One octant of the unit cube refined once (N=1).
+
+    Coarse grid 3^3 = 27 nodes; the refined octant adds its center (1),
+    three face centers on the domain boundary (3), and three edge
+    midpoints on domain edges (3); interior face/edge midpoints hang.
+    """
+    conn = unit_cube()
+
+    def refine(forest):
+        mask = (forest.local.x == 0) & (forest.local.y == 0) & (forest.local.z == 0)
+        forest.refine(mask=mask)
+
+    forest, ghost, ln = make_lnodes(conn, SerialComm(), 1, 1, refine)
+    assert forest.global_count == 7 + 8
+    assert ln.global_num_nodes == 27 + 1 + 3 + 3
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 5])
+@pytest.mark.parametrize("degree", [1, 2])
+def test_global_count_rank_invariant(size, degree):
+    conn = rotcubes()
+
+    def prog(comm):
+        forest, ghost, ln = make_lnodes(
+            conn,
+            comm,
+            1,
+            degree,
+            refine_fn=lambda f: f.refine(
+                callback=lambda o: fractal_mask(o, 3), recursive=True
+            ),
+        )
+        assert is_balanced(forest)
+        total_owned = comm.allreduce(ln.num_owned, SUM)
+        assert total_owned == ln.global_num_nodes
+        return ln.global_num_nodes
+
+    reference = spmd_run(1, prog)[0]
+    counts = spmd_run(size, prog)
+    assert counts == [reference] * size
+
+
+@pytest.mark.parametrize("size", [2, 4])
+def test_scatter_forward_propagates_global_ids(size):
+    conn = brick_2d(2, 2)
+
+    def prog(comm):
+        forest, ghost, ln = make_lnodes(conn, comm, 2, 1)
+        vals = np.where(ln.is_owned(), ln.global_ids.astype(float), -1.0)
+        filled = ln.scatter_forward(comm, vals)
+        np.testing.assert_array_equal(filled, ln.global_ids.astype(float))
+        return True
+
+    assert all(spmd_run(size, prog))
+
+
+@pytest.mark.parametrize("size", [2, 3])
+def test_scatter_reverse_add_counts_sharers(size):
+    """Reverse-adding ones counts how many ranks hold each node."""
+    conn = brick_2d(2, 1)
+
+    def prog(comm):
+        forest, ghost, ln = make_lnodes(conn, comm, 2, 1)
+        ones = np.ones(ln.num_local_nodes)
+        total = ln.scatter_reverse_add(comm, ones)
+        # Every count is at least 1 and at most the rank count.
+        assert total.min() >= 1.0
+        assert total.max() <= comm.size
+        # Consistency: global sum of (count at owned nodes) equals the
+        # global number of (rank, node) incidences.
+        owned_sum = float(total[ln.is_owned()].sum())
+        inc = comm.allreduce(float(ln.num_local_nodes), SUM)
+        assert abs(comm.allreduce(owned_sum, SUM) - inc) < 1e-9
+        return True
+
+    assert all(spmd_run(size, prog))
+
+
+@pytest.mark.parametrize("size", [1, 2, 4])
+def test_element_nodes_consistency_across_ranks(size):
+    """A nodal field defined by a global function is single-valued:
+    evaluating by key on every rank and scattering matches everywhere."""
+    conn = brick_2d(2, 1)
+
+    def prog(comm):
+        forest, ghost, ln = make_lnodes(conn, comm, 2, 1)
+        # Deterministic function of the canonical key.
+        key_val = (
+            ln.keys[:, 0] * 7.0
+            + ln.keys[:, 1] * 1e-6
+            + ln.keys[:, 2] * 1e-3
+        )
+        filled = ln.scatter_forward(comm, key_val)
+        np.testing.assert_allclose(filled, key_val)
+        return True
+
+    assert all(spmd_run(size, prog))
+
+
+def test_degree_validation():
+    conn = unit_square()
+    forest = Forest.new(conn, SerialComm(), level=1)
+    ghost = build_ghost(forest)
+    with pytest.raises(ValueError):
+        lnodes(forest, ghost, 0)
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 10_000), st.sampled_from([1, 3]), st.sampled_from([1, 2]))
+def test_random_adapted_mesh_invariants(seed, size, degree):
+    conn = brick_2d(2, 1)
+
+    def prog(comm):
+        rng = np.random.default_rng(seed + comm.rank)
+        forest = Forest.new(conn, comm, level=2)
+        forest.refine(mask=rng.random(forest.local_count) < 0.4)
+        balance(forest)
+        forest.partition()
+        ghost = build_ghost(forest)
+        ln = lnodes(forest, ghost, degree)
+        # Global ids form a consistent range.
+        assert ln.global_ids.min() >= 0
+        assert ln.global_ids.max() < ln.global_num_nodes
+        assert comm.allreduce(ln.num_owned, SUM) == ln.global_num_nodes
+        # Owned nodes numbered within my block.
+        mine = ln.global_ids[ln.is_owned()]
+        if len(mine):
+            assert mine.min() == ln.global_offset
+            assert mine.max() == ln.global_offset + ln.num_owned - 1
+        # Scatter roundtrip.
+        vals = np.where(ln.is_owned(), ln.global_ids.astype(float), -5.0)
+        filled = ln.scatter_forward(comm, vals)
+        np.testing.assert_array_equal(filled, ln.global_ids.astype(float))
+        return ln.global_num_nodes
+
+    counts = spmd_run(size, prog)
+    assert len(set(counts)) == 1
+
+
+def test_nodes_on_rotated_shell_connection():
+    """Inter-tree numbering works across rotated cubed-sphere gluings."""
+    conn = shell()
+    forest, ghost, ln = make_lnodes(conn, SerialComm(), 1, 2)
+    # Geometric reference for degree 1 on the same mesh:
+    forest1, ghost1, ln1 = make_lnodes(conn, SerialComm(), 1, 1)
+    expect = geometric_corner_count(conn, [forest1.local])
+    assert ln1.global_num_nodes == expect
+    # Degree-2 count on a uniform hex mesh: V + E + F + C relationships
+    # guarantee strictly more nodes than degree 1.
+    assert ln.global_num_nodes > ln1.global_num_nodes

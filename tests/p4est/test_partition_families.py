@@ -1,0 +1,83 @@
+"""Tests for family-aligned partition (partition-for-coarsening)."""
+
+import numpy as np
+import pytest
+
+from repro.p4est.builders import unit_cube, unit_square
+from repro.p4est.forest import Forest
+from repro.parallel import SerialComm, spmd_run
+from repro.parallel.ops import SUM
+
+
+@pytest.mark.parametrize("size", [2, 3, 5])
+@pytest.mark.parametrize("dim_conn", [(2, unit_square), (3, unit_cube)])
+def test_keep_families_enables_full_coarsening(size, dim_conn):
+    dim, conn_fn = dim_conn
+    conn = conn_fn()
+    nc = 2**dim
+
+    def prog(comm):
+        forest = Forest.new(conn, comm, level=2)
+        forest.partition(keep_families=True)
+        forest.validate()
+        done = forest.coarsen(mask=np.ones(forest.local_count, dtype=bool))
+        total = comm.allreduce(done, SUM)
+        # Every family could coarsen: 2^(d*2) leaves -> 2^d parents.
+        assert total == nc
+        assert forest.global_count == nc
+        return forest.local_count
+
+    spmd_run(size, prog)
+
+
+@pytest.mark.parametrize("size", [3, 5])
+def test_plain_partition_can_block_coarsening(size):
+    """The unaligned partition generally splits families (motivating the
+    keep_families option)."""
+    conn = unit_square()
+
+    def prog(comm):
+        forest = Forest.new(conn, comm, level=2)
+        forest.partition()
+        done = forest.coarsen(mask=np.ones(forest.local_count, dtype=bool))
+        return comm.allreduce(done, SUM)
+
+    total = spmd_run(size, prog)[0]
+    assert total < 4  # some families straddle rank cuts
+
+
+@pytest.mark.parametrize("size", [2, 4])
+def test_keep_families_load_balance_stays_close(size):
+    conn = unit_square()
+
+    def prog(comm):
+        forest = Forest.new(conn, comm, level=3)
+        rng = np.random.default_rng(7 + comm.rank)
+        forest.refine(mask=rng.random(forest.local_count) < 0.3)
+        forest.partition(keep_families=True)
+        forest.validate()
+        return forest.local_count
+
+    counts = spmd_run(size, prog)
+    # Alignment costs at most one family of slack per cut.
+    assert max(counts) - min(counts) <= 2**2 + 1
+
+
+def test_keep_families_serial_noop():
+    forest = Forest.new(unit_square(), SerialComm(), level=2)
+    moved = forest.partition(keep_families=True)
+    assert moved == 0
+
+
+@pytest.mark.parametrize("size", [2, 3])
+def test_keep_families_with_carry(size):
+    conn = unit_square()
+
+    def prog(comm):
+        forest = Forest.new(conn, comm, level=3)
+        tag = forest.local.keys().astype(np.float64)
+        _, (tag2,) = forest.partition(keep_families=True, carry=[tag])
+        np.testing.assert_array_equal(tag2, forest.local.keys().astype(np.float64))
+        return True
+
+    assert all(spmd_run(size, prog))

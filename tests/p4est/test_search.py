@@ -1,0 +1,150 @@
+"""Tests for SFC search: octant lookup, point location, multilayer ghosts."""
+
+import numpy as np
+import pytest
+
+from repro.p4est.builders import brick_2d, moebius, unit_cube, unit_square
+from repro.p4est.forest import Forest
+from repro.p4est.ghost import build_ghost
+from repro.p4est.octant import Octant, Octants
+from repro.p4est.search import contains_point, find_octants, locate_points
+from repro.parallel import SerialComm, spmd_run
+
+from tests.p4est.test_forest import fractal_mask, gather_global
+
+
+def test_find_octants_exact_and_missing():
+    forest = Forest.new(unit_square(), SerialComm(), level=2)
+    idx = find_octants(forest.local, forest.local)
+    np.testing.assert_array_equal(idx, np.arange(16))
+    # A coarser octant is not a leaf here.
+    missing = Octants.from_octants(2, [Octant(0, 0, 0, 0, 1)])
+    assert find_octants(forest.local, missing)[0] == -1
+    assert len(find_octants(forest.local, Octants.empty(2))) == 0
+
+
+def test_locate_points_serial():
+    forest = Forest.new(unit_square(), SerialComm(), level=2)
+    L = forest.D.root_len
+    h = L // 4
+    pts = np.array([[0, 0], [h, 0], [L - 1, L - 1], [L, L]])
+    ranks, idx = locate_points(forest, np.zeros(4, dtype=int), pts)
+    assert np.all(ranks == 0)
+    assert idx[0] == 0 and idx[1] == 1
+    assert idx[2] == 15 and idx[3] == 15  # clamped far boundary
+    # Each located leaf really contains its point.
+    for p, i in zip(pts, idx):
+        leaf = forest.local.octant(int(i))
+        hl = leaf.len(2)
+        px = min(p[0], L - 1)
+        py = min(p[1], L - 1)
+        assert leaf.x <= px < leaf.x + hl
+        assert leaf.y <= py < leaf.y + hl
+
+
+def test_locate_points_adapted():
+    forest = Forest.new(unit_square(), SerialComm(), level=1)
+    forest.refine(mask=(forest.local.x == 0) & (forest.local.y == 0))
+    L = forest.D.root_len
+    # Point deep in the refined quadrant hits a level-2 leaf.
+    i = contains_point(forest, 0, L // 8, L // 8)
+    assert forest.local.octant(i).level == 2
+    i2 = contains_point(forest, 0, 3 * L // 4, 3 * L // 4)
+    assert forest.local.octant(i2).level == 1
+
+
+@pytest.mark.parametrize("size", [2, 4])
+def test_locate_points_parallel_owners(size):
+    conn = brick_2d(2, 1)
+
+    def prog(comm):
+        forest = Forest.new(conn, comm, level=3)
+        L = forest.D.root_len
+        rng = np.random.default_rng(5)
+        pts = rng.integers(0, L, (20, 2))
+        trees = rng.integers(0, 2, 20)
+        ranks, idx = locate_points(forest, trees, pts)
+        # Owner consistency: my points resolve locally, others do not.
+        assert np.all((idx >= 0) == (ranks == comm.rank))
+        return ranks.tolist()
+
+    out = spmd_run(size, prog)
+    # All ranks agree on ownership.
+    assert all(o == out[0] for o in out)
+
+
+# --- multilayer ghosts --------------------------------------------------------
+
+
+@pytest.mark.parametrize("size", [2, 3])
+def test_two_layer_ghost_superset(size):
+    conn = unit_square()
+
+    def prog(comm):
+        forest = Forest.new(conn, comm, level=3)
+        g1 = build_ghost(forest, layers=1)
+        g2 = build_ghost(forest, layers=2)
+        k1 = set(zip(g1.octants.tree.tolist(), g1.octants.keys().tolist()))
+        k2 = set(zip(g2.octants.tree.tolist(), g2.octants.keys().tolist()))
+        assert k1 <= k2
+        # On a 8x8 grid split into contiguous SFC segments, the second
+        # layer adds something for interior ranks.
+        return len(g1), len(g2)
+
+    out = spmd_run(size, prog)
+    assert any(b > a for a, b in out)
+    assert all(b >= a for a, b in out)
+
+
+@pytest.mark.parametrize("layers", [2, 3])
+def test_multilayer_ghost_matches_bruteforce(layers):
+    """Layer-k halo = all remote leaves within k adjacency hops."""
+    conn = unit_square()
+
+    def prog(comm):
+        forest = Forest.new(conn, comm, level=3)
+        g = build_ghost(forest, layers=layers)
+        full = gather_global(comm, forest)
+        owners_full = forest.owner_of(full)
+        # Brute-force: BFS over element adjacency (corner adjacency on
+        # the uniform grid = Chebyshev distance 1).
+        L = forest.D.root_len
+        h = L // 8
+
+        def cells(octs):
+            return {(int(x) // h, int(y) // h) for x, y in zip(octs.x, octs.y)}
+
+        mine = cells(forest.local)
+        frontier = set(mine)
+        halo = set()
+        for _ in range(layers):
+            grown = set()
+            for cx, cy in frontier:
+                for dx in (-1, 0, 1):
+                    for dy in (-1, 0, 1):
+                        n = (cx + dx, cy + dy)
+                        if 0 <= n[0] < 8 and 0 <= n[1] < 8:
+                            grown.add(n)
+            frontier = grown - mine - halo
+            halo |= frontier
+        got = cells(g.octants)
+        assert got == halo, (sorted(got - halo), sorted(halo - got))
+        # Data exchange across the widened halo works.
+        data = forest.local.keys().astype(np.float64)
+        gd = g.exchange_octant_data(comm, data)
+        np.testing.assert_array_equal(gd, g.octants.keys().astype(np.float64))
+        return True
+
+    assert all(spmd_run(3, prog))
+
+
+def test_multilayer_ghost_serial_empty():
+    forest = Forest.new(unit_square(), SerialComm(), level=2)
+    g = build_ghost(forest, layers=3)
+    assert len(g) == 0
+
+
+def test_ghost_layers_validation():
+    forest = Forest.new(unit_square(), SerialComm(), level=1)
+    with pytest.raises(ValueError):
+        build_ghost(forest, layers=0)

@@ -1,0 +1,261 @@
+"""Tests for the SPMD substrate: collectives, exchange, error handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import (
+    MAX,
+    MIN,
+    SUM,
+    SerialComm,
+    SpmdError,
+    payload_nbytes,
+    spmd_run,
+)
+from repro.parallel.machine import spmd_run_detailed
+from repro.parallel.ops import LAND, LOR, PROD, identity_for
+
+SIZES = [1, 2, 3, 5, 8]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_rank_and_size(size):
+    out = spmd_run(size, lambda c: (c.rank, c.size))
+    assert out == [(r, size) for r in range(size)]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_barrier_completes(size):
+    assert spmd_run(size, lambda c: (c.barrier(), c.rank)[1]) == list(range(size))
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("root", [0, -1])
+def test_bcast(size, root):
+    root = root % size
+
+    def prog(c):
+        return c.bcast({"v": c.rank * 10} if c.rank == root else None, root=root)
+
+    assert spmd_run(size, prog) == [{"v": root * 10}] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_gather_scatter_roundtrip(size):
+    def prog(c):
+        gathered = c.gather(c.rank**2, root=0)
+        if c.rank == 0:
+            assert gathered == [r**2 for r in range(size)]
+        else:
+            assert gathered is None
+        return c.scatter([v + 1 for v in gathered] if c.rank == 0 else None, root=0)
+
+    assert spmd_run(size, prog) == [r**2 + 1 for r in range(size)]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allgather(size):
+    out = spmd_run(size, lambda c: c.allgather(c.rank + 1))
+    for result in out:
+        assert result == [r + 1 for r in range(size)]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allreduce_sum_min_max(size):
+    def prog(c):
+        return (
+            c.allreduce(c.rank, SUM),
+            c.allreduce(c.rank, MIN),
+            c.allreduce(c.rank, MAX),
+        )
+
+    expect = (size * (size - 1) // 2, 0, size - 1)
+    assert spmd_run(size, prog) == [expect] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allreduce_numpy_elementwise(size):
+    def prog(c):
+        v = np.array([c.rank, -c.rank, 1.0])
+        return c.allreduce(v, SUM)
+
+    for result in spmd_run(size, prog):
+        np.testing.assert_allclose(
+            result, [size * (size - 1) / 2, -size * (size - 1) / 2, size]
+        )
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allreduce_tuple(size):
+    def prog(c):
+        return c.allreduce((1, c.rank), SUM)
+
+    assert spmd_run(size, prog) == [(size, size * (size - 1) // 2)] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_exscan_and_scan(size):
+    def prog(c):
+        return c.exscan(c.rank + 1, SUM), c.scan(c.rank + 1, SUM)
+
+    out = spmd_run(size, prog)
+    for r, (ex, inc) in enumerate(out):
+        assert ex == r * (r + 1) // 2
+        assert inc == (r + 1) * (r + 2) // 2
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_alltoall(size):
+    def prog(c):
+        received = c.alltoall([c.rank * 100 + dest for dest in range(size)])
+        assert received == [src * 100 + c.rank for src in range(size)]
+        return True
+
+    assert all(spmd_run(size, prog))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_exchange_ring(size):
+    def prog(c):
+        right = (c.rank + 1) % size
+        inbox = c.exchange({right: ("hi", c.rank)})
+        left = (c.rank - 1) % size
+        assert inbox == {left: ("hi", left)}
+        return True
+
+    assert all(spmd_run(size, prog))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_exchange_sparse_and_self(size):
+    def prog(c):
+        outbox = {c.rank: "self"}
+        if c.rank == 0 and size > 1:
+            outbox[size - 1] = "zero-to-last"
+        inbox = c.exchange(outbox)
+        assert inbox[c.rank] == "self"
+        if c.rank == size - 1 and size > 1:
+            assert inbox[0] == "zero-to-last"
+        return sorted(inbox)
+
+    out = spmd_run(size, prog)
+    assert out[0] == [0]
+
+
+def test_exchange_empty_outbox():
+    out = spmd_run(4, lambda c: c.exchange({}))
+    assert out == [{}] * 4
+
+
+def test_exception_propagates_and_unblocks():
+    def prog(c):
+        if c.rank == 2:
+            raise ValueError("boom on rank 2")
+        # Peers block in a collective; the abort must release them.
+        c.allreduce(1)
+        return c.rank
+
+    with pytest.raises((ValueError, SpmdError)):
+        spmd_run(4, prog)
+
+
+def test_exchange_bad_destination():
+    with pytest.raises((ValueError, SpmdError)):
+        spmd_run(2, lambda c: c.exchange({5: "x"}))
+
+
+def test_stats_metering():
+    def prog(c):
+        c.allgather(np.zeros(10, dtype=np.float64))
+        c.exchange({(c.rank + 1) % c.size: b"abcd"})
+        return None
+
+    report = spmd_run_detailed(4, prog)
+    for outcome in report.outcomes:
+        assert outcome.stats.ops["allgather"].calls == 1
+        assert outcome.stats.ops["allgather"].bytes_sent == 80
+        assert outcome.stats.ops["exchange"].messages == 1
+        assert outcome.stats.ops["exchange"].bytes_sent == 4
+    merged = report.merged_stats()
+    assert merged.ops["exchange"].messages == 4
+
+
+def test_compute_seconds_nonnegative():
+    def prog(c):
+        x = sum(i * i for i in range(10000))
+        c.barrier()
+        return x
+
+    report = spmd_run_detailed(3, prog)
+    assert all(o.compute_seconds >= 0.0 for o in report.outcomes)
+
+
+# SerialComm ---------------------------------------------------------------
+
+
+def test_serial_comm_matches_spmd_size1():
+    c = SerialComm()
+    assert c.allgather(7) == [7]
+    assert c.allreduce(7, SUM) == 7
+    assert c.exscan(7, SUM) == 0
+    assert c.scan(7, SUM) == 7
+    assert c.bcast("x") == "x"
+    assert c.gather("g") == ["g"]
+    assert c.scatter(["s"]) == "s"
+    assert c.alltoall([3]) == [3]
+    assert c.exchange({0: "me"}) == {0: "me"}
+    c.barrier()
+
+
+def test_serial_comm_rejects_remote():
+    c = SerialComm()
+    with pytest.raises(ValueError):
+        c.exchange({1: "x"})
+    with pytest.raises(ValueError):
+        c.bcast("x", root=1)
+
+
+# Reduction ops and identities ----------------------------------------------
+
+
+@given(st.lists(st.integers(-(2**40), 2**40), min_size=1, max_size=20))
+def test_identity_elements(values):
+    for op in (SUM, PROD, MIN, MAX):
+        ident = identity_for(op, values[0])
+        acc = ident
+        for v in values:
+            acc = op(acc, v)
+        direct = values[0]
+        for v in values[1:]:
+            direct = op(direct, v)
+        assert acc == direct
+
+
+def test_logical_ops():
+    assert LOR(False, True) is True
+    assert LAND(True, False) is False
+    assert identity_for(LOR, True) is False
+    assert identity_for(LAND, False) is True
+
+
+@settings(max_examples=30)
+@given(st.integers(2, 8))
+def test_exscan_min_identity(size):
+    def prog(c):
+        return c.exscan(c.rank, MIN)
+
+    out = spmd_run(size, prog)
+    assert out[0] >= 2**60  # identity: "infinity"
+    assert out[1:] == [0] * (size - 1)
+
+
+def test_payload_nbytes():
+    assert payload_nbytes(None) == 0
+    assert payload_nbytes(np.zeros(3)) == 24
+    assert payload_nbytes(b"abc") == 3
+    assert payload_nbytes(7) == 8
+    assert payload_nbytes([1, 2.0]) == 24
+    assert payload_nbytes({"k": 1}) == 8 + 1 + 8
+    assert payload_nbytes("hello") == 5

@@ -1,0 +1,105 @@
+"""Tests for the machine/scaling model arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import spmd_run
+from repro.parallel.machine import spmd_run_detailed
+from repro.perf.machine import JAGUAR_XT5, LONGHORN_GPU, MachineModel
+from repro.perf.model import (
+    CommCost,
+    ScalingModel,
+    WeakScalingSeries,
+    comm_cost_from_stats,
+    format_table,
+    strong_scaling_efficiency,
+    surface_scale,
+)
+
+
+def test_machine_costs_monotone():
+    m = JAGUAR_XT5
+    assert m.allreduce_cost(1024, 8) > m.allreduce_cost(16, 8)
+    assert m.allgather_cost(1024, 32) > m.allgather_cost(16, 32)
+    assert m.exchange_cost(10, 1e6) > m.exchange_cost(10, 1e3)
+    assert m.total_cores == 224_256
+    # Per-core peak ~10.4 Gflops (2.33 Pflops / 224k cores).
+    assert 9e9 < m.flops_per_core < 12e9
+
+
+def test_surface_scale():
+    assert surface_scale(1000, 1000) == 1.0
+    np.testing.assert_allclose(surface_scale(1e3, 1e6, dim=3), 1e2)
+    np.testing.assert_allclose(surface_scale(1e2, 1e4, dim=2), 10.0)
+
+
+def test_comm_cost_modeling():
+    c = CommCost(allreduces=3, allgathers=1, allgather_bytes_per_rank=32,
+                 exchange_rounds=2, exchange_messages=26, exchange_bytes=1e5)
+    t_small = c.modeled_seconds(JAGUAR_XT5, 12)
+    t_big = c.modeled_seconds(JAGUAR_XT5, 220320)
+    assert t_big > t_small  # log P reductions + P-linear allgather
+    s = c.scaled(4.0)
+    assert s.exchange_bytes == 4e5
+    assert s.allreduces == 3
+
+
+def test_comm_cost_from_real_stats():
+    def prog(comm):
+        comm.allreduce(1.0)
+        comm.allgather(np.zeros(4))
+        comm.exchange({(comm.rank + 1) % comm.size: b"x" * 100})
+        comm.exscan(1)
+        return None
+
+    report = spmd_run_detailed(4, prog)
+    cost = comm_cost_from_stats(report.outcomes[0].stats, rounds_hint=1)
+    assert cost.allreduces == 2  # allreduce + exscan
+    assert cost.allgathers == 1
+    assert cost.allgather_bytes_per_rank == 32
+    assert cost.exchange_bytes == 100
+    assert cost.exchange_messages == 1
+
+
+def test_scaling_model_weak_behaviour():
+    model = ScalingModel(
+        machine=JAGUAR_XT5,
+        compute_rate=3e-6,
+        comm=CommCost(allreduces=5, allgathers=1, exchange_rounds=3,
+                      exchange_messages=26, exchange_bytes=5e4),
+        n_lab=1e4,
+    )
+    t12 = model.time_at(12, 2.3e6)
+    t220k = model.time_at(220_320, 2.3e6)
+    # Weak scaling: same per-core work, growing communication.
+    assert t220k > t12
+    eff = t12 / t220k
+    assert 0.3 < eff < 1.0  # mild degradation, like the paper's 65-72%
+
+
+def test_weak_scaling_series():
+    s = WeakScalingSeries([12, 96, 768], [6.0, 7.0, 8.0])
+    eff = s.efficiency()
+    assert eff[0] == 1.0
+    np.testing.assert_allclose(eff[2], 0.75)
+    np.testing.assert_allclose(s.normalized(2.0), [3.0, 3.5, 4.0])
+
+
+def test_strong_scaling_efficiency():
+    eff = strong_scaling_efficiency([32, 64, 128], [12.76, 6.30, 3.12])
+    assert eff[0] == 1.0
+    assert 0.95 < eff[1] < 1.1
+    assert 0.95 < eff[2] < 1.1
+
+
+def test_format_table():
+    out = format_table(["P", "time"], [[12, 6.0], [220320, 8.5]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert "220320" in lines[3]
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_gpu_machine():
+    assert LONGHORN_GPU.total_cores == 512
+    assert LONGHORN_GPU.alpha < JAGUAR_XT5.alpha
