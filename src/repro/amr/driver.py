@@ -10,14 +10,16 @@ semantics), and 2:1 balance may veto coarsening simply by re-refining.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.mangll.transfer import transfer_nodal_fields
+from repro.p4est import checkpoint as forest_checkpoint
 from repro.p4est.balance import balance
 from repro.p4est.forest import Forest
+from repro.parallel.machine import CheckpointStore
 
 
 @dataclass
@@ -32,6 +34,42 @@ class AdaptResult:
     elements_after: int
 
 
+@dataclass
+class CheckpointPolicy:
+    """Periodic forest checkpointing driven by adapt cycles.
+
+    Owns its cycle counter so any driver loop can call
+    :meth:`after_adapt` once per cycle; every ``every``-th call snapshots
+    the forest (plus per-element fields and app ``meta``) into ``store``
+    via partition-independent :func:`repro.p4est.checkpoint.save`.  The
+    store outlives the rank threads, which is what makes
+    :func:`~repro.parallel.machine.spmd_run_resilient` restarts possible.
+    """
+
+    store: CheckpointStore = field(default_factory=CheckpointStore)
+    every: int = 1
+    root: int = 0
+    cycles: int = 0
+
+    def due(self) -> bool:
+        """Whether the next :meth:`after_adapt` call will checkpoint."""
+        return self.every > 0 and (self.cycles + 1) % self.every == 0
+
+    def after_adapt(
+        self,
+        forest: Forest,
+        fields: Optional[Dict[str, np.ndarray]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> bool:
+        """Count one adapt cycle; checkpoint if due.  Collective."""
+        self.cycles += 1
+        if self.every <= 0 or self.cycles % self.every:
+            return False
+        ckpt = forest_checkpoint.save(forest, fields=fields, meta=meta, root=self.root)
+        self.store.save(ckpt)
+        return True
+
+
 def adapt_and_rebalance(
     forest: Forest,
     refine_mask: np.ndarray,
@@ -42,13 +80,17 @@ def adapt_and_rebalance(
     min_level: int = 0,
     max_level: Optional[int] = None,
     codim: Optional[int] = None,
+    checkpoint: Optional[CheckpointPolicy] = None,
+    checkpoint_meta: Optional[Dict[str, Any]] = None,
 ) -> Tuple[AdaptResult, List[np.ndarray]]:
     """Run one full adapt cycle and return carried fields on the new mesh.
 
     ``refine_mask`` / ``coarsen_mask`` flag local elements; ``fields`` are
     per-element nodal arrays of the given dG ``degree``.  ``weights_fn``,
-    if given, maps the forest to per-element partition weights.
-    Collective.
+    if given, maps the forest to per-element partition weights.  With a
+    ``checkpoint`` policy, the adapted forest and carried fields are
+    snapshotted into the policy's store when the cycle is due
+    (``checkpoint_meta`` rides along for the restart).  Collective.
     """
     from repro.parallel.ops import SUM
 
@@ -113,6 +155,12 @@ def adapt_and_rebalance(
         elements_before=n_before,
         elements_after=forest.global_count,
     )
+    if checkpoint is not None:
+        checkpoint.after_adapt(
+            forest,
+            fields={f"field{i}": arr for i, arr in enumerate(new_fields)},
+            meta=checkpoint_meta,
+        )
     return result, list(new_fields)
 
 

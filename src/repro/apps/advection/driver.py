@@ -19,6 +19,8 @@ import numpy as np
 
 from repro.amr.driver import adapt_and_rebalance
 from repro.apps.advection.fronts import SphericalFronts
+from repro.p4est import checkpoint as forest_checkpoint
+from repro.parallel.machine import CheckpointStore
 from repro.mangll.dg import DGSolver
 from repro.mangll.dgops import DGSpace
 from repro.mangll.geometry import ShellGeometry
@@ -46,6 +48,7 @@ class AdvectionConfig:
     outer_radius: float = 1.0
     refine_band: float = 1.0  # refine if front within band * h of element
     coarsen_band: float = 3.0
+    checkpoint_every: int = 0  # checkpoint every N adapt cycles (0 = off)
 
 
 @dataclass
@@ -72,6 +75,8 @@ class AdvectionRun:
         comm: Comm,
         config: Optional[AdvectionConfig] = None,
         fronts: Optional[SphericalFronts] = None,
+        store: Optional[CheckpointStore] = None,
+        checkpoint: Optional["forest_checkpoint.ForestCheckpoint"] = None,
     ) -> None:
         self.comm = comm
         self.cfg = config or AdvectionConfig()
@@ -79,9 +84,23 @@ class AdvectionRun:
         self.conn = shell(self.cfg.inner_radius, self.cfg.outer_radius)
         self.geometry = ShellGeometry(self.cfg.inner_radius, self.cfg.outer_radius)
         self.timers = PhaseTimers()
+        self.store = store
         self.t = 0.0
         self.step_count = 0
         self.adapt_count = 0
+
+        if checkpoint is not None:
+            # Restart path: rebuild forest + solution from the snapshot,
+            # re-partitioned onto this communicator's rank count.
+            self.forest, fields, meta = forest_checkpoint.restore(
+                self.conn, comm, checkpoint
+            )
+            self.t = float(meta.get("t", 0.0))
+            self.step_count = int(meta.get("step", 0))
+            self.adapt_count = int(meta.get("adapt", 0))
+            self._rebuild()
+            self.q = fields["q"]
+            return
 
         self.forest = Forest.new(self.conn, comm, level=max(self.cfg.base_level, 1))
         # Static initial adaptation toward the fronts at t=0.
@@ -94,6 +113,19 @@ class AdvectionRun:
         self.forest.partition()
         self._rebuild()
         self.q = self.fronts.value(self._xl(), 0.0)
+
+    @classmethod
+    def from_store(
+        cls,
+        comm: Comm,
+        store: CheckpointStore,
+        config: Optional[AdvectionConfig] = None,
+        fronts: Optional[SphericalFronts] = None,
+    ) -> "AdvectionRun":
+        """Resume from ``store``'s latest checkpoint (fresh run if empty)."""
+        return cls(
+            comm, config, fronts, store=store, checkpoint=store.load()
+        )
 
     # -- internals ---------------------------------------------------------------
 
@@ -170,6 +202,12 @@ class AdvectionRun:
         self.timers.add("ghost+mesh", time.perf_counter() - t0)
         self.adapt_count += 1
         self.last_adapt = result
+        if (
+            self.store is not None
+            and self.cfg.checkpoint_every > 0
+            and self.adapt_count % self.cfg.checkpoint_every == 0
+        ):
+            self.save_checkpoint()
 
     def run(self, nsteps: int, dt: Optional[float] = None) -> None:
         """Advance ``nsteps`` RK steps with dynamic AMR every adapt_every."""
@@ -186,6 +224,25 @@ class AdvectionRun:
             if self.step_count % self.cfg.adapt_every == 0:
                 self.adapt()
                 dt = self.solver.stable_dt(self.q, cfl=self.cfg.cfl)
+
+    def save_checkpoint(self) -> Optional["forest_checkpoint.ForestCheckpoint"]:
+        """Snapshot forest + solution + time state; feed the store if set.
+
+        Collective; returns the checkpoint on the gather root (rank 0),
+        ``None`` elsewhere.  Taken at adapt boundaries the snapshot is
+        exact restart state: ``dt`` is recomputed from the restored field,
+        so a resumed run reproduces the fault-free trajectory.
+        """
+        t0 = time.perf_counter()
+        ckpt = forest_checkpoint.save(
+            self.forest,
+            fields={"q": self.q},
+            meta={"t": self.t, "step": self.step_count, "adapt": self.adapt_count},
+        )
+        if self.store is not None:
+            self.store.save(ckpt)
+        self.timers.add("checkpoint", time.perf_counter() - t0)
+        return ckpt
 
     # -- diagnostics -----------------------------------------------------------------
 

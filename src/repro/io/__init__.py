@@ -1,6 +1,8 @@
-"""Output: legacy-VTK meshes/fields and 2D SVG forest drawings."""
+"""Output: legacy-VTK meshes/fields, 2D SVG forest drawings, and
+npz forest checkpoints."""
 
 from repro.io.vtk import write_vtk
 from repro.io.svg import draw_forest_svg
+from repro.io.checkpoint import read_checkpoint, write_checkpoint
 
-__all__ = ["write_vtk", "draw_forest_svg"]
+__all__ = ["write_vtk", "draw_forest_svg", "read_checkpoint", "write_checkpoint"]

@@ -20,7 +20,8 @@ from repro.p4est.balance import balance, is_balanced
 from repro.p4est.ghost import GhostLayer, build_ghost
 from repro.p4est.nodes import LNodes, lnodes
 from repro.p4est.search import contains_point, find_octants, locate_points
-from repro.p4est import builders
+from repro.p4est.checkpoint import ForestCheckpoint, connectivity_digest, field_checksum
+from repro.p4est import builders, checkpoint
 
 __all__ = [
     "DIM2",
@@ -41,4 +42,8 @@ __all__ = [
     "find_octants",
     "locate_points",
     "builders",
+    "checkpoint",
+    "ForestCheckpoint",
+    "connectivity_digest",
+    "field_checksum",
 ]

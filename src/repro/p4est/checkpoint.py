@@ -1,0 +1,181 @@
+"""Partition-independent checkpoint/restart of a distributed forest.
+
+The linear-octree storage makes scalable checkpointing almost free: the
+complete mesh state is the global SFC-ordered list of leaf octants (the
+"wire" format, 40 bytes each) plus any per-octant field payloads — no
+partition information at all.  A checkpoint written from ``P`` ranks can
+therefore restore onto ``P' != P`` ranks: on load each rank takes an
+equal contiguous slice of the curve, which *is* the uniform repartition
+(``Partition`` with unit weights).  2:1 balance is a property of the leaf
+set, so a balanced forest restores balanced.
+
+The macro topology (:class:`~repro.p4est.connectivity.Connectivity`) is
+static and globally replicated, so it is not serialized — only a digest,
+checked on restore so a checkpoint can never be loaded onto the wrong
+macro mesh.
+
+On-disk serialization of the in-memory :class:`ForestCheckpoint` lives in
+:mod:`repro.io.checkpoint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.p4est.connectivity import Connectivity
+from repro.p4est.forest import Forest, octants_from_wire, octants_to_wire
+from repro.parallel.comm import Comm
+from repro.parallel.ops import SUM
+
+FORMAT_VERSION = 1
+
+
+def connectivity_digest(conn: Connectivity) -> str:
+    """Stable digest of the macro topology (and its geometry vertices).
+
+    Face links are included explicitly so connectivities that differ only
+    through ``extra_face_links`` (e.g. periodic identifications) digest
+    differently.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(f"v{FORMAT_VERSION};dim{conn.dim};K{conn.num_trees};".encode())
+    h.update(np.ascontiguousarray(conn.tree_to_vertex, dtype=np.int64).tobytes())
+    h.update(np.round(conn.vertices, 12).tobytes())
+    for key in sorted(conn.face_links):
+        link = conn.face_links[key]
+        h.update(
+            f"f{key[0]},{key[1]}->{link.nb_tree},{link.nb_face},"
+            f"{link.corner_map};".encode()
+        )
+    return h.hexdigest()
+
+
+def field_checksum(arr: np.ndarray, offset: int = 0, comm: Optional[Comm] = None) -> int:
+    """Checksum per-octant field rows (optionally reduced over ``comm``).
+
+    ``arr`` holds this rank's rows (first axis = local octant index) and
+    ``offset`` their global starting index.  Mixing the global index into
+    each row hash makes the sum partition-independent *and* order-
+    sensitive; reducing with SUM over the communicator yields the global
+    checksum every rank agrees on.
+    """
+    rows = np.ascontiguousarray(arr).reshape(len(arr), -1)
+    local = 0
+    for i, row in enumerate(rows):
+        h = hashlib.blake2b(row.tobytes(), digest_size=8, salt=b"fieldrow")
+        h.update(int(offset + i).to_bytes(8, "little"))
+        local = (local + int.from_bytes(h.digest(), "little")) % (1 << 64)
+    if comm is None:
+        return local
+    return int(comm.allreduce(local, SUM)) % (1 << 64)
+
+
+@dataclass
+class ForestCheckpoint:
+    """A complete, partition-free snapshot of a forest and its fields.
+
+    ``wire`` is the global SFC-ordered ``(N, 5)`` octant array; ``fields``
+    map names to arrays whose first axis is the global octant index;
+    ``meta`` carries application state (time, step counters, ...) that
+    must survive a restart.
+    """
+
+    dim: int
+    digest: str
+    wire: np.ndarray
+    fields: Dict[str, np.ndarray] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    version: int = FORMAT_VERSION
+
+    @property
+    def global_octants(self) -> int:
+        return len(self.wire)
+
+    def field_checksums(self) -> Dict[str, int]:
+        return {name: field_checksum(arr) for name, arr in self.fields.items()}
+
+    def nbytes(self) -> int:
+        return int(self.wire.nbytes) + sum(int(a.nbytes) for a in self.fields.values())
+
+
+def save(
+    forest: Forest,
+    fields: Optional[Dict[str, np.ndarray]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+    root: int = 0,
+) -> Optional[ForestCheckpoint]:
+    """Snapshot ``forest`` (and per-octant ``fields``) to the gather root.
+
+    Collective.  Returns the :class:`ForestCheckpoint` on ``root`` and
+    ``None`` elsewhere.  Each field array must have one leading row per
+    local octant; rank segments are concatenated in rank order, which is
+    exactly global SFC order.
+    """
+    comm = forest.comm
+    fields = fields or {}
+    n = len(forest.local)
+    for name, arr in fields.items():
+        if len(arr) != n:
+            raise ValueError(
+                f"field {name!r} has {len(arr)} rows for {n} local octants"
+            )
+    payload = (
+        octants_to_wire(forest.local),
+        {name: np.ascontiguousarray(arr) for name, arr in fields.items()},
+    )
+    gathered = comm.gather(payload, root=root)
+    if comm.rank != root:
+        return None
+    wires = [g[0] for g in gathered]
+    glob_wire = np.concatenate(wires, axis=0) if wires else np.empty((0, 5), np.int64)
+    glob_fields: Dict[str, np.ndarray] = {}
+    for name in fields:
+        glob_fields[name] = np.concatenate([g[1][name] for g in gathered], axis=0)
+    return ForestCheckpoint(
+        dim=forest.dim,
+        digest=connectivity_digest(forest.conn),
+        wire=glob_wire,
+        fields=glob_fields,
+        meta=dict(meta or {}),
+    )
+
+
+def restore(
+    conn: Connectivity,
+    comm: Comm,
+    ckpt: Optional[ForestCheckpoint],
+    root: int = 0,
+) -> Tuple[Forest, Dict[str, np.ndarray], Dict[str, Any]]:
+    """Rebuild a forest from a checkpoint on a (possibly different) comm.
+
+    Collective.  ``ckpt`` need only be present on ``root``; it is
+    broadcast.  Every rank receives its equal contiguous slice of the
+    global curve — the re-partition on load — plus the matching field
+    rows and a copy of the checkpoint ``meta``.
+
+    Raises ``ValueError`` when the checkpoint was written against a
+    different macro topology.
+    """
+    ckpt = comm.bcast(ckpt, root=root)
+    if ckpt is None:
+        raise ValueError("restore requires a checkpoint at the bcast root")
+    if ckpt.dim != conn.dim:
+        raise ValueError(f"checkpoint is {ckpt.dim}D, connectivity is {conn.dim}D")
+    digest = connectivity_digest(conn)
+    if ckpt.digest != digest:
+        raise ValueError(
+            "checkpoint topology digest mismatch: "
+            f"saved {ckpt.digest[:12]}..., restoring onto {digest[:12]}..."
+        )
+    N = ckpt.global_octants
+    P, rank = comm.size, comm.rank
+    start = (N * rank) // P
+    stop = (N * (rank + 1)) // P
+    local = octants_from_wire(conn.dim, ckpt.wire[start:stop])
+    forest = Forest(conn, comm, local)
+    fields = {name: arr[start:stop].copy() for name, arr in ckpt.fields.items()}
+    return forest, fields, dict(ckpt.meta)

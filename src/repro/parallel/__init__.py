@@ -11,7 +11,16 @@ the benchmark harness can charge an alpha-beta communication model.
 """
 
 from repro.parallel.comm import Comm, SerialComm
-from repro.parallel.machine import ThreadComm, SpmdError, spmd_run
+from repro.parallel.faults import Fault, FaultPlan, FaultyComm, InjectedFailure
+from repro.parallel.machine import (
+    CheckpointStore,
+    RecoveryReport,
+    ResilientResult,
+    SpmdError,
+    ThreadComm,
+    spmd_run,
+    spmd_run_resilient,
+)
 from repro.parallel.ops import MAX, MIN, PROD, SUM, payload_nbytes
 from repro.parallel.stats import CommStats
 
@@ -21,6 +30,14 @@ __all__ = [
     "ThreadComm",
     "SpmdError",
     "spmd_run",
+    "spmd_run_resilient",
+    "CheckpointStore",
+    "RecoveryReport",
+    "ResilientResult",
+    "Fault",
+    "FaultPlan",
+    "FaultyComm",
+    "InjectedFailure",
     "CommStats",
     "SUM",
     "MIN",

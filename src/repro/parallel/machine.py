@@ -30,7 +30,15 @@ MAX_RANKS = 1024
 
 
 class SpmdError(RuntimeError):
-    """Raised on all surviving ranks when a peer rank fails."""
+    """Raised on all surviving ranks when a peer rank fails.
+
+    ``failed_rank`` is the lowest rank whose own exception (not a
+    cascaded abort) brought the run down, or ``None`` when unknown.
+    """
+
+    def __init__(self, message: str, failed_rank: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.failed_rank = failed_rank
 
 
 class _Shared:
@@ -41,14 +49,32 @@ class _Shared:
         self.barrier = threading.Barrier(size)
         self.slots: List[Any] = [None] * size
         self.result: Any = None
-        self.failure: Optional[BaseException] = None
-        self.failed_rank: Optional[int] = None
+        self._lock = threading.Lock()
+        self.failures: Dict[int, BaseException] = {}
 
     def abort(self, rank: int, exc: BaseException) -> None:
-        if self.failure is None:
-            self.failure = exc
-            self.failed_rank = rank
+        """Record a rank failure and break the barrier protocol.
+
+        Primary failures (anything but a cascaded :class:`SpmdError`) are
+        collected per rank; :attr:`failed_rank` reports the *lowest* such
+        rank so concurrent aborts resolve deterministically regardless of
+        thread scheduling.  Cascaded :class:`SpmdError` reactions from
+        peers unblocked by a broken barrier never mask the true cause.
+        """
+        with self._lock:
+            if not isinstance(exc, SpmdError) or not self.failures:
+                self.failures.setdefault(rank, exc)
         self.barrier.abort()
+
+    @property
+    def failed_rank(self) -> Optional[int]:
+        with self._lock:
+            return min(self.failures) if self.failures else None
+
+    @property
+    def failure(self) -> Optional[BaseException]:
+        with self._lock:
+            return self.failures[min(self.failures)] if self.failures else None
 
 
 class ThreadComm(Comm):
@@ -68,16 +94,29 @@ class ThreadComm(Comm):
         try:
             return self._shared.barrier.wait()
         except threading.BrokenBarrierError:
+            failed = self._shared.failed_rank
             raise SpmdError(
-                f"SPMD run aborted (failure on rank {self._shared.failed_rank})"
+                f"SPMD run aborted (failure on rank {failed})", failed_rank=failed
             ) from None
 
     def _collect(self, contribution: Any, combine: Callable[[List[Any]], Any]) -> Any:
-        """Two-phase collective: deposit, leader combines, all read."""
+        """Two-phase collective: deposit, leader combines, all read.
+
+        A ``combine`` failure on the wait's leader is recorded in the
+        shared state *before* the barrier breaks, so peers (and the
+        driver) see the true cause instead of a bare abort with no rank.
+        """
         shared = self._shared
         shared.slots[self.rank] = contribution
         if self._wait() == 0:
-            shared.result = combine(list(shared.slots))
+            try:
+                shared.result = combine(list(shared.slots))
+            except BaseException as exc:  # noqa: BLE001 - must unblock peers
+                shared.abort(self.rank, exc)
+                raise SpmdError(
+                    f"collective combine failed on rank {self.rank}: {exc!r}",
+                    failed_rank=self.rank,
+                ) from exc
         self._wait()
         result = shared.result
         return result
@@ -242,56 +281,236 @@ class SpmdReport:
     def merged_stats(self) -> CommStats:
         merged = CommStats()
         for o in self.outcomes:
-            for op, s in o.stats.ops.items():
-                st = merged.ops.setdefault(op, type(s)())
-                st.calls += s.calls
-                st.messages += s.messages
-                st.bytes_sent += s.bytes_sent
+            merged.merge(o.stats)
         return merged
+
+
+class _Attempt:
+    """One launch of ``size`` rank threads (shared by the run entrypoints)."""
+
+    def __init__(
+        self,
+        size: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        comm_wrapper: Optional[Callable[[Comm], Comm]] = None,
+    ) -> None:
+        if not 1 <= size <= MAX_RANKS:
+            raise ValueError(f"size must be in [1, {MAX_RANKS}], got {size}")
+        self.shared = _Shared(size)
+        self.comms = [ThreadComm(r, self.shared) for r in range(size)]
+        self.outcomes: List[Optional[RankOutcome]] = [None] * size
+        self.wall_seconds = 0.0
+
+        def runner(rank: int) -> None:
+            comm = self.comms[rank]
+            comm._mark = time.thread_time()  # clock baseline in the rank thread
+            facade = comm_wrapper(comm) if comm_wrapper is not None else comm
+            try:
+                value = fn(facade, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - must unblock peers
+                self.shared.abort(rank, exc)
+                return
+            comm._begin()  # flush trailing compute time
+            self.outcomes[rank] = RankOutcome(value, comm.stats, comm.compute_seconds)
+
+        t0 = time.perf_counter()
+        threads = [
+            threading.Thread(
+                target=runner, args=(r,), name=f"spmd-rank-{r}", daemon=True
+            )
+            for r in range(size)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        self.wall_seconds = time.perf_counter() - t0
+
+    @property
+    def failed(self) -> bool:
+        return self.shared.failed_rank is not None
+
+    def lost_stats(self) -> CommStats:
+        """Traffic performed by every rank of a failed attempt (lost work)."""
+        merged = CommStats()
+        for comm in self.comms:
+            merged.merge(comm.stats)
+        return merged
+
+    def raise_failure(self) -> None:
+        """Re-raise the recorded failure, naming the first failed rank."""
+        rank = self.shared.failed_rank
+        exc = self.shared.failure
+        assert exc is not None
+        if isinstance(exc, SpmdError):
+            raise exc
+        raise SpmdError(
+            f"SPMD run failed on rank {rank}: {exc!r}", failed_rank=rank
+        ) from exc
+
+    def report(self) -> SpmdReport:
+        assert all(o is not None for o in self.outcomes)
+        return SpmdReport(
+            [o for o in self.outcomes if o is not None], self.wall_seconds
+        )
 
 
 def spmd_run_detailed(
     size: int, fn: Callable[..., Any], *args: Any, **kwargs: Any
 ) -> SpmdReport:
     """Run ``fn(comm, *args, **kwargs)`` SPMD on ``size`` ranks with metering."""
-    if not 1 <= size <= MAX_RANKS:
-        raise ValueError(f"size must be in [1, {MAX_RANKS}], got {size}")
-    shared = _Shared(size)
-    outcomes: List[Optional[RankOutcome]] = [None] * size
-
-    def runner(rank: int) -> None:
-        comm = ThreadComm(rank, shared)
-        try:
-            value = fn(comm, *args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 - must unblock peers
-            shared.abort(rank, exc)
-            return
-        comm._begin()  # flush trailing compute time
-        outcomes[rank] = RankOutcome(value, comm.stats, comm.compute_seconds)
-
-    t0 = time.perf_counter()
-    threads = [
-        threading.Thread(target=runner, args=(r,), name=f"spmd-rank-{r}", daemon=True)
-        for r in range(size)
-    ]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join()
-    wall = time.perf_counter() - t0
-
-    if shared.failure is not None:
-        if isinstance(shared.failure, SpmdError):
-            raise shared.failure
-        raise shared.failure
-    assert all(o is not None for o in outcomes)
-    return SpmdReport([o for o in outcomes if o is not None], wall)
+    attempt = _Attempt(size, fn, args, kwargs)
+    if attempt.failed:
+        attempt.raise_failure()
+    return attempt.report()
 
 
 def spmd_run(size: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
     """Run ``fn(comm, *args, **kwargs)`` SPMD on ``size`` ranks.
 
-    Returns the list of per-rank return values.  If any rank raises, that
-    exception propagates (peers are unblocked via barrier abort).
+    Returns the list of per-rank return values.  If any rank raises, a
+    :class:`SpmdError` naming the first failed rank propagates with the
+    original exception chained (peers are unblocked via barrier abort).
     """
     return spmd_run_detailed(size, fn, *args, **kwargs).values
+
+
+# Self-healing runs ----------------------------------------------------------
+
+
+class CheckpointStore:
+    """In-memory checkpoint slot surviving across restart attempts.
+
+    Rank programs call :meth:`save` (typically only the gather root passes
+    a non-``None`` payload) and :meth:`load` to resume.  The store lives in
+    the driver, outside the rank threads, so it survives a failed attempt.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._payload: Any = None
+        self.saves = 0
+
+    def save(self, payload: Any) -> None:
+        """Record ``payload`` as the latest checkpoint (``None`` is a no-op)."""
+        if payload is None:
+            return
+        with self._lock:
+            self._payload = payload
+            self.saves += 1
+
+    def load(self) -> Any:
+        """Latest checkpoint payload, or ``None`` if nothing was saved."""
+        with self._lock:
+            return self._payload
+
+    @property
+    def octants(self) -> int:
+        """Global octant count of the stored checkpoint (0 if not a forest)."""
+        with self._lock:
+            return int(getattr(self._payload, "global_octants", 0) or 0)
+
+
+@dataclass
+class RecoveryReport:
+    """Structured accounting of a :func:`spmd_run_resilient` run."""
+
+    attempts: int = 1  # total launches, including the successful one
+    recoveries: int = 0  # failed launches that were retried
+    ranks_lost: List[int] = field(default_factory=list)
+    initial_size: int = 0
+    final_size: int = 0
+    checkpoints_used: int = 0  # retries that restored from a checkpoint
+    octants_repartitioned: int = 0  # octants redistributed by restores
+    wall_seconds_lost: float = 0.0  # wall time of the failed attempts
+    lost_stats: CommStats = field(default_factory=CommStats)
+
+    def summary(self) -> str:
+        ranks = ",".join(str(r) for r in self.ranks_lost) or "-"
+        return (
+            f"attempts {self.attempts} (recoveries {self.recoveries}), "
+            f"ranks lost [{ranks}], size {self.initial_size}->{self.final_size}, "
+            f"checkpoints used {self.checkpoints_used}, "
+            f"octants repartitioned {self.octants_repartitioned}, "
+            f"wall lost {self.wall_seconds_lost:.3f}s, "
+            f"lost messages {self.lost_stats.total_messages}, "
+            f"lost bytes {self.lost_stats.total_bytes}"
+        )
+
+
+@dataclass
+class ResilientResult:
+    """Return value of :func:`spmd_run_resilient`."""
+
+    values: List[Any]
+    report: SpmdReport
+    recovery: RecoveryReport
+
+
+def spmd_run_resilient(
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    max_retries: int = 3,
+    shrink_on_failure: bool = False,
+    min_size: int = 1,
+    store: Optional[CheckpointStore] = None,
+    comm_wrapper: Optional[Callable[[Comm, int], Comm]] = None,
+    **kwargs: Any,
+) -> ResilientResult:
+    """Run ``fn(comm, store, *args, **kwargs)`` SPMD with checkpoint recovery.
+
+    ``fn`` receives the :class:`CheckpointStore` after the communicator; it
+    should resume from ``store.load()`` when that is not ``None`` and
+    periodically ``store.save`` a restart payload (e.g. a
+    :class:`repro.p4est.checkpoint.ForestCheckpoint`).  On :class:`SpmdError`
+    the failed rank is recorded and the program is relaunched from the last
+    checkpoint, up to ``max_retries`` times; with ``shrink_on_failure`` each
+    retry drops the failed rank from the communicator (never below
+    ``min_size``) — possible because checkpoints are partition-independent.
+
+    ``comm_wrapper(comm, attempt)``, if given, decorates every rank's
+    communicator per attempt — the hook used to compose
+    :class:`repro.parallel.faults.FaultyComm` fault plans over specific
+    attempts.  Exceptions other than rank failures (e.g. ``ValueError``
+    raised consistently by the program itself on every attempt) still
+    propagate after the retry budget is exhausted.
+
+    Returns a :class:`ResilientResult`; its :class:`RecoveryReport` is the
+    input for charging recovery overhead in :mod:`repro.perf`.
+    """
+    if store is None:
+        store = CheckpointStore()
+    recovery = RecoveryReport(initial_size=size, final_size=size)
+    cur_size = size
+    attempt_idx = 0
+    while True:
+        wrap = (
+            (lambda comm, a=attempt_idx: comm_wrapper(comm, a))
+            if comm_wrapper is not None
+            else None
+        )
+        attempt = _Attempt(cur_size, fn, (store,) + args, kwargs, comm_wrapper=wrap)
+        if not attempt.failed:
+            recovery.final_size = cur_size
+            report = attempt.report()
+            return ResilientResult(report.values, report, recovery)
+
+        recovery.recoveries += 1
+        recovery.wall_seconds_lost += attempt.wall_seconds
+        recovery.lost_stats.merge(attempt.lost_stats())
+        failed = attempt.shared.failed_rank
+        if failed is not None:
+            recovery.ranks_lost.append(failed)
+        if attempt_idx >= max_retries:
+            recovery.attempts = attempt_idx + 1
+            attempt.raise_failure()
+        if store.load() is not None:
+            recovery.checkpoints_used += 1
+            recovery.octants_repartitioned += store.octants
+        if shrink_on_failure and cur_size > min_size:
+            cur_size -= 1
+        attempt_idx += 1
+        recovery.attempts = attempt_idx + 1

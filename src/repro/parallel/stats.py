@@ -51,10 +51,14 @@ class CommStats:
     def total_bytes(self) -> int:
         return sum(s.bytes_sent for s in self.ops.values())
 
-    def merge(self, other: "CommStats") -> None:
+    def merge(self, other: "CommStats") -> "CommStats":
+        """Accumulate ``other``'s counters into this instance (returned)."""
         for op, s in other.ops.items():
-            self.record(op, s.messages, s.bytes_sent)
-            self.ops[op].calls += s.calls - 1
+            agg = self.ops.setdefault(op, OpStats())
+            agg.calls += s.calls
+            agg.messages += s.messages
+            agg.bytes_sent += s.bytes_sent
+        return self
 
     def items(self) -> Iterator[Tuple[str, OpStats]]:
         return iter(sorted(self.ops.items()))

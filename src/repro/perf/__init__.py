@@ -9,7 +9,13 @@ how the Fig. 4/5/7/9/10 tables are regenerated (see DESIGN.md §1).
 """
 
 from repro.perf.machine import JAGUAR_XT5, LONGHORN_GPU, MachineModel
-from repro.perf.model import CommCost, ScalingModel, WeakScalingSeries
+from repro.perf.model import (
+    CommCost,
+    ScalingModel,
+    WeakScalingSeries,
+    comm_cost_from_run,
+    comm_cost_from_stats,
+)
 
 __all__ = [
     "MachineModel",
@@ -18,4 +24,6 @@ __all__ = [
     "CommCost",
     "ScalingModel",
     "WeakScalingSeries",
+    "comm_cost_from_run",
+    "comm_cost_from_stats",
 ]

@@ -37,6 +37,7 @@ class CommCost:
     exchange_rounds: float = 0.0
     exchange_messages: float = 0.0  # per round, per rank
     exchange_bytes: float = 0.0  # per round, per rank
+    overhead_seconds: float = 0.0  # flat extra (e.g. recovery/restart cost)
 
     def modeled_seconds(self, machine: MachineModel, P: int) -> float:
         t = self.allreduces * machine.allreduce_cost(P, self.allreduce_bytes)
@@ -44,7 +45,7 @@ class CommCost:
         t += self.exchange_rounds * machine.exchange_cost(
             self.exchange_messages, self.exchange_bytes
         )
-        return t
+        return t + self.overhead_seconds
 
     def scaled(self, surface_factor: float = 1.0) -> "CommCost":
         """Same structure with surface-law-scaled exchange volume."""
@@ -56,6 +57,7 @@ class CommCost:
             exchange_rounds=self.exchange_rounds,
             exchange_messages=self.exchange_messages,
             exchange_bytes=self.exchange_bytes * surface_factor,
+            overhead_seconds=self.overhead_seconds,
         )
 
 
@@ -79,6 +81,34 @@ def comm_cost_from_stats(stats, rounds_hint: float = 1.0) -> CommCost:
         cost.exchange_rounds = max(rounds_hint, 1.0)
         cost.exchange_messages = exch.messages / max(rounds_hint, 1.0)
         cost.exchange_bytes = exch.bytes_sent / max(rounds_hint, 1.0)
+    return cost
+
+
+def comm_cost_from_run(report, rounds_hint: float = 1.0, recovery=None) -> CommCost:
+    """Per-rank-average :class:`CommCost` for a whole SPMD run.
+
+    ``report`` is a :class:`~repro.parallel.machine.SpmdReport`; the
+    per-rank :class:`~repro.parallel.stats.CommStats` are combined with
+    :meth:`CommStats.merge` and normalized by the rank count.  A
+    :class:`~repro.parallel.machine.RecoveryReport` adds its lost wall
+    time as flat overhead — plus the lost attempts' traffic — so the
+    modeled runtime of a resilient run charges for its recoveries.
+    """
+    from repro.parallel.stats import CommStats
+
+    P = max(len(report.outcomes), 1)
+    merged = CommStats()
+    for outcome in report.outcomes:
+        merged.merge(outcome.stats)
+    if recovery is not None:
+        merged.merge(recovery.lost_stats)
+    cost = comm_cost_from_stats(merged, rounds_hint=rounds_hint)
+    cost.allreduces /= P
+    cost.allgathers /= P
+    cost.exchange_messages /= P
+    cost.exchange_bytes /= P
+    if recovery is not None:
+        cost.overhead_seconds += recovery.wall_seconds_lost
     return cost
 
 

@@ -159,3 +159,55 @@ def test_mark_fixed_fraction_constant_indicator():
     comm = SerialComm()
     ref, coar = mark_fixed_fraction(np.ones(50), comm)
     assert not ref.any() and not coar.any()
+
+
+def test_adapt_cycle_with_checkpoint_policy():
+    from repro.amr.driver import CheckpointPolicy
+    from repro.p4est import checkpoint as forest_checkpoint
+
+    conn = unit_square()
+    comm = SerialComm()
+    forest = Forest.new(conn, comm, level=2)
+    geo = MultilinearGeometry(conn)
+    mesh = build_mesh(forest, geo, 1)
+    q = mesh.coords[: mesh.nelem_local, :, 0].copy()
+
+    policy = CheckpointPolicy(every=2)
+    for cycle in range(4):
+        refine = forest.local.level < 3 if cycle == 0 else np.zeros(
+            forest.local_count, dtype=bool
+        )
+        _, (q,) = adapt_and_rebalance(
+            forest,
+            refine,
+            fields=[q],
+            degree=1,
+            checkpoint=policy,
+            checkpoint_meta={"cycle": cycle},
+        )
+    # every=2 over 4 cycles -> 2 snapshots, the last one current.
+    assert policy.cycles == 4
+    assert policy.store.saves == 2
+    ckpt = policy.store.load()
+    assert ckpt.global_octants == forest.global_count
+    assert ckpt.meta == {"cycle": 3}
+    restored, fields, _ = forest_checkpoint.restore(conn, comm, ckpt)
+    restored.validate()
+    assert restored.checksum() == forest.checksum()
+    np.testing.assert_array_equal(fields["field0"], q)
+
+
+def test_checkpoint_policy_due_matches_after_adapt():
+    from repro.amr.driver import CheckpointPolicy
+
+    conn = unit_square()
+    comm = SerialComm()
+    forest = Forest.new(conn, comm, level=1)
+    policy = CheckpointPolicy(every=3)
+    fired = []
+    for _ in range(6):
+        expect = policy.due()
+        fired.append(policy.after_adapt(forest))
+        assert fired[-1] == expect
+    assert fired == [False, False, True, False, False, True]
+    assert CheckpointPolicy(every=0).due() is False

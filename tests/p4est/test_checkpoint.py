@@ -1,0 +1,159 @@
+"""Tests for partition-independent forest checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro.io.checkpoint import read_checkpoint, write_checkpoint
+from repro.p4est import builders, checkpoint
+from repro.p4est.forest import Forest
+from repro.parallel import SerialComm, spmd_run
+
+
+def _adapted_forest(comm, conn, seed=0):
+    """A mildly refined, valid forest with a deterministic shape."""
+    forest = Forest.new(conn, comm, level=1)
+    rng = np.random.default_rng(seed)
+    # Deterministic mask from octant coordinates (partition-independent).
+    mask = (forest.local.x + forest.local.y) % (forest.local.lens() * 2) == 0
+    forest.refine(mask=mask, maxlevel=3)
+    forest.partition()
+    return forest
+
+
+def _field_for(forest):
+    """A per-octant field whose rows are a function of the octant itself."""
+    octs = forest.local
+    return np.stack(
+        [octs.x + octs.level, octs.y * 2, octs.tree.astype(np.int64)], axis=1
+    ).astype(np.float64)
+
+
+def _save_ckpt(comm, conn):
+    forest = _adapted_forest(comm, conn)
+    q = _field_for(forest)
+    off = int(forest.markers.offsets()[comm.rank])
+    ckpt = checkpoint.save(forest, fields={"q": q}, meta={"step": 17})
+    return (
+        ckpt,
+        forest.global_count,
+        forest.checksum(),
+        checkpoint.field_checksum(q, offset=off, comm=comm),
+    )
+
+
+CONNS = {
+    "brick2d": lambda: builders.brick_2d(2, 3),
+    "cube": builders.unit_cube,
+}
+
+
+@pytest.mark.parametrize("conn_name", sorted(CONNS))
+@pytest.mark.parametrize("P,Pprime", [(3, 5), (4, 2), (2, 1), (1, 4)])
+def test_restore_onto_different_rank_count(conn_name, P, Pprime):
+    conn = CONNS[conn_name]()
+    out = spmd_run(P, _save_ckpt, conn)
+    ckpt, count, forest_sum, field_sum = out[0]
+    assert ckpt is not None
+    assert all(o[0] is None for o in out[1:])  # gathered to root only
+    assert ckpt.global_octants == count
+
+    def restorer(comm):
+        forest, fields, meta = checkpoint.restore(
+            conn, comm, ckpt if comm.rank == 0 else None
+        )
+        forest.validate()
+        off = int(forest.markers.offsets()[comm.rank])
+        return (
+            forest.global_count,
+            forest.checksum(),
+            checkpoint.field_checksum(fields["q"], offset=off, comm=comm),
+            meta,
+        )
+
+    for count2, forest_sum2, field_sum2, meta in spmd_run(Pprime, restorer):
+        assert count2 == count
+        assert forest_sum2 == forest_sum
+        assert field_sum2 == field_sum
+        assert meta == {"step": 17}
+
+
+def test_restore_rejects_wrong_topology():
+    conn = builders.brick_2d(2, 2)
+    other = builders.brick_2d(3, 2)
+    comm = SerialComm()
+    forest = _adapted_forest(comm, conn)
+    ckpt = checkpoint.save(forest)
+    with pytest.raises(ValueError, match="digest mismatch"):
+        checkpoint.restore(other, comm, ckpt)
+    with pytest.raises(ValueError, match="is 2D"):
+        checkpoint.restore(builders.unit_cube(), comm, ckpt)
+    with pytest.raises(ValueError, match="requires a checkpoint"):
+        checkpoint.restore(conn, comm, None)
+
+
+def test_connectivity_digest_distinguishes_topologies():
+    a = checkpoint.connectivity_digest(builders.brick_2d(2, 2))
+    b = checkpoint.connectivity_digest(builders.brick_2d(2, 2))
+    c = checkpoint.connectivity_digest(builders.brick_2d(2, 2, periodic_x=True))
+    d = checkpoint.connectivity_digest(builders.brick_2d(4, 1))
+    assert a == b
+    assert len({a, c, d}) == 3
+
+
+def test_save_validates_field_rows():
+    comm = SerialComm()
+    forest = _adapted_forest(comm, builders.brick_2d(2, 2))
+    with pytest.raises(ValueError, match="rows"):
+        checkpoint.save(forest, fields={"q": np.zeros((len(forest.local) + 1, 2))})
+
+
+def test_field_checksum_is_partition_independent_but_order_sensitive():
+    rows = np.arange(12, dtype=np.float64).reshape(6, 2)
+    whole = checkpoint.field_checksum(rows)
+    split = (
+        checkpoint.field_checksum(rows[:2], offset=0)
+        + checkpoint.field_checksum(rows[2:], offset=2)
+    ) % (1 << 64)
+    assert whole == split
+    swapped = rows[::-1].copy()
+    assert checkpoint.field_checksum(swapped) != whole
+
+
+def test_checkpoint_file_roundtrip(tmp_path):
+    comm = SerialComm()
+    forest = _adapted_forest(comm, builders.unit_cube())
+    q = _field_for(forest)
+    ckpt = checkpoint.save(forest, fields={"q": q}, meta={"t": 0.25, "step": 3})
+    path = tmp_path / "forest.npz"
+    write_checkpoint(path, ckpt)
+    loaded = read_checkpoint(path)
+    assert loaded.dim == ckpt.dim
+    assert loaded.digest == ckpt.digest
+    assert np.array_equal(loaded.wire, ckpt.wire)
+    assert loaded.meta == {"t": 0.25, "step": 3}
+    assert loaded.field_checksums() == ckpt.field_checksums()
+    # The loaded checkpoint restores to an identical forest.
+    forest2, fields2, _ = checkpoint.restore(forest.conn, comm, loaded)
+    forest2.validate()
+    assert forest2.checksum() == forest.checksum()
+    np.testing.assert_array_equal(fields2["q"], q)
+
+
+def test_checkpoint_file_rejects_future_version(tmp_path):
+    comm = SerialComm()
+    forest = _adapted_forest(comm, builders.brick_2d(2, 2))
+    ckpt = checkpoint.save(forest)
+    ckpt.version = 99
+    path = tmp_path / "bad.npz"
+    write_checkpoint(path, ckpt)
+    with pytest.raises(ValueError, match="version"):
+        read_checkpoint(path)
+
+
+def test_checkpoint_nbytes_and_octants():
+    comm = SerialComm()
+    forest = _adapted_forest(comm, builders.brick_2d(2, 2))
+    q = _field_for(forest)
+    ckpt = checkpoint.save(forest, fields={"q": q})
+    assert ckpt.global_octants == forest.global_count
+    assert ckpt.nbytes() == ckpt.wire.nbytes + q.nbytes

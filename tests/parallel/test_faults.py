@@ -1,0 +1,187 @@
+"""Tests for deterministic fault injection (repro.parallel.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    SUM,
+    FaultPlan,
+    FaultyComm,
+    InjectedFailure,
+    SpmdError,
+    spmd_run,
+)
+from repro.parallel.faults import (
+    CORRUPT,
+    CRASH,
+    DELAY,
+    TRUNCATE,
+    Fault,
+    corrupt_payload,
+    truncate_payload,
+)
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError):
+        Fault("meteor", 0, 0)
+    with pytest.raises(ValueError):
+        Fault(CRASH, -1, 0)
+    with pytest.raises(ValueError):
+        Fault(CRASH, 0, -2)
+
+
+def test_seeded_plan_is_reproducible():
+    kwargs = dict(
+        size=4, ncalls=20, crash_prob=0.05, corrupt_prob=0.1, delay_prob=0.1
+    )
+    a = FaultPlan.seeded(123, **kwargs)
+    b = FaultPlan.seeded(123, **kwargs)
+    c = FaultPlan.seeded(124, **kwargs)
+    assert a.faults == b.faults
+    assert len(a) > 0
+    assert a.faults != c.faults
+
+
+def test_seeded_plan_stops_scheduling_after_crash():
+    plan = FaultPlan.seeded(7, size=2, ncalls=50, crash_prob=0.5)
+    for rank in range(2):
+        mine = [f for f in plan.faults if f.rank == rank and f.kind == CRASH]
+        assert len(mine) <= 1
+
+
+def test_crash_aborts_run_and_names_rank():
+    plan = FaultPlan.crash(rank=1, at_call=2)
+
+    def prog(comm):
+        faulty = FaultyComm(comm, plan)
+        total = 0
+        for i in range(5):
+            total += faulty.allreduce(i, SUM)
+        return total
+
+    # Deterministic across repeated runs: always rank 1, chained cause.
+    for _ in range(3):
+        with pytest.raises(SpmdError) as exc_info:
+            spmd_run(3, prog)
+        assert exc_info.value.failed_rank == 1
+        assert isinstance(exc_info.value.__cause__, InjectedFailure)
+
+
+def test_crash_counts_calls_per_rank():
+    # Crash at call 3: the first three operations must complete.
+    plan = FaultPlan([Fault(CRASH, 0, 3)])
+
+    def prog(comm):
+        faulty = FaultyComm(comm, plan)
+        seen = []
+        for i in range(10):
+            seen.append(faulty.allreduce(1, SUM))
+        return seen
+
+    with pytest.raises(SpmdError) as exc_info:
+        spmd_run(2, prog)
+    assert exc_info.value.failed_rank == 0
+
+
+def test_corruption_is_deterministic_and_detected():
+    plan = FaultPlan([Fault(CORRUPT, 1, 0)], seed=42)
+
+    def prog(comm):
+        return FaultyComm(comm, plan).allreduce(float(10 + comm.rank), SUM)
+
+    clean = spmd_run(2, lambda c: c.allreduce(float(10 + c.rank), SUM))
+    runs = [spmd_run(2, prog) for _ in range(3)]
+    assert runs[0] != clean  # the corruption changed the reduction
+    assert runs[0] == runs[1] == runs[2]  # ... identically every time
+
+
+def test_corrupted_array_collective_fails_with_true_cause():
+    # Truncating one rank's array makes the elementwise SUM combine raise;
+    # the hardened _collect must surface that cause, with a named rank.
+    plan = FaultPlan([Fault(TRUNCATE, 1, 0)])
+
+    def prog(comm):
+        return FaultyComm(comm, plan).allreduce(np.ones(8), SUM)
+
+    with pytest.raises(SpmdError) as exc_info:
+        spmd_run(3, prog)
+    assert exc_info.value.failed_rank is not None
+    assert exc_info.value.__cause__ is not None
+
+
+def test_delay_preserves_results():
+    plan = FaultPlan([Fault(DELAY, 0, 1, seconds=0.01)])
+
+    def prog(comm):
+        faulty = FaultyComm(comm, plan)
+        return faulty.allreduce(comm.rank, SUM) + faulty.allreduce(1, SUM)
+
+    assert spmd_run(3, prog) == spmd_run(3, lambda c: c.allreduce(c.rank, SUM) + c.allreduce(1, SUM))
+
+
+def test_faultycomm_transparent_without_faults():
+    plan = FaultPlan([])
+
+    def prog(comm):
+        faulty = FaultyComm(comm, plan)
+        out = {
+            "bcast": faulty.bcast(comm.rank, root=0),
+            "allgather": faulty.allgather(comm.rank),
+            "exscan": faulty.exscan(1, SUM),
+            "scan": faulty.scan(1, SUM),
+            "alltoall": faulty.alltoall([comm.rank] * comm.size),
+            "exchange": faulty.exchange({comm.rank: "self"}),
+            "gather": faulty.gather(comm.rank, root=0),
+            "scatter": faulty.scatter(
+                list(range(comm.size)) if comm.rank == 0 else None, root=0
+            ),
+        }
+        faulty.barrier()
+        assert faulty.calls == 9
+        return out
+
+    out = spmd_run(3, prog)
+    assert out[1]["bcast"] == 0
+    assert out[2]["allgather"] == [0, 1, 2]
+    assert out[1]["scatter"] == 1
+
+
+def test_faultycomm_shares_stats_with_inner():
+    plan = FaultPlan([])
+
+    def prog(comm):
+        faulty = FaultyComm(comm, plan)
+        faulty.allreduce(1, SUM)
+        return comm.stats.ops["allreduce"].calls
+
+    assert spmd_run(2, prog) == [1, 1]
+
+
+def test_corrupt_payload_kinds():
+    rng = np.random.default_rng(0)
+    arr = np.arange(6, dtype=np.float64)
+    out = corrupt_payload(arr, rng)
+    assert out.shape == arr.shape and not np.array_equal(out, arr)
+    assert corrupt_payload(None, rng) is None
+    assert corrupt_payload(True, rng) is False
+    assert corrupt_payload(b"", rng) == b""
+    b = corrupt_payload(b"abcd", np.random.default_rng(1))
+    assert len(b) == 4 and b != b"abcd"
+    t = corrupt_payload((1, 2.0), np.random.default_rng(2))
+    assert t != (1, 2.0) and len(t) == 2
+    d = corrupt_payload({"k": 5}, np.random.default_rng(3))
+    assert d != {"k": 5} and set(d) == {"k"}
+    # Determinism under the same rng seed.
+    assert np.array_equal(
+        corrupt_payload(arr, np.random.default_rng(9)),
+        corrupt_payload(arr, np.random.default_rng(9)),
+    )
+
+
+def test_truncate_payload_kinds():
+    assert len(truncate_payload(np.arange(8))) == 4
+    assert truncate_payload(b"abcdef") == b"abc"
+    assert truncate_payload("hello!") == "hel"
+    assert truncate_payload([1, 2, 3, 4]) == [1, 2]
+    assert truncate_payload(7) == 7
