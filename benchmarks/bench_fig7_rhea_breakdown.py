@@ -9,20 +9,38 @@ Paper table (global mantle flow on Jaguar):
 
 Reproduction: the full nonlinear cycle runs for real at laboratory scale
 — Picard iterations with the nonlinear rheology and plate weak zones,
-MINRES + AMG-V-cycle Stokes solves, interleaved dynamic AMR — and the
-measured three-way split is reported next to the paper's.  The at-scale rows
-are modeled: the V-cycle share grows with core count (coarse-grid
-latency), the AMR share stays a small fraction scaled by the same
-cascade mechanism as Fig. 4, pinned to the paper's 13.8K-core column.
+MINRES + AMG-V-cycle Stokes solves, interleaved dynamic AMR — under the
+``repro.trace`` phase tracer, and the measured three-way split is read
+off the merged :class:`~repro.trace.RunProfile` (Solve exclusive of its
+nested VCycle, VCycle, AMR with the p4est phases nested beneath).  The
+full per-phase breakdown table, the modeled-vs-measured communication
+deltas, and a Chrome-trace JSON timeline are emitted as artifacts.  The
+at-scale rows are modeled: the V-cycle share grows with core count
+(coarse-grid latency), the AMR share stays a small fraction scaled by
+the same cascade mechanism as Fig. 4, pinned to the 13.8K-core column.
 """
+
+import os
 
 import numpy as np
 import pytest
 
-from benchmarks._util import emit
+from benchmarks._util import RESULTS_DIR, emit
 from repro.apps.rhea.driver import RheaConfig, RheaRun
 from repro.parallel import SerialComm
+from repro.perf.machine import JAGUAR_XT5
 from repro.perf.model import format_table
+from repro.trace import (
+    PHASE_AMR,
+    PHASE_SOLVE,
+    PHASE_VCYCLE,
+    RunProfile,
+    Tracer,
+    TracingComm,
+    breakdown_table,
+    dump_chrome_trace,
+    model_delta_table,
+)
 
 PAPER = {
     13_800: (33.6, 66.2, 0.07),
@@ -44,14 +62,35 @@ def lab_config():
 
 
 def test_fig7_rhea_breakdown_table(benchmark):
-    run = RheaRun(SerialComm(), lab_config())
+    tracer = Tracer(0)
+    comm = TracingComm(SerialComm(), tracer)
 
     def workload():
-        run.run(3)  # picard, picard, adapt, picard
+        with tracer.activate():
+            run = RheaRun(comm, lab_config())
+            run.run(3)  # picard, picard, adapt, picard
         return run
 
-    benchmark.pedantic(workload, rounds=1, iterations=1, warmup_rounds=0)
-    pct = run.runtime_percentages()
+    run = benchmark.pedantic(workload, rounds=1, iterations=1, warmup_rounds=0)
+    report = tracer.report()
+    profile = RunProfile.from_reports([report])
+
+    # The Fig. 7 three-way split from the trace: Solve exclusive of the
+    # V-cycle nested inside it, the V-cycle itself, and everything under
+    # the AMR umbrella (AdaptOctree/Balance/Partition/Ghost/Nodes/Transfer).
+    solve_excl = profile.phase(PHASE_SOLVE).self_mean
+    vcycle = profile.seconds_of(PHASE_VCYCLE)
+    amr = profile.seconds_of(PHASE_AMR)
+    total = max(solve_excl + vcycle + amr, 1e-300)
+    pct = {
+        "solve": 100.0 * solve_excl / total,
+        "vcycle": 100.0 * vcycle / total,
+        "amr": 100.0 * amr / total,
+    }
+    # Cross-check: the driver's own stopwatch buckets must roughly agree
+    # with the trace (they bracket the same code regions).
+    pct_timers = run.runtime_percentages()
+    assert abs(pct["amr"] - pct_timers["amr"]) < 15.0
 
     rows_meas = [
         ["solve (Krylov + assembly)", round(pct["solve"], 2)],
@@ -59,6 +98,14 @@ def test_fig7_rhea_breakdown_table(benchmark):
         ["AMR (all p4est ops + transfer)", round(pct["amr"], 2)],
     ]
     meas = format_table(["component", "% of runtime (lab, measured)"], rows_meas)
+
+    # Full per-phase breakdown and the alpha-beta model deltas, plus a
+    # Chrome-trace timeline (open in chrome://tracing or Perfetto).
+    phases_txt = breakdown_table(profile)
+    deltas_txt = model_delta_table(profile, JAGUAR_XT5)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    trace_path = os.path.join(RESULTS_DIR, "fig7_rhea_breakdown.trace.json")
+    dump_chrome_trace([report], trace_path)
 
     # At-scale model pinned to the paper's first column: the V-cycle
     # share grows because coarse-level AMG work is latency-bound while
@@ -110,9 +157,13 @@ def test_fig7_rhea_breakdown_table(benchmark):
     emit(
         "fig7_rhea_breakdown",
         f"Rhea nonlinear Stokes with plates + dynamic AMR (lab shell "
-        f"mesh).\n\n{info}\n\nMeasured split:\n{meas}\n\n"
+        f"mesh).\n\n{info}\n\nMeasured split (from the phase trace):\n{meas}\n\n"
         f"Modeled at the paper's core counts (paper values alongside):"
-        f"\n{model}",
+        f"\n{model}\n\nPer-phase trace breakdown:\n{phases_txt}\n\n"
+        f"Modeled vs measured communication per phase (alpha-beta, "
+        f"Jaguar XT5):\n{deltas_txt}\n\n"
+        f"Chrome trace: {os.path.basename(trace_path)} "
+        f"(load in chrome://tracing or ui.perfetto.dev)",
     )
 
     # Shape assertions: the solve dominates AMR by a wide margin (the
@@ -121,6 +172,12 @@ def test_fig7_rhea_breakdown_table(benchmark):
     assert pct["vcycle"] > 0
     total_solver = pct["solve"] + pct["vcycle"]
     assert total_solver > 50.0
+    # Trace artifacts exist and have the expected shape.
+    assert os.path.exists(trace_path)
+    assert [p.path for p in profile.named(PHASE_VCYCLE)] == [
+        f"{PHASE_SOLVE}/{PHASE_VCYCLE}"
+    ]
+    assert any(p.path.startswith(f"{PHASE_AMR}/") for p in profile.phases)
     # Modeled AMR share stays under a quarter percent, like the paper.
     assert all(r[3] < 0.25 for r in rows_model)
     # Modeled V-cycle share grows with core count.

@@ -169,3 +169,50 @@ def test_benchmark_nodes_degree2(benchmark):
         lambda: lnodes(forest, ghost, 2), rounds=2, iterations=1, warmup_rounds=0
     )
     assert ln.global_num_nodes == (2 * 8 + 1) ** 3
+
+
+def test_benchmark_trace_overhead_off(benchmark):
+    """Tracing must be free when off: the instrumented dG RHS with no
+    active tracer stays within noise of a plain call (the ``phase()``
+    markers reduce to one thread-local read + a shared no-op)."""
+    import time
+
+    from repro.trace.tracer import NULL_PHASE, current_tracer, phase
+
+    assert current_tracer() is None
+    assert phase("Balance") is NULL_PHASE  # no allocation on the off path
+
+    conn = unit_cube()
+    forest = Forest.new(conn, SerialComm(), level=2)
+    ghost = build_ghost(forest)
+    mesh = build_mesh(forest, MultilinearGeometry(conn), 3, ghost)
+    space = DGSpace(forest, ghost, mesh, 3)
+    solver = DGSolver(space, AdvectionModel(3, [1.0, 0.3, -0.2]), SerialComm())
+    q = np.sin(mesh.coords[: mesh.nelem_local, :, 0])
+
+    def timed(fn, reps=5):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_marker = timed(lambda: [phase("Apply").__exit__(None, None, None) or
+                              phase("Apply").__enter__() for _ in range(10_000)])
+    t_rhs = timed(lambda: solver.rhs(q))
+    benchmark.pedantic(lambda: solver.rhs(q), rounds=3, iterations=1, warmup_rounds=1)
+    per_marker = t_marker / 20_000
+    emit(
+        "trace_overhead_off",
+        format_table(
+            ["quantity", "value"],
+            [
+                ["no-op phase() enter+exit", f"{per_marker * 1e9:.0f} ns"],
+                ["instrumented dG rhs (tracing off)", f"{t_rhs * 1e3:.2f} ms"],
+                ["marker cost / rhs call", f"{per_marker / max(t_rhs, 1e-300):.2e}"],
+            ],
+        ),
+    )
+    # A disabled marker must cost well under a microsecond.
+    assert per_marker < 5e-6

@@ -33,6 +33,7 @@ from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
 from repro.parallel.comm import Comm
 from repro.parallel.ops import MAX, SUM
+from repro.trace.tracer import PHASE_AMR, phase as trace_phase
 
 
 @dataclass
@@ -186,20 +187,21 @@ class AdvectionRun:
     def adapt(self) -> None:
         """One dynamic AMR cycle: mark, adapt, transfer, repartition, rebuild."""
         t0 = time.perf_counter()
-        refine = self._refine_mask(self.t)
-        coarsen = self._coarsen_mask(self.t)
-        result, (self.q,) = adapt_and_rebalance(
-            self.forest,
-            refine,
-            coarsen,
-            fields=[self.q],
-            degree=self.cfg.degree,
-            max_level=self.cfg.max_level,
-        )
-        self.timers.add("adapt", time.perf_counter() - t0)
-        t0 = time.perf_counter()
-        self._rebuild()
-        self.timers.add("ghost+mesh", time.perf_counter() - t0)
+        with trace_phase(PHASE_AMR):
+            refine = self._refine_mask(self.t)
+            coarsen = self._coarsen_mask(self.t)
+            result, (self.q,) = adapt_and_rebalance(
+                self.forest,
+                refine,
+                coarsen,
+                fields=[self.q],
+                degree=self.cfg.degree,
+                max_level=self.cfg.max_level,
+            )
+            self.timers.add("adapt", time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            self._rebuild()
+            self.timers.add("ghost+mesh", time.perf_counter() - t0)
         self.adapt_count += 1
         self.last_adapt = result
         if (
@@ -215,9 +217,10 @@ class AdvectionRun:
             dt = self.solver.stable_dt(self.q, cfl=self.cfg.cfl)
         for _ in range(nsteps):
             t0 = time.perf_counter()
-            self.q = lsrk45_step(
-                self.q, self.t, dt, lambda u, tt: self.solver.rhs(u, tt)
-            )
+            with trace_phase("Integrate"):
+                self.q = lsrk45_step(
+                    self.q, self.t, dt, lambda u, tt: self.solver.rhs(u, tt)
+                )
             self.t += dt
             self.step_count += 1
             self.timers.add("integrate", time.perf_counter() - t0)
@@ -234,13 +237,14 @@ class AdvectionRun:
         so a resumed run reproduces the fault-free trajectory.
         """
         t0 = time.perf_counter()
-        ckpt = forest_checkpoint.save(
-            self.forest,
-            fields={"q": self.q},
-            meta={"t": self.t, "step": self.step_count, "adapt": self.adapt_count},
-        )
-        if self.store is not None:
-            self.store.save(ckpt)
+        with trace_phase("Checkpoint"):
+            ckpt = forest_checkpoint.save(
+                self.forest,
+                fields={"q": self.q},
+                meta={"t": self.t, "step": self.step_count, "adapt": self.adapt_count},
+            )
+            if self.store is not None:
+                self.store.save(ckpt)
         self.timers.add("checkpoint", time.perf_counter() - t0)
         return ckpt
 

@@ -32,6 +32,7 @@ from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
 from repro.parallel.comm import Comm
 from repro.parallel.ops import MAX, SUM
+from repro.trace.tracer import PHASE_AMR, phase as trace_phase
 
 
 def ricker(t: np.ndarray, frequency: float, delay: Optional[float] = None):
@@ -79,11 +80,12 @@ class SeismicRun:
         self.step_count = 0
 
         t0 = time.perf_counter()
-        self.forest = Forest.new(self.conn, comm, level=max(1, self.cfg.base_level))
-        self._mesh_to_wavelength()
-        balance(self.forest)
-        self.forest.partition()
-        self._rebuild()
+        with trace_phase("Mesh"):
+            self.forest = Forest.new(self.conn, comm, level=max(1, self.cfg.base_level))
+            self._mesh_to_wavelength()
+            balance(self.forest)
+            self.forest.partition()
+            self._rebuild()
         self.meshing_seconds = time.perf_counter() - t0
         self.wave_seconds = 0.0
 
@@ -214,11 +216,12 @@ class SeismicRun:
         if dt is None:
             dt = self.solver.stable_dt(self.q, cfl=self.cfg.cfl)
         t0 = time.perf_counter()
-        for _ in range(nsteps):
-            self.q = lsrk45_step(self.q, self.t, dt, self.rhs)
-            self.t += dt
-            self.step_count += 1
-            self.record()
+        with trace_phase("WaveProp"):
+            for _ in range(nsteps):
+                self.q = lsrk45_step(self.q, self.t, dt, self.rhs)
+                self.t += dt
+                self.step_count += 1
+                self.record()
         elapsed = time.perf_counter() - t0
         self.wave_seconds += elapsed
         per_step = self.comm.allreduce(elapsed / max(nsteps, 1), MAX)
@@ -279,21 +282,22 @@ class SeismicRun:
         if gmax <= 0:
             return
         rel = peak / gmax
-        refine = (rel > refine_threshold) & (
-            self.forest.local.level < self.cfg.max_level
-        )
-        # Never coarsen below the wavelength-resolution mesh.
-        wave_ok = ~self._needs_refinement_after_coarsen()
-        coarsen = (rel < coarsen_threshold) & wave_ok
-        _, (self.q,) = adapt_and_rebalance(
-            self.forest,
-            refine,
-            coarsen,
-            fields=[self.q],
-            degree=self.cfg.degree,
-            max_level=self.cfg.max_level,
-        )
-        self._rebuild()
+        with trace_phase(PHASE_AMR):
+            refine = (rel > refine_threshold) & (
+                self.forest.local.level < self.cfg.max_level
+            )
+            # Never coarsen below the wavelength-resolution mesh.
+            wave_ok = ~self._needs_refinement_after_coarsen()
+            coarsen = (rel < coarsen_threshold) & wave_ok
+            _, (self.q,) = adapt_and_rebalance(
+                self.forest,
+                refine,
+                coarsen,
+                fields=[self.q],
+                degree=self.cfg.degree,
+                max_level=self.cfg.max_level,
+            )
+            self._rebuild()
 
     def _needs_refinement_after_coarsen(self) -> np.ndarray:
         """Would this element violate the wavelength rule if coarsened?"""

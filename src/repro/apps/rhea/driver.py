@@ -30,6 +30,7 @@ from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
 from repro.p4est.nodes import lnodes
 from repro.parallel.comm import Comm
+from repro.trace.tracer import PHASE_AMR, phase
 
 
 @dataclass
@@ -99,6 +100,10 @@ class RheaRun:
 
     def _static_adapt(self) -> None:
         """Data-adaptive refinement: temperature variation + weak zones."""
+        with phase(PHASE_AMR):
+            self._static_adapt_body()
+
+    def _static_adapt_body(self) -> None:
         t0 = time.perf_counter()
         for _ in range(self.cfg.max_level - self.cfg.base_level):
             centers = self._element_centers()
@@ -159,11 +164,12 @@ class RheaRun:
 
     def _rebuild(self) -> None:
         t0 = time.perf_counter()
-        self.ghost = build_ghost(self.forest)
-        self.mesh = build_mesh(self.forest, self.geometry, 1, self.ghost)
-        self.ln = lnodes(self.forest, self.ghost, 1)
-        self.cgs = CGSpace(self.mesh, self.ln, self.comm)
-        self.stokes = StokesProblem(self.cgs)
+        with phase(PHASE_AMR):
+            self.ghost = build_ghost(self.forest)
+            self.mesh = build_mesh(self.forest, self.geometry, 1, self.ghost)
+            self.ln = lnodes(self.forest, self.ghost, 1)
+            self.cgs = CGSpace(self.mesh, self.ln, self.comm)
+            self.stokes = StokesProblem(self.cgs)
         self.timers["amr"] += time.perf_counter() - t0
 
     # --- physics --------------------------------------------------------------------
@@ -231,34 +237,36 @@ class RheaRun:
         """Solution-adaptive refinement from strain rate + viscosity
         gradients, carrying T (and resetting the lagged strain rate)."""
         t0 = time.perf_counter()
-        eta = self.viscosity_field()
-        log_eta_range = np.log10(eta.max(axis=1)) - np.log10(eta.min(axis=1))
-        strain = np.sqrt(self.II_elem).max(axis=1)
-        smax = max(float(strain.max()), 1e-30)
-        indicator = log_eta_range + strain / smax
-        refine, coarsen = mark_fixed_fraction(
-            indicator,
-            self.comm,
-            self.cfg.refine_fraction,
-            self.cfg.coarsen_fraction,
-        )
-        Tq = self._element_T()
-        _, (Tq2,) = adapt_and_rebalance(
-            self.forest,
-            refine,
-            coarsen,
-            fields=[Tq],
-            degree=1,
-            min_level=self.cfg.base_level,
-            max_level=self.cfg.max_level,
-        )
+        with phase(PHASE_AMR):
+            eta = self.viscosity_field()
+            log_eta_range = np.log10(eta.max(axis=1)) - np.log10(eta.min(axis=1))
+            strain = np.sqrt(self.II_elem).max(axis=1)
+            smax = max(float(strain.max()), 1e-30)
+            indicator = log_eta_range + strain / smax
+            refine, coarsen = mark_fixed_fraction(
+                indicator,
+                self.comm,
+                self.cfg.refine_fraction,
+                self.cfg.coarsen_fraction,
+            )
+            Tq = self._element_T()
+            _, (Tq2,) = adapt_and_rebalance(
+                self.forest,
+                refine,
+                coarsen,
+                fields=[Tq],
+                degree=1,
+                min_level=self.cfg.base_level,
+                max_level=self.cfg.max_level,
+            )
         self.timers["amr"] += time.perf_counter() - t0
         self._rebuild()
         t0 = time.perf_counter()
-        self.T = self._nodal_from_element(Tq2)
-        nl = self.mesh.nelem_local
-        self.u = np.zeros((self.ln.num_local_nodes, self.dim))
-        self.II_elem = np.full((nl, self.cgs.npts), 1e-12)
+        with phase(PHASE_AMR):
+            self.T = self._nodal_from_element(Tq2)
+            nl = self.mesh.nelem_local
+            self.u = np.zeros((self.ln.num_local_nodes, self.dim))
+            self.II_elem = np.full((nl, self.cgs.npts), 1e-12)
         self.adapt_count += 1
         self.timers["amr"] += time.perf_counter() - t0
 

@@ -27,6 +27,7 @@ import scipy.sparse as sp
 from repro.mangll.cgops import CGSpace, gradient_matrices
 from repro.solvers.amg import smoothed_aggregation
 from repro.solvers.krylov import minres
+from repro.trace.tracer import PHASE_SOLVE, PHASE_VCYCLE, phase, traced
 
 
 @dataclass
@@ -150,6 +151,7 @@ class StokesProblem:
 
     # --- solve ------------------------------------------------------------------------
 
+    @traced(PHASE_SOLVE)
     def solve(
         self,
         eta: np.ndarray,
@@ -225,7 +227,8 @@ class StokesProblem:
         def M(r):
             z = np.empty_like(r)
             t1 = time.perf_counter()
-            z[:nv] = ml.vcycle(r[:nv])
+            with phase(PHASE_VCYCLE):
+                z[:nv] = ml.vcycle(r[:nv])
             vcycle_time[0] += time.perf_counter() - t1
             z[nv:] = r[nv:] / mass_over_eta
             return project_pressure(z)

@@ -26,6 +26,7 @@ from repro.mangll.mesh import face_node_indices
 from repro.mangll.quadrature import differentiation_matrix
 from repro.parallel.comm import Comm
 from repro.parallel.ops import MIN
+from repro.trace.tracer import PHASE_APPLY, traced
 
 
 class DGSolver:
@@ -128,6 +129,7 @@ class DGSolver:
 
     # --- Public API ------------------------------------------------------------------
 
+    @traced(PHASE_APPLY)
     def rhs(self, q_local: np.ndarray, t: float = 0.0) -> np.ndarray:
         """Evaluate dq/dt (collective: one ghost exchange)."""
         sp = self.space

@@ -11,6 +11,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.trace.tracer import PHASE_RK, traced
+
 # Carpenter-Kennedy LSRK(5,4) coefficients.
 RK_A = np.array(
     [
@@ -41,6 +43,7 @@ RK_C = np.array(
 )
 
 
+@traced(PHASE_RK)
 def lsrk45_step(
     q: np.ndarray,
     t: float,

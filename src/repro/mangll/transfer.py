@@ -30,6 +30,7 @@ from repro.mangll.quadrature import (
     lagrange_interpolation_matrix,
 )
 from repro.p4est.octant import Octants, is_ancestor_pairwise, searchsorted_octants
+from repro.trace.tracer import PHASE_TRANSFER, traced
 
 
 @lru_cache(maxsize=4096)
@@ -93,6 +94,7 @@ def nested_interp_matrix(
     return out
 
 
+@traced(PHASE_TRANSFER)
 def transfer_nodal_fields(
     old_octants: Octants,
     q_old: np.ndarray,

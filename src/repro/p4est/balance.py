@@ -41,6 +41,7 @@ from repro.p4est.octant import (
     searchsorted_octants,
 )
 from repro.parallel.ops import LAND, LOR
+from repro.trace.tracer import PHASE_BALANCE, traced
 
 
 def edge_index(axis: int, sides: Dict[int, int]) -> int:
@@ -225,6 +226,7 @@ def _violations(leaves: Octants, constraints: Octants) -> np.ndarray:
     )
 
 
+@traced(PHASE_BALANCE)
 def balance(forest: Forest, codim: Optional[int] = None) -> int:
     """Enforce 2:1 neighbor size relations globally (``Balance``).
 

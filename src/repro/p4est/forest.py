@@ -30,6 +30,7 @@ from repro.p4est.octant import (
 )
 from repro.parallel.comm import Comm
 from repro.parallel.ops import LOR, SUM
+from repro.trace.tracer import PHASE_ADAPT, PHASE_PARTITION, traced
 
 RefineCallback = Callable[[Octants], np.ndarray]
 
@@ -179,6 +180,7 @@ class Forest:
 
     # Refinement / coarsening ----------------------------------------------------------
 
+    @traced(PHASE_ADAPT)
     def refine(
         self,
         mask: Optional[np.ndarray] = None,
@@ -223,6 +225,7 @@ class Forest:
         self._refresh_counts()
         return nsplit
 
+    @traced(PHASE_ADAPT)
     def coarsen(
         self,
         mask: Optional[np.ndarray] = None,
@@ -324,6 +327,7 @@ class Forest:
 
     # Partition -----------------------------------------------------------------------
 
+    @traced(PHASE_PARTITION)
     def partition(
         self,
         weights: Optional[np.ndarray] = None,

@@ -24,6 +24,7 @@ import numpy as np
 from repro.p4est.balance import generate_neighbor_regions
 from repro.p4est.forest import Forest, octants_from_wire, octants_to_wire
 from repro.p4est.octant import Octants, neighbor_offsets
+from repro.trace.tracer import PHASE_GHOST, traced
 
 
 @dataclass
@@ -76,6 +77,7 @@ class GhostLayer:
         return out
 
 
+@traced(PHASE_GHOST)
 def build_ghost(
     forest: Forest, codim: Optional[int] = None, layers: int = 1
 ) -> GhostLayer:

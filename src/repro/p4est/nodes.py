@@ -67,6 +67,7 @@ from repro.p4est.octant import (
 )
 from repro.parallel.comm import Comm
 from repro.parallel.ops import SUM
+from repro.trace.tracer import PHASE_NODES, traced
 
 # Neighbor configuration codes.
 BOUNDARY = 0
@@ -218,6 +219,7 @@ def _images_of_regions(
     return _route_exterior_indexed(f, ext, src_idx)
 
 
+@traced(PHASE_NODES)
 def lnodes(forest: Forest, ghost: GhostLayer, degree: int) -> LNodes:
     """Construct the global cG node numbering (``Nodes``).
 

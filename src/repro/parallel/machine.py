@@ -261,6 +261,7 @@ class RankOutcome:
     value: Any
     stats: CommStats
     compute_seconds: float
+    trace: Any = None  # TraceReport when the run was traced
 
 
 @dataclass
@@ -284,6 +285,26 @@ class SpmdReport:
             merged.merge(o.stats)
         return merged
 
+    @property
+    def trace_reports(self) -> List[Any]:
+        """Per-rank :class:`~repro.trace.tracer.TraceReport`s (traced runs)."""
+        return [o.trace for o in self.outcomes if o.trace is not None]
+
+    def profile(self, wall_seconds: Optional[float] = None) -> Any:
+        """Merge the per-rank traces into a :class:`~repro.trace.RunProfile`.
+
+        Raises :class:`ValueError` when the run was not launched with
+        ``trace=True``.
+        """
+        reports = self.trace_reports
+        if not reports:
+            raise ValueError("run was not traced; pass trace=True to spmd_run_*")
+        from repro.trace.profile import RunProfile
+
+        if wall_seconds is None:
+            wall_seconds = self.wall_seconds
+        return RunProfile.from_reports(reports, wall_seconds=wall_seconds)
+
 
 class _Attempt:
     """One launch of ``size`` rank threads (shared by the run entrypoints)."""
@@ -295,6 +316,7 @@ class _Attempt:
         args: tuple,
         kwargs: dict,
         comm_wrapper: Optional[Callable[[Comm], Comm]] = None,
+        trace: bool = False,
     ) -> None:
         if not 1 <= size <= MAX_RANKS:
             raise ValueError(f"size must be in [1, {MAX_RANKS}], got {size}")
@@ -302,18 +324,37 @@ class _Attempt:
         self.comms = [ThreadComm(r, self.shared) for r in range(size)]
         self.outcomes: List[Optional[RankOutcome]] = [None] * size
         self.wall_seconds = 0.0
+        if trace:
+            # Imported lazily: repro.trace depends on this module's package.
+            from repro.trace.comm import TracingComm
+            from repro.trace.tracer import Tracer
+
+            epoch = time.perf_counter()  # shared t=0 across rank timelines
 
         def runner(rank: int) -> None:
             comm = self.comms[rank]
             comm._mark = time.thread_time()  # clock baseline in the rank thread
             facade = comm_wrapper(comm) if comm_wrapper is not None else comm
+            tracer = None
+            if trace:
+                tracer = Tracer(rank, epoch=epoch)
+                facade = TracingComm(facade, tracer)
             try:
-                value = fn(facade, *args, **kwargs)
+                if tracer is not None:
+                    with tracer.activate():
+                        value = fn(facade, *args, **kwargs)
+                else:
+                    value = fn(facade, *args, **kwargs)
             except BaseException as exc:  # noqa: BLE001 - must unblock peers
                 self.shared.abort(rank, exc)
                 return
             comm._begin()  # flush trailing compute time
-            self.outcomes[rank] = RankOutcome(value, comm.stats, comm.compute_seconds)
+            self.outcomes[rank] = RankOutcome(
+                value,
+                comm.stats,
+                comm.compute_seconds,
+                trace=tracer.report() if tracer is not None else None,
+            )
 
         t0 = time.perf_counter()
         threads = [
@@ -358,23 +399,34 @@ class _Attempt:
 
 
 def spmd_run_detailed(
-    size: int, fn: Callable[..., Any], *args: Any, **kwargs: Any
+    size: int, fn: Callable[..., Any], *args: Any, trace: bool = False, **kwargs: Any
 ) -> SpmdReport:
-    """Run ``fn(comm, *args, **kwargs)`` SPMD on ``size`` ranks with metering."""
-    attempt = _Attempt(size, fn, args, kwargs)
+    """Run ``fn(comm, *args, **kwargs)`` SPMD on ``size`` ranks with metering.
+
+    With ``trace=True`` every rank runs under an active
+    :class:`~repro.trace.tracer.Tracer` (sharing one epoch, so Chrome-trace
+    timelines align) behind a :class:`~repro.trace.comm.TracingComm`; the
+    per-rank :class:`~repro.trace.tracer.TraceReport`s land on the outcomes
+    and :meth:`SpmdReport.profile` merges them.
+    """
+    attempt = _Attempt(size, fn, args, kwargs, trace=trace)
     if attempt.failed:
         attempt.raise_failure()
     return attempt.report()
 
 
-def spmd_run(size: int, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
+def spmd_run(
+    size: int, fn: Callable[..., Any], *args: Any, trace: bool = False, **kwargs: Any
+) -> List[Any]:
     """Run ``fn(comm, *args, **kwargs)`` SPMD on ``size`` ranks.
 
     Returns the list of per-rank return values.  If any rank raises, a
     :class:`SpmdError` naming the first failed rank propagates with the
     original exception chained (peers are unblocked via barrier abort).
+    ``trace=True`` enables phase tracing (use :func:`spmd_run_detailed` to
+    also get the reports back).
     """
-    return spmd_run_detailed(size, fn, *args, **kwargs).values
+    return spmd_run_detailed(size, fn, *args, trace=trace, **kwargs).values
 
 
 # Self-healing runs ----------------------------------------------------------
@@ -458,6 +510,7 @@ def spmd_run_resilient(
     min_size: int = 1,
     store: Optional[CheckpointStore] = None,
     comm_wrapper: Optional[Callable[[Comm, int], Comm]] = None,
+    trace: bool = False,
     **kwargs: Any,
 ) -> ResilientResult:
     """Run ``fn(comm, store, *args, **kwargs)`` SPMD with checkpoint recovery.
@@ -479,7 +532,10 @@ def spmd_run_resilient(
     propagate after the retry budget is exhausted.
 
     Returns a :class:`ResilientResult`; its :class:`RecoveryReport` is the
-    input for charging recovery overhead in :mod:`repro.perf`.
+    input for charging recovery overhead in :mod:`repro.perf`.  With
+    ``trace=True`` the successful attempt's per-rank phase traces land on
+    the returned report (see :func:`spmd_run_detailed`); tracing composes
+    outside ``comm_wrapper``, so injected faults are metered too.
     """
     if store is None:
         store = CheckpointStore()
@@ -492,7 +548,9 @@ def spmd_run_resilient(
             if comm_wrapper is not None
             else None
         )
-        attempt = _Attempt(cur_size, fn, (store,) + args, kwargs, comm_wrapper=wrap)
+        attempt = _Attempt(
+            cur_size, fn, (store,) + args, kwargs, comm_wrapper=wrap, trace=trace
+        )
         if not attempt.failed:
             recovery.final_size = cur_size
             report = attempt.report()

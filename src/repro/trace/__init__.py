@@ -1,0 +1,98 @@
+"""Phase-scoped tracing and runtime-breakdown observability.
+
+This package is the reproduction's instrumentation layer: the paper's
+headline evidence is per-phase runtime breakdowns (Figure 7 splits Rhea
+wall-clock into AMR phases versus solver time; the weak-scaling figures
+rest on knowing where time and bytes go), and ``repro.trace`` makes
+those breakdowns first-class:
+
+* :class:`Tracer` — per-rank, nestable ``phase("Balance")`` spans
+  recording wall time, call counts, and per-phase communication.
+* :class:`TracingComm` — a :class:`~repro.parallel.comm.Comm` decorator
+  attributing message counts and byte volumes to the innermost phase.
+* :class:`RunProfile` — the deterministic cross-rank merge with
+  min/mean/max-over-ranks times and imbalance ratios, gathered through
+  the ordinary collective machinery (:func:`gather_profile`).
+* Exporters — ``chrome://tracing`` JSON timelines and fixed-width
+  breakdown/modeled-vs-measured tables.
+
+Tracing is off by default: the library's ``trace.phase(...)`` markers
+cost a thread-local read and a shared no-op context manager until a
+tracer is activated (see docs/OBSERVABILITY.md).
+"""
+
+from repro.trace.comm import TracingComm
+from repro.trace.export import (
+    breakdown_table,
+    chrome_trace,
+    dump_chrome_trace,
+    model_delta_table,
+    reports_from_chrome,
+)
+from repro.trace.profile import (
+    PhaseModelDelta,
+    PhaseProfile,
+    RunProfile,
+    gather_profile,
+    merge_reports,
+    modeled_vs_measured,
+    phase_comm_cost,
+)
+from repro.trace.tracer import (
+    NULL_PHASE,
+    PHASE_ADAPT,
+    PHASE_AMR,
+    PHASE_APPLY,
+    PHASE_BALANCE,
+    PHASE_GHOST,
+    PHASE_NODES,
+    PHASE_PARTITION,
+    PHASE_RK,
+    PHASE_SOLVE,
+    PHASE_TRANSFER,
+    PHASE_VCYCLE,
+    PhaseStats,
+    SpanEvent,
+    TraceReport,
+    Tracer,
+    current_tracer,
+    phase,
+    traced,
+    use_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "TraceReport",
+    "PhaseStats",
+    "SpanEvent",
+    "TracingComm",
+    "RunProfile",
+    "PhaseProfile",
+    "PhaseModelDelta",
+    "phase",
+    "traced",
+    "current_tracer",
+    "use_tracer",
+    "NULL_PHASE",
+    "merge_reports",
+    "gather_profile",
+    "modeled_vs_measured",
+    "phase_comm_cost",
+    "chrome_trace",
+    "dump_chrome_trace",
+    "reports_from_chrome",
+    "breakdown_table",
+    "model_delta_table",
+    "PHASE_ADAPT",
+    "PHASE_PARTITION",
+    "PHASE_BALANCE",
+    "PHASE_GHOST",
+    "PHASE_NODES",
+    "PHASE_TRANSFER",
+    "PHASE_AMR",
+    "PHASE_SOLVE",
+    "PHASE_VCYCLE",
+    "PHASE_RK",
+    "PHASE_APPLY",
+]

@@ -1,0 +1,190 @@
+"""Trace exporters: Chrome-trace JSON and text breakdown tables.
+
+The Chrome format is the ``chrome://tracing`` / Perfetto JSON object
+format: one complete event (``"ph": "X"``) per span with microsecond
+timestamps, ``tid`` = rank, plus thread-name metadata.  The exporter is
+lossless for span timelines, and :func:`reports_from_chrome` parses the
+JSON back into per-rank :class:`~repro.trace.tracer.TraceReport`
+skeletons — the round-trip the tests pin down.
+
+Table exporters render a :class:`~repro.trace.profile.RunProfile` with
+the same fixed-width style as the benchmark harness
+(:func:`repro.perf.model.format_table`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.parallel.stats import CommStats
+from repro.trace.profile import RunProfile, modeled_vs_measured
+from repro.trace.tracer import SpanEvent, TraceReport
+
+_US = 1e6  # chrome trace timestamps are microseconds
+
+
+def chrome_trace(reports: Sequence[TraceReport]) -> Dict:
+    """Build the ``chrome://tracing`` JSON object for per-rank reports."""
+    events: List[Dict] = []
+    for rep in sorted(reports, key=lambda r: r.rank):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": rep.rank,
+                "args": {"name": f"rank {rep.rank}"},
+            }
+        )
+        for ev in rep.events:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": ev.name,
+                    "cat": "phase",
+                    "ts": ev.start * _US,
+                    "dur": ev.duration * _US,
+                    "pid": 0,
+                    "tid": rep.rank,
+                    "args": {"path": ev.path, "depth": ev.depth},
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(
+    reports: Sequence[TraceReport], path: str, indent: Optional[int] = None
+) -> None:
+    """Write the Chrome-trace JSON for ``reports`` to ``path``."""
+    with open(path, "w") as f:
+        json.dump(chrome_trace(reports), f, indent=indent)
+
+
+def reports_from_chrome(data: Union[Dict, str]) -> List[TraceReport]:
+    """Parse a Chrome-trace JSON object (or string) back into reports.
+
+    Only span timelines survive the round-trip (the JSON does not carry
+    per-phase communication counters); aggregates are rebuilt from the
+    events so ``phases`` holds calls and inclusive seconds per path.
+    """
+    if isinstance(data, str):
+        data = json.loads(data)
+    by_rank: Dict[int, List[SpanEvent]] = {}
+    for ev in data["traceEvents"]:
+        if ev.get("ph") != "X":
+            continue
+        args = ev.get("args", {})
+        by_rank.setdefault(int(ev["tid"]), []).append(
+            SpanEvent(
+                name=ev["name"],
+                path=args.get("path", ev["name"]),
+                depth=int(args.get("depth", 0)),
+                start=ev["ts"] / _US,
+                duration=ev["dur"] / _US,
+            )
+        )
+    reports = []
+    for rank in sorted(by_rank):
+        events = sorted(by_rank[rank], key=lambda e: (e.start, e.depth))
+        phases: Dict[str, "object"] = {}
+        from repro.trace.tracer import PhaseStats
+
+        for ev in events:
+            ps = phases.get(ev.path)
+            if ps is None:
+                ps = PhaseStats(ev.path, ev.name, ev.depth)
+                phases[ev.path] = ps
+            ps.calls += 1
+            ps.seconds += ev.duration
+        total = 0.0
+        if events:
+            total = max(e.start + e.duration for e in events) - min(
+                e.start for e in events
+            )
+        reports.append(
+            TraceReport(
+                rank=rank,
+                phases=phases,
+                events=events,
+                unattributed=CommStats(),
+                total_seconds=total,
+            )
+        )
+    return reports
+
+
+# Text tables ---------------------------------------------------------------
+
+
+def breakdown_table(profile: RunProfile, top_only: bool = False) -> str:
+    """Fixed-width per-phase breakdown of a :class:`RunProfile`.
+
+    Rows are indented by nesting depth; times are inclusive seconds with
+    min/mean/max over ranks and the max/mean imbalance ratio; message
+    and byte columns are summed over ranks.
+    """
+    from repro.perf.model import format_table
+
+    total = max(sum(p.t_mean for p in profile.top_level()), 1e-300)
+    rows = []
+    for p in profile.phases:
+        if top_only and p.depth > 0:
+            continue
+        label = "  " * p.depth + p.name
+        pct = 100.0 * p.t_mean / total if p.depth == 0 else float("nan")
+        rows.append(
+            [
+                label,
+                p.calls,
+                f"{p.t_min:.4f}",
+                f"{p.t_mean:.4f}",
+                f"{p.t_max:.4f}",
+                f"{p.imbalance:.2f}",
+                p.messages,
+                p.bytes_sent,
+                f"{pct:.1f}" if p.depth == 0 else "-",
+            ]
+        )
+    return format_table(
+        [
+            "phase",
+            "calls",
+            "t_min[s]",
+            "t_mean[s]",
+            "t_max[s]",
+            "imbal",
+            "msgs",
+            "bytes",
+            "% top",
+        ],
+        rows,
+    )
+
+
+def model_delta_table(
+    profile: RunProfile, machine, P: Optional[int] = None
+) -> str:
+    """Per-phase modeled-vs-measured communication table.
+
+    ``measured`` is the traced mean wall time inside communicator calls;
+    ``modeled`` evaluates the phase's counted communication structure
+    under ``machine`` at ``P`` ranks (defaults to the traced count).
+    """
+    from repro.perf.model import format_table
+
+    deltas = modeled_vs_measured(profile, machine, P=P)
+    rows = [
+        [
+            d.path,
+            d.messages,
+            d.bytes_sent,
+            f"{d.measured_comm_seconds:.5f}",
+            f"{d.modeled_comm_seconds:.5f}",
+            f"{d.delta_seconds:+.5f}",
+        ]
+        for d in deltas
+    ]
+    return format_table(
+        ["phase", "msgs", "bytes", "measured[s]", "modeled[s]", "delta[s]"], rows
+    )

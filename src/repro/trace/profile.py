@@ -1,0 +1,212 @@
+"""Merging per-rank traces into a run-level profile.
+
+A :class:`RunProfile` is the cross-rank view of a traced run: for every
+phase path it carries min/mean/max-over-ranks wall seconds, the max/mean
+imbalance ratio, and the summed message/byte traffic.  Merging is
+deterministic — phases are keyed and ordered by path, and every
+reduction is over the sorted rank list — so the same per-rank reports
+always produce the identical profile regardless of thread scheduling.
+
+The modeled-vs-measured hook closes the loop with :mod:`repro.perf`:
+each phase's traced communication structure is summarized into a
+:class:`~repro.perf.model.CommCost` and evaluated under a machine model,
+yielding a per-phase delta between the alpha-beta prediction and the
+wall time the rank actually spent inside communicator calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.parallel.comm import Comm
+from repro.parallel.stats import CommStats
+from repro.trace.tracer import PATH_SEP, TraceReport, Tracer
+
+
+@dataclass
+class PhaseProfile:
+    """Cross-rank statistics for one phase path."""
+
+    path: str
+    name: str
+    depth: int
+    calls: int = 0  # max over ranks (ranks normally agree)
+    t_min: float = 0.0  # min over ranks, inclusive seconds
+    t_mean: float = 0.0
+    t_max: float = 0.0
+    self_mean: float = 0.0  # mean over ranks, exclusive seconds
+    comm_mean: float = 0.0  # mean over ranks, seconds inside Comm ops
+    messages: int = 0  # summed over ranks
+    bytes_sent: int = 0  # summed over ranks
+    ranks: int = 0  # ranks that entered this phase
+    comm: CommStats = field(default_factory=CommStats)  # summed over ranks
+
+    @property
+    def imbalance(self) -> float:
+        """Max-over-mean wall-time ratio (1.0 = perfectly balanced)."""
+        return self.t_max / self.t_mean if self.t_mean > 0 else 1.0
+
+
+@dataclass
+class RunProfile:
+    """The merged, cross-rank runtime breakdown of one traced run."""
+
+    nranks: int
+    phases: List[PhaseProfile]
+    wall_seconds: float = 0.0
+    unattributed: CommStats = field(default_factory=CommStats)
+
+    @classmethod
+    def from_reports(
+        cls, reports: Sequence[TraceReport], wall_seconds: Optional[float] = None
+    ) -> "RunProfile":
+        """Merge per-rank :class:`TraceReport` snapshots deterministically.
+
+        Reports are ordered by rank before reduction, phases by path, so
+        the result is invariant to the order ``reports`` arrives in.
+        """
+        reports = sorted(reports, key=lambda r: r.rank)
+        if not reports:
+            return cls(0, [])
+        paths: Dict[str, List] = {}
+        for rep in reports:
+            for path, ps in rep.phases.items():
+                paths.setdefault(path, []).append(ps)
+        phases = []
+        for path in sorted(paths):
+            group = paths[path]
+            first = group[0]
+            p = PhaseProfile(path=path, name=first.name, depth=first.depth)
+            times = [ps.seconds for ps in group]
+            p.ranks = len(group)
+            p.calls = max(ps.calls for ps in group)
+            p.t_min = min(times)
+            p.t_max = max(times)
+            p.t_mean = sum(times) / len(times)
+            p.self_mean = sum(ps.self_seconds for ps in group) / len(group)
+            p.comm_mean = sum(ps.comm_seconds for ps in group) / len(group)
+            for ps in group:
+                p.comm.merge(ps.comm)
+            p.messages = p.comm.total_messages
+            p.bytes_sent = p.comm.total_bytes
+            phases.append(p)
+        unattributed = CommStats()
+        for rep in reports:
+            unattributed.merge(rep.unattributed)
+        if wall_seconds is None:
+            wall_seconds = max(r.total_seconds for r in reports)
+        return cls(len(reports), phases, wall_seconds, unattributed)
+
+    # Lookup ---------------------------------------------------------------
+
+    def phase(self, path: str) -> Optional[PhaseProfile]:
+        """The profile entry for an exact phase path, or ``None``."""
+        for p in self.phases:
+            if p.path == path:
+                return p
+        return None
+
+    def top_level(self) -> List[PhaseProfile]:
+        """Depth-zero phases only (the driver-level breakdown rows)."""
+        return [p for p in self.phases if p.depth == 0]
+
+    def named(self, name: str) -> List[PhaseProfile]:
+        """Every entry whose leaf name is ``name`` (any nesting)."""
+        return [p for p in self.phases if p.name == name]
+
+    def seconds_of(self, name: str) -> float:
+        """Summed mean inclusive seconds over all entries named ``name``.
+
+        Summing over paths is safe for same-named phases at different
+        nesting sites, but would double-count a phase nested inside
+        itself; recursive phases should be queried by exact path.
+        """
+        return sum(p.t_mean for p in self.named(name))
+
+    def percentages(self, names: Sequence[str]) -> Dict[str, float]:
+        """Share of the listed phases' total mean time, in percent."""
+        totals = {n: self.seconds_of(n) for n in names}
+        denom = max(sum(totals.values()), 1e-300)
+        return {n: 100.0 * t / denom for n, t in totals.items()}
+
+
+def merge_reports(
+    reports: Sequence[TraceReport], wall_seconds: Optional[float] = None
+) -> RunProfile:
+    """Functional alias for :meth:`RunProfile.from_reports`."""
+    return RunProfile.from_reports(reports, wall_seconds=wall_seconds)
+
+
+def gather_profile(
+    comm: Comm, tracer: Tracer, root: int = 0, wall_seconds: Optional[float] = None
+) -> Optional[RunProfile]:
+    """Merge every rank's trace through the collective machinery.
+
+    Each rank contributes its tracer's report via ``comm.gather``; the
+    ``root`` rank returns the merged :class:`RunProfile`, all other
+    ranks ``None``.  Collective.
+    """
+    reports = comm.gather(tracer.report(), root=root)
+    if reports is None:
+        return None
+    return RunProfile.from_reports(reports, wall_seconds=wall_seconds)
+
+
+def phase_comm_cost(p: PhaseProfile, nranks: int):
+    """Per-rank-average :class:`~repro.perf.model.CommCost` of one phase."""
+    from repro.perf.model import comm_cost_from_stats
+
+    exch = p.comm.ops.get("exchange")
+    rounds = exch.calls / max(nranks, 1) if exch is not None else 1.0
+    cost = comm_cost_from_stats(p.comm, rounds_hint=max(rounds, 1.0))
+    P = max(nranks, 1)
+    cost.allreduces /= P
+    cost.allgathers /= P
+    cost.exchange_messages /= P
+    cost.exchange_bytes /= P
+    return cost
+
+
+@dataclass
+class PhaseModelDelta:
+    """Modeled-vs-measured communication seconds for one phase."""
+
+    path: str
+    measured_comm_seconds: float  # mean over ranks, traced
+    modeled_comm_seconds: float  # alpha-beta prediction at P ranks
+    messages: int
+    bytes_sent: int
+
+    @property
+    def delta_seconds(self) -> float:
+        """Modeled minus measured communication seconds."""
+        return self.modeled_comm_seconds - self.measured_comm_seconds
+
+
+def modeled_vs_measured(
+    profile: RunProfile, machine, P: Optional[int] = None
+) -> List[PhaseModelDelta]:
+    """Per-phase deltas between the machine model and the traced run.
+
+    ``machine`` is a :class:`~repro.perf.machine.MachineModel`; ``P``
+    defaults to the traced rank count (apples-to-apples), but can be set
+    to a paper-scale core count to read off the extrapolated phase cost.
+    Phases with no communication are omitted.
+    """
+    P = profile.nranks if P is None else P
+    out = []
+    for p in profile.phases:
+        if p.comm.total_calls == 0:
+            continue
+        cost = phase_comm_cost(p, profile.nranks)
+        out.append(
+            PhaseModelDelta(
+                path=p.path,
+                measured_comm_seconds=p.comm_mean,
+                modeled_comm_seconds=cost.modeled_seconds(machine, max(P, 1)),
+                messages=p.messages,
+                bytes_sent=p.bytes_sent,
+            )
+        )
+    return out

@@ -1,0 +1,314 @@
+"""Phase-scoped tracing: nestable spans with per-phase communication.
+
+A :class:`Tracer` records a stack of named *phase spans* per rank.  Library
+code marks phases with the module-level :func:`phase` context manager::
+
+    with trace.phase("Balance"):
+        ...
+
+which resolves the active tracer through a thread-local — exactly right
+for the thread-backed SPMD machine, where each rank is a thread carrying
+its own tracer.  When no tracer is active (the default), :func:`phase`
+returns a shared no-op context manager and the instrumented code runs at
+full speed; nothing is allocated and nothing is recorded.
+
+Each completed span is aggregated by its *path* (``"AMR/Balance"`` for a
+``Balance`` span nested in an ``AMR`` span): call count, inclusive wall
+seconds, self seconds (inclusive minus children), seconds spent inside
+communicator operations, and a :class:`~repro.parallel.stats.CommStats`
+of the traffic issued while the span was innermost.  Spans also append
+timeline events (start/duration) for the Chrome-trace exporter.
+
+The byte/message numbers arrive through
+:class:`~repro.trace.comm.TracingComm`, a communicator decorator in the
+same pattern as :class:`~repro.parallel.faults.FaultyComm`: it delegates
+every operation to the wrapped comm and attributes the recorded traffic
+to the innermost open phase of the rank's tracer.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.parallel.stats import CommStats
+
+PATH_SEP = "/"
+
+# The paper's Figure-7 / Figure-4 phase taxonomy (docs/OBSERVABILITY.md).
+PHASE_ADAPT = "AdaptOctree"  # Refine + Coarsen (communication-free)
+PHASE_PARTITION = "Partition"
+PHASE_BALANCE = "Balance"
+PHASE_GHOST = "Ghost"
+PHASE_NODES = "Nodes"
+PHASE_TRANSFER = "Transfer"  # solution transfer between meshes
+PHASE_AMR = "AMR"  # driver-level umbrella over the six above
+PHASE_SOLVE = "Solve"  # Krylov + assembly + AMG setup
+PHASE_VCYCLE = "VCycle"  # AMG V-cycle applications (nested in Solve)
+PHASE_RK = "RK"  # one LSRK(5,4) step
+PHASE_APPLY = "Apply"  # one dG operator application
+
+UNATTRIBUTED = "(unattributed)"
+
+
+@dataclass
+class PhaseStats:
+    """Aggregate statistics for one phase path on one rank."""
+
+    path: str
+    name: str
+    depth: int
+    calls: int = 0
+    seconds: float = 0.0  # inclusive wall time
+    self_seconds: float = 0.0  # inclusive minus child spans
+    comm_seconds: float = 0.0  # wall time inside Comm operations
+    comm: CommStats = field(default_factory=CommStats)
+
+    def copy(self) -> "PhaseStats":
+        """Deep-copy this record (reports must not alias live tracers)."""
+        out = PhaseStats(
+            self.path,
+            self.name,
+            self.depth,
+            self.calls,
+            self.seconds,
+            self.self_seconds,
+            self.comm_seconds,
+        )
+        out.comm.merge(self.comm)
+        return out
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed span occurrence on the rank's timeline."""
+
+    name: str
+    path: str
+    depth: int
+    start: float  # seconds since the tracer epoch
+    duration: float
+
+
+@dataclass
+class TraceReport:
+    """Immutable snapshot of one rank's trace (the mergeable unit)."""
+
+    rank: int
+    phases: Dict[str, PhaseStats]
+    events: List[SpanEvent]
+    unattributed: CommStats
+    total_seconds: float
+    events_truncated: bool = False
+
+    def phase_list(self) -> List[PhaseStats]:
+        """Phases sorted by path (deterministic across ranks and runs)."""
+        return [self.phases[p] for p in sorted(self.phases)]
+
+
+class _OpenSpan:
+    """Mutable bookkeeping for one currently-open span."""
+
+    __slots__ = ("name", "path", "depth", "t0", "child_seconds", "comm_seconds")
+
+    def __init__(self, name: str, path: str, depth: int, t0: float) -> None:
+        self.name = name
+        self.path = path
+        self.depth = depth
+        self.t0 = t0
+        self.child_seconds = 0.0
+        self.comm_seconds = 0.0
+
+
+class Tracer:
+    """Per-rank phase tracer: a span stack plus per-path aggregates.
+
+    One tracer belongs to one rank (one thread).  Use it either through
+    :meth:`activate` (installs it as the thread's current tracer so the
+    library's :func:`phase` markers report to it) or by calling
+    :meth:`phase` directly.  ``epoch`` aligns timelines across ranks:
+    the SPMD machine passes one common epoch to every rank's tracer so
+    the merged Chrome trace shows ranks on a shared clock.
+    """
+
+    MAX_EVENTS = 200_000
+
+    def __init__(self, rank: int = 0, epoch: Optional[float] = None) -> None:
+        """Create an empty tracer for ``rank`` with timeline origin ``epoch``."""
+        self.rank = rank
+        self.epoch = time.perf_counter() if epoch is None else epoch
+        self._stack: List[_OpenSpan] = []
+        self._phases: Dict[str, PhaseStats] = {}
+        self._events: List[SpanEvent] = []
+        self._unattributed = CommStats()
+        self._events_truncated = False
+        self._t_first: Optional[float] = None
+        self._t_last: float = self.epoch
+
+    # Span protocol --------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Open a span named ``name`` nested under the current span."""
+        self._enter(name)
+        try:
+            yield
+        finally:
+            self._exit()
+
+    def _enter(self, name: str) -> None:
+        """Push a new open span onto the stack."""
+        if PATH_SEP in name:
+            raise ValueError(f"phase name may not contain {PATH_SEP!r}: {name!r}")
+        parent = self._stack[-1].path if self._stack else ""
+        path = parent + PATH_SEP + name if parent else name
+        t0 = time.perf_counter()
+        if self._t_first is None:
+            self._t_first = t0
+        self._stack.append(_OpenSpan(name, path, len(self._stack), t0))
+
+    def _exit(self) -> None:
+        """Pop the innermost span and fold it into the aggregates."""
+        span = self._stack.pop()
+        end = time.perf_counter()
+        self._t_last = end
+        dur = end - span.t0
+        ps = self._phases.get(span.path)
+        if ps is None:
+            ps = PhaseStats(span.path, span.name, span.depth)
+            self._phases[span.path] = ps
+        ps.calls += 1
+        ps.seconds += dur
+        ps.self_seconds += max(dur - span.child_seconds, 0.0)
+        ps.comm_seconds += span.comm_seconds
+        if self._stack:
+            self._stack[-1].child_seconds += dur
+        if len(self._events) < self.MAX_EVENTS:
+            self._events.append(
+                SpanEvent(span.name, span.path, span.depth, span.t0 - self.epoch, dur)
+            )
+        else:
+            self._events_truncated = True
+
+    # Comm attribution (called by TracingComm) -----------------------------
+
+    def record_comm(
+        self, op: str, messages: int, nbytes: int, seconds: float = 0.0
+    ) -> None:
+        """Attribute one communicator operation to the innermost phase."""
+        if self._stack:
+            span = self._stack[-1]
+            span.comm_seconds += seconds
+            ps = self._phases.get(span.path)
+            if ps is None:
+                ps = PhaseStats(span.path, span.name, span.depth)
+                self._phases[span.path] = ps
+            ps.comm.record(op, messages, nbytes)
+        else:
+            self._unattributed.record(op, messages, nbytes)
+
+    # Activation -----------------------------------------------------------
+
+    @contextmanager
+    def activate(self) -> Iterator["Tracer"]:
+        """Install this tracer as the current tracer of this thread."""
+        prev = getattr(_TLS, "tracer", None)
+        _TLS.tracer = self
+        try:
+            yield self
+        finally:
+            _TLS.tracer = prev
+
+    # Reporting ------------------------------------------------------------
+
+    def report(self) -> TraceReport:
+        """Snapshot the aggregates into an immutable :class:`TraceReport`."""
+        if self._stack:
+            raise RuntimeError(
+                f"cannot report with {len(self._stack)} span(s) still open "
+                f"(innermost: {self._stack[-1].path!r})"
+            )
+        total = (self._t_last - self._t_first) if self._t_first is not None else 0.0
+        unattr = CommStats()
+        unattr.merge(self._unattributed)
+        return TraceReport(
+            rank=self.rank,
+            phases={p: s.copy() for p, s in self._phases.items()},
+            events=list(self._events),
+            unattributed=unattr,
+            total_seconds=total,
+            events_truncated=self._events_truncated,
+        )
+
+
+# The thread-local current tracer ------------------------------------------
+
+_TLS = threading.local()
+
+
+class _NullPhase:
+    """The do-nothing span: tracing disabled costs one ``getattr``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        """No-op enter."""
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        """No-op exit; never swallows exceptions."""
+        return False
+
+
+NULL_PHASE = _NullPhase()
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The tracer active on this thread, or ``None`` when tracing is off."""
+    return getattr(_TLS, "tracer", None)
+
+
+def phase(name: str):
+    """Open a phase span on this thread's tracer (no-op when tracing is off).
+
+    This is the only call instrumented library code makes; its disabled
+    path is a thread-local read returning a shared no-op context manager.
+    """
+    tracer = getattr(_TLS, "tracer", None)
+    if tracer is None:
+        return NULL_PHASE
+    return tracer.phase(name)
+
+
+def use_tracer(tracer: Tracer):
+    """Context manager installing ``tracer`` on this thread (alias API)."""
+    return tracer.activate()
+
+
+def traced(name: str) -> Callable:
+    """Decorator running the wrapped callable inside a ``name`` span.
+
+    This is how the library's phase entry points (Balance, Ghost, Nodes,
+    ...) are instrumented without touching their bodies.  With tracing
+    off the wrapper is a thread-local read and a direct call.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        """Wrap ``fn`` so each call runs inside the named span."""
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            """Run ``fn``, inside a span when a tracer is active."""
+            tracer = getattr(_TLS, "tracer", None)
+            if tracer is None:
+                return fn(*args, **kwargs)
+            with tracer.phase(name):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,51 @@
+"""Documentation link/anchor integrity (tools/check_docs_links.py)."""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "tools"))
+
+from check_docs_links import check_file, check_repo, github_slug, heading_slugs  # noqa: E402
+
+
+def test_github_slug():
+    assert github_slug("Hello World") == "hello-world"
+    assert github_slug("The `phase()` API") == "the-phase-api"
+    assert github_slug("Min/Mean/Max & Imbalance") == "minmeanmax--imbalance"
+
+
+def test_heading_slugs_dedup(tmp_path):
+    md = tmp_path / "a.md"
+    md.write_text("# One\n\n# One\n\n```\n# not a heading\n```\n# Two\n")
+    assert heading_slugs(md) == {"one", "one-1", "two"}
+
+
+def test_broken_link_detected(tmp_path):
+    md = tmp_path / "b.md"
+    md.write_text("see [missing](no_such_file.md) and [ok](b.md#title)\n# Title\n")
+    problems = check_file(md, tmp_path)
+    assert len(problems) == 1
+    assert "no_such_file.md" in problems[0]
+
+
+def test_broken_anchor_detected(tmp_path):
+    target = tmp_path / "t.md"
+    target.write_text("# Real Heading\n")
+    md = tmp_path / "c.md"
+    md.write_text("[x](t.md#real-heading) [y](t.md#fake-heading)\n")
+    problems = check_file(md, tmp_path)
+    assert len(problems) == 1
+    assert "#fake-heading" in problems[0]
+
+
+def test_external_links_ignored(tmp_path):
+    md = tmp_path / "d.md"
+    md.write_text("[a](https://example.com/x#y) [b](mailto:x@y.z)\n")
+    assert check_file(md, tmp_path) == []
+
+
+def test_repo_docs_have_no_broken_links():
+    """The repository's own README + docs/ must stay link-clean."""
+    problems = check_repo(ROOT)
+    assert problems == [], "\n".join(problems)

@@ -1,0 +1,88 @@
+"""Chrome-trace JSON export and round-trip parsing."""
+
+import json
+
+import pytest
+
+from repro.parallel.machine import spmd_run_detailed
+from repro.trace.export import chrome_trace, dump_chrome_trace, reports_from_chrome
+from repro.trace.profile import RunProfile
+from repro.trace.tracer import Tracer
+
+
+def _traced_reports():
+    def prog(comm):
+        from repro.trace.tracer import phase
+
+        with phase("AMR"):
+            with phase("Balance"):
+                comm.allreduce(1)
+            with phase("Ghost"):
+                comm.barrier()
+        with phase("Solve"):
+            comm.barrier()
+        return None
+
+    return spmd_run_detailed(3, prog, trace=True).trace_reports
+
+
+def test_chrome_trace_structure():
+    reports = _traced_reports()
+    data = chrome_trace(reports)
+    assert data["displayTimeUnit"] == "ms"
+    events = data["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(meta) == 3  # one thread_name record per rank
+    assert {m["args"]["name"] for m in meta} == {"rank 0", "rank 1", "rank 2"}
+    # 4 spans per rank: AMR, Balance, Ghost, Solve.
+    assert len(spans) == 3 * 4
+    for ev in spans:
+        assert ev["cat"] == "phase"
+        assert ev["pid"] == 0
+        assert ev["tid"] in (0, 1, 2)
+        assert ev["ts"] >= 0.0 and ev["dur"] >= 0.0
+        assert "path" in ev["args"] and "depth" in ev["args"]
+    paths = {e["args"]["path"] for e in spans}
+    assert paths == {"AMR", "AMR/Balance", "AMR/Ghost", "Solve"}
+
+
+def test_round_trip_preserves_timeline(tmp_path):
+    reports = _traced_reports()
+    path = tmp_path / "run.trace.json"
+    dump_chrome_trace(reports, str(path), indent=1)
+    with open(path) as f:
+        parsed = reports_from_chrome(f.read())
+    assert len(parsed) == len(reports)
+    for orig, back in zip(sorted(reports, key=lambda r: r.rank), parsed):
+        assert back.rank == orig.rank
+        assert len(back.events) == len(orig.events)
+        o_ev = sorted(orig.events, key=lambda e: (e.start, e.depth))
+        for a, b in zip(o_ev, back.events):
+            assert b.name == a.name
+            assert b.path == a.path
+            assert b.depth == a.depth
+            assert b.start == pytest.approx(a.start, abs=1e-9)
+            assert b.duration == pytest.approx(a.duration, abs=1e-9)
+        # Aggregates are rebuilt from events: same calls per path.
+        for p, ps in orig.phases.items():
+            assert back.phases[p].calls == ps.calls
+            assert back.phases[p].seconds == pytest.approx(ps.seconds, rel=1e-6)
+
+
+def test_round_trip_accepts_dict_and_profiles():
+    reports = _traced_reports()
+    parsed = reports_from_chrome(chrome_trace(reports))
+    prof = RunProfile.from_reports(parsed)
+    assert prof.nranks == 3
+    assert prof.phase("AMR/Balance").calls == 1
+
+
+def test_json_is_valid_and_loadable(tmp_path):
+    tr = Tracer(0)
+    with tr.phase("only"):
+        pass
+    path = tmp_path / "t.json"
+    dump_chrome_trace([tr.report()], str(path))
+    data = json.loads(path.read_text())
+    assert any(e["name"] == "only" for e in data["traceEvents"])

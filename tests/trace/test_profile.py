@@ -1,0 +1,149 @@
+"""RunProfile merging: determinism, statistics, and the model hook."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SerialComm
+from repro.parallel.machine import spmd_run_detailed
+from repro.parallel.stats import CommStats
+from repro.perf.machine import JAGUAR_XT5
+from repro.trace.comm import TracingComm
+from repro.trace.export import breakdown_table, model_delta_table
+from repro.trace.profile import (
+    RunProfile,
+    gather_profile,
+    merge_reports,
+    modeled_vs_measured,
+    phase_comm_cost,
+)
+from repro.trace.tracer import PhaseStats, TraceReport, Tracer
+
+
+def _report(rank, seconds_by_path, comm=None):
+    phases = {}
+    for path, secs in seconds_by_path.items():
+        name = path.rsplit("/", 1)[-1]
+        depth = path.count("/")
+        ps = PhaseStats(path, name, depth, calls=1, seconds=secs,
+                        self_seconds=secs)
+        if comm and path in comm:
+            for op, msgs, nbytes in comm[path]:
+                ps.comm.record(op, msgs, nbytes)
+        phases[path] = ps
+    total = sum(s for p, s in seconds_by_path.items() if "/" not in p)
+    return TraceReport(rank, phases, [], CommStats(), total)
+
+
+def test_min_mean_max_and_imbalance():
+    reports = [
+        _report(0, {"A": 1.0}),
+        _report(1, {"A": 2.0}),
+        _report(2, {"A": 3.0}),
+    ]
+    prof = RunProfile.from_reports(reports)
+    (a,) = prof.phases
+    assert a.t_min == 1.0 and a.t_max == 3.0
+    assert a.t_mean == pytest.approx(2.0)
+    assert a.imbalance == pytest.approx(1.5)
+    assert a.ranks == 3
+    assert prof.nranks == 3
+    assert prof.wall_seconds == 3.0  # max rank total
+
+
+def test_merge_is_deterministic_under_permutation():
+    reports = [
+        _report(r, {"B": 0.1 * (r + 1), "A": 0.2, "A/X": 0.05})
+        for r in range(4)
+    ]
+    p1 = RunProfile.from_reports(reports)
+    p2 = RunProfile.from_reports(list(reversed(reports)))
+    assert [p.path for p in p1.phases] == [p.path for p in p2.phases]
+    for a, b in zip(p1.phases, p2.phases):
+        assert (a.path, a.calls, a.t_min, a.t_mean, a.t_max) == (
+            b.path, b.calls, b.t_min, b.t_mean, b.t_max,
+        )
+    assert [p.path for p in p1.phases] == sorted(p.path for p in p1.phases)
+
+
+def test_traffic_sums_over_ranks():
+    comm = {"A": [("allreduce", 3, 100), ("exchange", 2, 50)]}
+    reports = [_report(r, {"A": 1.0}, comm=comm) for r in range(2)]
+    prof = merge_reports(reports)
+    (a,) = prof.phases
+    assert a.messages == 2 * 5
+    assert a.bytes_sent == 2 * 150
+    assert a.comm.ops["allreduce"].calls == 2
+
+
+def test_lookup_helpers():
+    prof = RunProfile.from_reports(
+        [_report(0, {"AMR": 1.0, "AMR/Balance": 0.4, "Solve": 3.0})]
+    )
+    assert prof.phase("AMR/Balance").name == "Balance"
+    assert prof.phase("missing") is None
+    assert [p.path for p in prof.top_level()] == ["AMR", "Solve"]
+    assert [p.path for p in prof.named("Balance")] == ["AMR/Balance"]
+    assert prof.seconds_of("Solve") == 3.0
+    pct = prof.percentages(["AMR", "Solve"])
+    assert pct["AMR"] == pytest.approx(25.0)
+    assert pct["Solve"] == pytest.approx(75.0)
+
+
+def test_empty_reports():
+    prof = RunProfile.from_reports([])
+    assert prof.nranks == 0 and prof.phases == []
+
+
+def test_gather_profile_collective():
+    def prog(comm):
+        tracer = Tracer(comm.rank)
+        tcomm = TracingComm(comm, tracer)
+        with tracer.activate():
+            with tracer.phase("G"):
+                tcomm.allreduce(1.0)
+        return gather_profile(tcomm, tracer)
+
+    rep = spmd_run_detailed(4, prog)
+    profiles = rep.values
+    assert profiles[0] is not None
+    assert all(p is None for p in profiles[1:])
+    assert profiles[0].nranks == 4
+    assert profiles[0].phase("G").ranks == 4
+
+
+def test_modeled_vs_measured_shapes():
+    comm = {"A": [("allreduce", 3, 128), ("exchange", 8, 4096)]}
+    reports = [_report(r, {"A": 1.0, "B": 0.5}, comm=comm) for r in range(4)]
+    prof = merge_reports(reports)
+    deltas = modeled_vs_measured(prof, JAGUAR_XT5)
+    # B has no communication -> omitted.
+    assert [d.path for d in deltas] == ["A"]
+    d = deltas[0]
+    assert d.modeled_comm_seconds > 0.0
+    assert d.bytes_sent == 4 * (128 + 4096)
+    assert d.delta_seconds == pytest.approx(
+        d.modeled_comm_seconds - d.measured_comm_seconds
+    )
+    # Scaling up P raises the modeled cost (log-P trees + more neighbors).
+    at_scale = modeled_vs_measured(prof, JAGUAR_XT5, P=65536)
+    assert at_scale[0].modeled_comm_seconds > d.modeled_comm_seconds
+
+
+def test_phase_comm_cost_per_rank_average():
+    comm = {"A": [("allreduce", 1, 64)]}
+    reports = [_report(r, {"A": 1.0}, comm=comm) for r in range(4)]
+    prof = merge_reports(reports)
+    cost = phase_comm_cost(prof.phases[0], prof.nranks)
+    assert cost.allreduces == pytest.approx(1.0)  # per-rank, not x4
+
+
+def test_tables_render():
+    comm = {"A": [("allreduce", 2, 64)]}
+    reports = [_report(r, {"A": 1.0, "A/X": 0.25}, comm=comm) for r in range(2)]
+    prof = merge_reports(reports)
+    table = breakdown_table(prof)
+    assert "A" in table and "X" in table and "imbal" in table
+    top = breakdown_table(prof, top_only=True)
+    assert "X" not in top
+    deltas = model_delta_table(prof, JAGUAR_XT5)
+    assert "modeled[s]" in deltas and "A" in deltas

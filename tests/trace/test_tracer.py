@@ -1,0 +1,207 @@
+"""Tracer span semantics: nesting, paths, self time, no-op paths."""
+
+import threading
+import time
+
+import pytest
+
+from repro.trace.tracer import (
+    NULL_PHASE,
+    PATH_SEP,
+    Tracer,
+    current_tracer,
+    phase,
+    traced,
+    use_tracer,
+)
+
+
+def test_phase_paths_and_counts():
+    tr = Tracer(0)
+    with tr.phase("AMR"):
+        with tr.phase("Balance"):
+            pass
+        with tr.phase("Balance"):
+            pass
+        with tr.phase("Ghost"):
+            pass
+    rep = tr.report()
+    assert set(rep.phases) == {"AMR", "AMR/Balance", "AMR/Ghost"}
+    assert rep.phases["AMR"].calls == 1
+    assert rep.phases["AMR/Balance"].calls == 2
+    assert rep.phases["AMR"].depth == 0
+    assert rep.phases["AMR/Balance"].depth == 1
+
+
+def test_self_seconds_excludes_children():
+    tr = Tracer(0)
+    with tr.phase("outer"):
+        time.sleep(0.01)
+        with tr.phase("inner"):
+            time.sleep(0.02)
+    rep = tr.report()
+    outer = rep.phases["outer"]
+    inner = rep.phases["outer/inner"]
+    assert inner.seconds >= 0.02
+    assert outer.seconds >= inner.seconds
+    # self = inclusive - child time: the inner sleep must not count.
+    assert outer.self_seconds == pytest.approx(
+        outer.seconds - inner.seconds, abs=1e-6
+    )
+    assert outer.self_seconds >= 0.01
+    assert outer.self_seconds < outer.seconds
+
+
+def test_recursive_phase_accumulates_by_path():
+    tr = Tracer(0)
+    with tr.phase("A"):
+        with tr.phase("A"):
+            pass
+    rep = tr.report()
+    assert rep.phases["A"].calls == 1
+    assert rep.phases["A" + PATH_SEP + "A"].calls == 1
+
+
+def test_phase_name_rejects_separator():
+    tr = Tracer(0)
+    with pytest.raises(ValueError):
+        with tr.phase("a/b"):
+            pass
+
+
+def test_report_refuses_open_spans():
+    tr = Tracer(0)
+    tr._enter("open")
+    with pytest.raises(RuntimeError, match="open"):
+        tr.report()
+    tr._exit()
+    assert "open" in tr.report().phases
+
+
+def test_exception_still_closes_span():
+    tr = Tracer(0)
+    with pytest.raises(KeyError):
+        with tr.phase("boom"):
+            raise KeyError("x")
+    rep = tr.report()
+    assert rep.phases["boom"].calls == 1
+
+
+def test_module_phase_is_noop_without_tracer():
+    assert current_tracer() is None
+    # The off path hands back the shared singleton: zero allocation.
+    assert phase("anything") is NULL_PHASE
+    with phase("anything"):
+        pass  # must be harmless
+
+
+def test_null_phase_does_not_swallow_exceptions():
+    with pytest.raises(ValueError):
+        with NULL_PHASE:
+            raise ValueError("must propagate")
+
+
+def test_activate_routes_module_phase():
+    tr = Tracer(3)
+    with tr.activate():
+        assert current_tracer() is tr
+        with phase("P"):
+            pass
+    assert current_tracer() is None
+    rep = tr.report()
+    assert rep.rank == 3
+    assert rep.phases["P"].calls == 1
+
+
+def test_use_tracer_alias():
+    tr = Tracer(0)
+    with use_tracer(tr):
+        with phase("Q"):
+            pass
+    assert tr.report().phases["Q"].calls == 1
+
+
+def test_activation_is_thread_local():
+    tr = Tracer(0)
+    seen = {}
+
+    def other_thread():
+        seen["tracer"] = current_tracer()
+
+    with tr.activate():
+        t = threading.Thread(target=other_thread)
+        t.start()
+        t.join()
+    assert seen["tracer"] is None  # the other thread never saw our tracer
+
+
+def test_traced_decorator_off_and_on():
+    calls = []
+
+    @traced("Work")
+    def work(x):
+        calls.append(x)
+        return x + 1
+
+    assert work(1) == 2  # tracing off: plain call
+    tr = Tracer(0)
+    with tr.activate():
+        assert work(2) == 3
+    rep = tr.report()
+    assert rep.phases["Work"].calls == 1
+    assert calls == [1, 2]
+
+
+def test_events_and_shared_epoch():
+    epoch = time.perf_counter()
+    tr = Tracer(0, epoch=epoch)
+    with tr.phase("E"):
+        time.sleep(0.001)
+    rep = tr.report()
+    (ev,) = rep.events
+    assert ev.name == "E" and ev.path == "E" and ev.depth == 0
+    assert ev.start >= 0.0
+    assert ev.duration >= 0.001
+    assert rep.total_seconds >= ev.duration
+
+
+def test_event_cap_sets_truncated_flag():
+    tr = Tracer(0)
+    tr.MAX_EVENTS = 3
+    for _ in range(5):
+        with tr.phase("x"):
+            pass
+    rep = tr.report()
+    assert len(rep.events) == 3
+    assert rep.events_truncated
+    assert rep.phases["x"].calls == 5  # aggregates never truncate
+
+
+def test_report_snapshot_does_not_alias_tracer():
+    tr = Tracer(0)
+    with tr.phase("a"):
+        pass
+    rep = tr.report()
+    rep.phases["a"].calls = 999
+    rep.phases["a"].comm.record("bcast", 1, 10)
+    with tr.phase("a"):
+        pass
+    rep2 = tr.report()
+    assert rep2.phases["a"].calls == 2
+    assert rep2.phases["a"].comm.total_calls == 0
+
+
+def test_record_comm_attribution():
+    tr = Tracer(0)
+    tr.record_comm("bcast", 2, 64, 0.25)  # no open span -> unattributed
+    with tr.phase("outer"):
+        with tr.phase("inner"):
+            tr.record_comm("exchange", 3, 128, 0.5)
+    rep = tr.report()
+    assert rep.unattributed.ops["bcast"].bytes_sent == 64
+    inner = rep.phases["outer/inner"]
+    assert inner.comm.ops["exchange"].messages == 3
+    assert inner.comm.ops["exchange"].bytes_sent == 128
+    assert inner.comm_seconds == pytest.approx(0.5)
+    # Bytes go to the innermost phase only.
+    assert rep.phases["outer"].comm.total_calls == 0

@@ -1,0 +1,147 @@
+"""TracingComm: delegation, byte attribution, and SPMD integration."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SerialComm
+from repro.parallel.machine import spmd_run, spmd_run_detailed, spmd_run_resilient
+from repro.parallel.ops import SUM
+from repro.trace.comm import TracingComm
+from repro.trace.tracer import Tracer
+
+
+def test_delegates_and_shares_stats():
+    inner = SerialComm()
+    tr = Tracer(0)
+    comm = TracingComm(inner, tr)
+    assert comm.rank == 0 and comm.size == 1
+    assert comm.stats is inner.stats  # metering unchanged by tracing
+    assert comm.bcast(41) == 41
+    assert comm.allreduce(1, SUM) == 1
+    assert comm.allgather("x") == ["x"]
+    assert comm.gather(7) == [7]
+    assert comm.scatter([9]) == 9
+    assert comm.exscan(5) == 0
+    assert comm.scan(5) == 5
+    assert comm.alltoall([3]) == [3]
+    assert comm.exchange({0: b"ab"}) == {0: b"ab"}
+    comm.barrier()
+
+
+def test_bytes_attributed_to_innermost_phase():
+    tr = Tracer(0)
+    comm = TracingComm(SerialComm(), tr)
+    with tr.phase("outer"):
+        comm.allreduce(1.0)
+        with tr.phase("inner"):
+            comm.allgather(np.zeros(8))
+    rep = tr.report()
+    outer = rep.phases["outer"]
+    inner = rep.phases["outer/inner"]
+    assert "allreduce" in outer.comm.ops
+    assert "allgather" not in outer.comm.ops  # went to the inner span
+    assert "allgather" in inner.comm.ops
+    assert inner.comm.ops["allgather"].calls == 1
+    assert rep.unattributed.total_calls == 0
+
+
+def test_unattributed_outside_any_phase():
+    tr = Tracer(0)
+    comm = TracingComm(SerialComm(), tr)
+    comm.bcast("hello")
+    rep = tr.report()
+    assert rep.phases == {}
+    assert rep.unattributed.ops["bcast"].calls == 1
+
+
+def test_spmd_traced_bytes_match_comm_stats():
+    """The per-phase deltas must add up to exactly the comm's own meters."""
+
+    def prog(comm):
+        from repro.trace.tracer import phase
+
+        with phase("P"):
+            comm.allgather(np.arange(100, dtype=np.float64))
+            comm.exchange(
+                {(comm.rank + 1) % comm.size: np.ones(comm.rank + 1)}
+            )
+        with phase("Q"):
+            comm.allreduce(float(comm.rank))
+        return comm.rank
+
+    rep = spmd_run_detailed(4, prog, trace=True)
+    assert rep.values == [0, 1, 2, 3]
+    for outcome in rep.outcomes:
+        tr = outcome.trace
+        assert tr is not None
+        per_phase = sum(
+            (ps.comm.total_bytes for ps in tr.phases.values()), 0
+        ) + tr.unattributed.total_bytes
+        assert per_phase == outcome.stats.total_bytes
+        per_phase_msgs = sum(
+            (ps.comm.total_messages for ps in tr.phases.values()), 0
+        ) + tr.unattributed.total_messages
+        assert per_phase_msgs == outcome.stats.total_messages
+        assert "allgather" in tr.phases["P"].comm.ops
+        assert "exchange" in tr.phases["P"].comm.ops
+        assert set(tr.phases["Q"].comm.ops) == {"allreduce"}
+
+
+def test_spmd_untraced_has_no_trace():
+    rep = spmd_run_detailed(2, lambda comm: comm.rank)
+    assert all(o.trace is None for o in rep.outcomes)
+    assert rep.trace_reports == []
+    with pytest.raises(ValueError, match="trace=True"):
+        rep.profile()
+
+
+def test_spmd_run_trace_kwarg_passthrough():
+    vals = spmd_run(2, lambda comm: comm.allreduce(1), trace=True)
+    assert vals == [2, 2]
+
+
+def test_spmd_profile_merges_all_ranks():
+    def prog(comm):
+        from repro.trace.tracer import phase
+
+        with phase("W"):
+            comm.allreduce(comm.rank)
+        return None
+
+    rep = spmd_run_detailed(3, prog, trace=True)
+    prof = rep.profile()
+    assert prof.nranks == 3
+    (w,) = prof.phases
+    assert w.path == "W"
+    assert w.ranks == 3
+    assert w.comm.ops["allreduce"].calls == 3
+
+
+def test_resilient_traced_run():
+    def prog(comm, store):
+        from repro.trace.tracer import phase
+
+        with phase("Work"):
+            comm.barrier()
+        return comm.rank
+
+    res = spmd_run_resilient(2, prog, trace=True)
+    assert res.values == [0, 1]
+    prof = res.report.profile()
+    assert prof.phase("Work").ranks == 2
+
+
+def test_traced_spmd_epochs_are_shared():
+    def prog(comm):
+        from repro.trace.tracer import phase
+
+        with phase("S"):
+            comm.barrier()
+        return None
+
+    rep = spmd_run_detailed(4, prog, trace=True)
+    starts = [r.events[0].start for r in rep.trace_reports]
+    # Same epoch on every rank: span starts land within the run, not at
+    # wildly different absolute offsets.
+    assert all(s >= 0.0 for s in starts)
+    assert max(starts) - min(starts) < rep.wall_seconds + 1.0

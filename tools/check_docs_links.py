@@ -1,0 +1,139 @@
+"""Check relative links and heading anchors in the repo's Markdown docs.
+
+Scans ``README.md`` and ``docs/*.md`` (plus any extra paths given on the
+command line) for Markdown links.  For every relative link it verifies
+that the target file exists, and when the link carries a ``#fragment``
+that the target file contains a heading whose GitHub-style slug matches.
+External links (``http(s)://``, ``mailto:``) are ignored.
+
+Usage::
+
+    python tools/check_docs_links.py [extra.md ...]
+
+Exit status is non-zero when any link is broken; each problem is printed
+as ``file:line: message``.  The same checker runs in CI and as a tier-1
+test (``tests/docs/test_doc_links.py``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+# [text](target) — excluding images is unnecessary: image paths must
+# resolve too.  Inline code spans are stripped first.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """The GitHub anchor slug of a heading text."""
+    text = _CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # link text only
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    """All heading anchors defined in a Markdown file (with dedup suffixes)."""
+    slugs: set = set()
+    counts: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path: Path) -> List[Tuple[int, str]]:
+    """(line number, target) for every Markdown link outside code fences."""
+    links = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = _CODE_SPAN_RE.sub("", line)
+        for m in _LINK_RE.finditer(stripped):
+            links.append((lineno, m.group(1)))
+    return links
+
+
+def check_file(path: Path, root: Path) -> List[str]:
+    """All broken-link messages for one Markdown file."""
+    problems = []
+    for lineno, target in iter_links(path):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            dest, frag = path, target[1:]
+        else:
+            rel, _, frag = target.partition("#")
+            dest = (path.parent / rel).resolve()
+            try:
+                dest.relative_to(root.resolve())
+            except ValueError:
+                problems.append(
+                    f"{path}:{lineno}: link escapes the repository: {target}"
+                )
+                continue
+            if not dest.exists():
+                problems.append(f"{path}:{lineno}: missing target: {target}")
+                continue
+        if frag and dest.suffix.lower() in (".md", ".markdown"):
+            if frag.lower() not in heading_slugs(dest):
+                problems.append(
+                    f"{path}:{lineno}: missing anchor #{frag} in {dest.name}"
+                )
+    return problems
+
+
+def check_repo(root: Path, extra: List[Path] = ()) -> List[str]:
+    """Check README.md + docs/*.md under ``root`` (plus ``extra`` files)."""
+    targets = []
+    readme = root / "README.md"
+    if readme.exists():
+        targets.append(readme)
+    docs = root / "docs"
+    if docs.is_dir():
+        targets.extend(sorted(docs.glob("*.md")))
+    targets.extend(extra)
+    problems = []
+    for path in targets:
+        problems.extend(check_file(path, root))
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point: print problems, return 1 when any exist."""
+    root = Path(__file__).resolve().parent.parent
+    extra = [Path(a) for a in argv]
+    problems = check_repo(root, extra)
+    for p in problems:
+        print(p)
+    checked = ["README.md"] + sorted(
+        str(p.relative_to(root)) for p in (root / "docs").glob("*.md")
+    )
+    print(f"checked {len(checked)} file(s), {len(problems)} problem(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
