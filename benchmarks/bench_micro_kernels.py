@@ -216,3 +216,61 @@ def test_benchmark_trace_overhead_off(benchmark):
     )
     # A disabled marker must cost well under a microsecond.
     assert per_marker < 5e-6
+
+
+def test_benchmark_sanitizer_watchdog_overhead_off(benchmark):
+    """The correctness layer must be free when disabled: a comm-heavy
+    SPMD program with neither sanitizer nor watchdog stays within noise
+    of the pre-correctness-layer machine (the only residual cost is the
+    ``timeout=None`` argument of ``Barrier.wait``), and the guarded run
+    is bounded too."""
+    import time
+
+    from repro.parallel import SUM, HangWatchdog
+
+    RANKS, CALLS = 4, 300
+
+    def pingpong(comm):
+        acc = 0
+        for _ in range(CALLS):
+            acc = comm.allreduce(1, SUM)
+        return acc
+
+    def timed(fn, reps=5):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_plain = timed(lambda: spmd_run(RANKS, pingpong))
+    t_guarded = timed(
+        lambda: spmd_run(
+            RANKS,
+            pingpong,
+            sanitize=True,
+            watchdog=HangWatchdog(timeout=60.0),
+        )
+    )
+    benchmark.pedantic(
+        lambda: spmd_run(RANKS, pingpong), rounds=3, iterations=1, warmup_rounds=1
+    )
+    per_call_plain = t_plain / CALLS
+    per_call_guarded = t_guarded / CALLS
+    emit(
+        "sanitizer_watchdog_overhead",
+        format_table(
+            ["quantity", "value"],
+            [
+                ["allreduce, correctness layer off", f"{per_call_plain * 1e6:.1f} us"],
+                ["allreduce, sanitize+watchdog on", f"{per_call_guarded * 1e6:.1f} us"],
+                ["on/off ratio", f"{per_call_guarded / max(per_call_plain, 1e-300):.2f}x"],
+            ],
+        ),
+    )
+    # Disabled-path cost is the machine itself; the guarded path adds a
+    # dict lookup and two heartbeat writes per call.  Generous bounds —
+    # this is a regression tripwire, not a timing assertion.
+    assert per_call_plain < 5e-3
+    assert per_call_guarded < 10 * max(per_call_plain, 1e-6)

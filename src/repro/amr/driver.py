@@ -82,6 +82,7 @@ def adapt_and_rebalance(
     codim: Optional[int] = None,
     checkpoint: Optional[CheckpointPolicy] = None,
     checkpoint_meta: Optional[Dict[str, Any]] = None,
+    validate: bool = False,
 ) -> Tuple[AdaptResult, List[np.ndarray]]:
     """Run one full adapt cycle and return carried fields on the new mesh.
 
@@ -90,7 +91,12 @@ def adapt_and_rebalance(
     if given, maps the forest to per-element partition weights.  With a
     ``checkpoint`` policy, the adapted forest and carried fields are
     snapshotted into the policy's store when the cycle is due
-    (``checkpoint_meta`` rides along for the restart).  Collective.
+    (``checkpoint_meta`` rides along for the restart).  With
+    ``validate=True``, the distributed forest invariants are checked
+    after the cycle via :func:`repro.p4est.validate.validate_forest`,
+    raising :class:`~repro.p4est.validate.ForestInvariantError` on any
+    corruption (the app drivers expose this as ``validate_every=k``).
+    Collective.
     """
     from repro.parallel.ops import SUM
 
@@ -161,6 +167,10 @@ def adapt_and_rebalance(
             fields={f"field{i}": arr for i, arr in enumerate(new_fields)},
             meta=checkpoint_meta,
         )
+    if validate:
+        from repro.p4est.validate import validate_forest
+
+        validate_forest(comm, forest, codim=codim)
     return result, list(new_fields)
 
 

@@ -50,6 +50,7 @@ class AdvectionConfig:
     refine_band: float = 1.0  # refine if front within band * h of element
     coarsen_band: float = 3.0
     checkpoint_every: int = 0  # checkpoint every N adapt cycles (0 = off)
+    validate_every: int = 0  # check forest invariants every N adapt cycles (0 = off)
 
 
 @dataclass
@@ -204,6 +205,13 @@ class AdvectionRun:
             self.timers.add("ghost+mesh", time.perf_counter() - t0)
         self.adapt_count += 1
         self.last_adapt = result
+        if (
+            self.cfg.validate_every > 0
+            and self.adapt_count % self.cfg.validate_every == 0
+        ):
+            from repro.p4est.validate import validate_forest
+
+            validate_forest(self.comm, self.forest, ghost=self.ghost)
         if (
             self.store is not None
             and self.cfg.checkpoint_every > 0

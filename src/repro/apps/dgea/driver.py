@@ -54,6 +54,7 @@ class SeismicConfig:
     cfl: float = 0.4
     source_position: tuple = (0.0, 0.0, 0.85)
     source_amplitude: float = 1.0
+    validate_every: int = 0  # check forest invariants every N adapt cycles (0 = off)
 
 
 class SeismicRun:
@@ -78,6 +79,7 @@ class SeismicRun:
         self.model = ElasticModel(3, mantle_material)
         self.t = 0.0
         self.step_count = 0
+        self.adapt_count = 0
 
         t0 = time.perf_counter()
         with trace_phase("Mesh"):
@@ -298,6 +300,14 @@ class SeismicRun:
                 max_level=self.cfg.max_level,
             )
             self._rebuild()
+        self.adapt_count += 1
+        if (
+            self.cfg.validate_every > 0
+            and self.adapt_count % self.cfg.validate_every == 0
+        ):
+            from repro.p4est.validate import validate_forest
+
+            validate_forest(self.comm, self.forest, ghost=self.ghost)
 
     def _needs_refinement_after_coarsen(self) -> np.ndarray:
         """Would this element violate the wavelength rule if coarsened?"""

@@ -48,6 +48,7 @@ class RheaConfig:
     stokes_maxiter: int = 300
     inner_radius: float = 0.55
     use_plates: bool = True
+    validate_every: int = 0  # check forest invariants every N adapt cycles (0 = off)
 
 
 class RheaRun:
@@ -269,6 +270,13 @@ class RheaRun:
             self.II_elem = np.full((nl, self.cgs.npts), 1e-12)
         self.adapt_count += 1
         self.timers["amr"] += time.perf_counter() - t0
+        if (
+            self.cfg.validate_every > 0
+            and self.adapt_count % self.cfg.validate_every == 0
+        ):
+            from repro.p4est.validate import validate_forest
+
+            validate_forest(self.comm, self.forest, ghost=self.ghost)
 
     def _nodal_from_element(self, q_elem: np.ndarray) -> np.ndarray:
         """Recover a cG nodal field from per-element geometric values.

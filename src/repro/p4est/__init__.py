@@ -21,6 +21,7 @@ from repro.p4est.ghost import GhostLayer, build_ghost
 from repro.p4est.nodes import LNodes, lnodes
 from repro.p4est.search import contains_point, find_octants, locate_points
 from repro.p4est.checkpoint import ForestCheckpoint, connectivity_digest, field_checksum
+from repro.p4est.validate import ForestInvariantError, forest_is_valid, validate_forest
 from repro.p4est import builders, checkpoint
 
 __all__ = [
@@ -46,4 +47,7 @@ __all__ = [
     "ForestCheckpoint",
     "connectivity_digest",
     "field_checksum",
+    "ForestInvariantError",
+    "forest_is_valid",
+    "validate_forest",
 ]

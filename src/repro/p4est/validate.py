@@ -1,0 +1,321 @@
+"""Distributed forest invariant checker (the analogue of ``p4est_is_valid``).
+
+"Recursive Algorithms for Distributed Forests of Octrees" (Isaac,
+Burstedde, Wilcox & Ghattas) defines the per-rank invariants a correct
+distributed forest must uphold at all times; this module checks them
+collectively, mid-run, without modifying the forest:
+
+1. **Local leaf-set validity** — each rank's octants are in SFC order,
+   duplicate-free, overlap-free, level- and coordinate-aligned, and lie
+   inside valid trees.
+2. **Global octant ordering** — the per-rank segments concatenate to one
+   strictly increasing sequence along the space-filling curve; octants at
+   rank boundaries neither reorder nor overlap.
+3. **Exact partition coverage** — the union of all segments tiles every
+   tree exactly (no gaps, no overlaps, checked by exact lattice volume),
+   and the replicated :class:`~repro.p4est.forest.PartitionMarkers` agree
+   with the actual first octant and count of every rank.
+4. **2:1 balance** — no leaf differs by more than one level from any
+   neighbor, including neighbors across rank and tree boundaries
+   (delegated to :func:`repro.p4est.balance.is_balanced`).
+5. **Ghost/owner agreement** — when a ghost layer is passed, each ghost
+   octant's recorded owner matches the partition markers, every ghost is
+   an actual leaf on its owner (verified by a round-trip exchange), and
+   the mirror/ghost index maps are mutually consistent.
+
+:func:`forest_is_valid` returns one boolean, identical on every rank;
+:func:`validate_forest` raises :class:`ForestInvariantError` carrying
+every rank's findings.  Both are collective and safe to call between any
+two phases of a run — the AMR drivers expose this as a ``validate_every``
+knob (see :mod:`repro.amr.driver`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.p4est.balance import is_balanced
+from repro.p4est.forest import Forest, octants_from_wire, octants_to_wire
+from repro.p4est.ghost import GhostLayer
+from repro.p4est.octant import (
+    Octant,
+    Octants,
+    is_ancestor_pairwise,
+    searchsorted_octants,
+)
+from repro.parallel.comm import Comm
+from repro.parallel.ops import LAND, SUM
+
+
+class ForestInvariantError(RuntimeError):
+    """A distributed forest invariant is violated.
+
+    ``failed_rank`` is the lowest rank reporting a violation (global
+    corruption like a coverage gap is attributed to rank 0 by
+    convention); ``errors`` lists every rank's findings as
+    ``(rank, message)`` pairs, identical on all ranks.
+    """
+
+    def __init__(self, errors: List[Tuple[int, str]]) -> None:
+        """Build the error from the globally agreed ``(rank, message)`` list."""
+        self.errors = errors
+        self.failed_rank = min(r for r, _ in errors) if errors else None
+        detail = "; ".join(f"rank {r}: {m}" for r, m in errors[:8])
+        more = f" (+{len(errors) - 8} more)" if len(errors) > 8 else ""
+        super().__init__(f"forest invariants violated: {detail}{more}")
+
+
+def _check_local_leaves(forest: Forest, errors: List[str]) -> bool:
+    """Invariant 1: this rank's segment is a well-formed leaf set.
+
+    Returns whether every local level is inside ``[0, maxlevel]`` —
+    level-derived shifts (octant side lengths, lattice volumes, balance
+    neighborhoods) are undefined outside that range, so callers gate
+    those computations on this flag.
+    """
+    octs = forest.local
+    D = forest.D
+    if len(octs) == 0:
+        return True
+    lev = octs.level.astype(np.int64)
+    lev_ok = (lev >= 0) & (lev <= D.maxlevel)
+    if not lev_ok.all():
+        errors.append(f"octant level outside [0, {D.maxlevel}]")
+    tree = octs.tree.astype(np.int64)
+    if (tree < 0).any() or (tree >= forest.conn.num_trees).any():
+        errors.append("octant tree id outside the connectivity")
+    if not octs.inside_root().all():
+        errors.append("octant coordinates outside the root cube")
+    sel = np.flatnonzero(lev_ok)
+    if len(sel):
+        sub = octs[sel]
+        h = sub.lens()
+        misaligned = (sub.x % h != 0) | (sub.y % h != 0)
+        if forest.dim == 3:
+            misaligned |= sub.z % h != 0
+        if misaligned.any():
+            errors.append("octant coordinates not aligned to their level grid")
+    if not octs.is_sorted():
+        errors.append("local octants out of SFC order")
+        return bool(lev_ok.all())  # the pairwise checks assume sorted input
+    if len(octs) > 1:
+        a = octs[np.arange(len(octs) - 1)]
+        b = octs[np.arange(1, len(octs))]
+        k = octs.keys()
+        same_tree = octs.tree[1:] == octs.tree[:-1]
+        if np.any(same_tree & (k[1:] == k[:-1]) & (octs.level[1:] == octs.level[:-1])):
+            errors.append("duplicate octants in the local segment")
+        elif np.any(is_ancestor_pairwise(a, b)):
+            errors.append("overlapping octants in the local segment")
+    return bool(lev_ok.all())
+
+
+def _check_global_order(
+    comm: Comm, forest: Forest, errors: List[str]
+) -> None:
+    """Invariants 2+3a: cross-rank SFC order and marker agreement."""
+    octs = forest.local
+    n = len(octs)
+    first = octs.octant(0).as_tuple() if n else None
+    last = octs.octant(n - 1).as_tuple() if n else None
+    rows = comm.allgather((n, first, last))
+
+    # Marker agreement: the replicated partition metadata must describe
+    # the actual distribution (count per rank; first-octant position).
+    counts = forest.markers.counts
+    if len(counts) != comm.size or int(counts[comm.rank]) != n:
+        errors.append(
+            f"partition markers count {int(counts[comm.rank])} != local count {n}"
+        )
+    if n:
+        from repro.p4est.bits import interleave
+
+        f = octs.octant(0)
+        m = int(interleave(forest.dim, f.x, f.y, f.z))
+        if (
+            int(forest.markers.tree[comm.rank]) != f.tree
+            or int(forest.markers.morton[comm.rank]) != m
+        ):
+            errors.append("partition markers disagree with the first local octant")
+
+    # Cross-rank ordering and overlap: only the boundary pairs matter.
+    if comm.rank == 0:
+        prev_last: Optional[tuple] = None
+        prev_rank = -1
+        for r, (cnt, f_r, l_r) in enumerate(rows):
+            if cnt == 0:
+                continue
+            if prev_last is not None:
+                a = Octants.from_octants(forest.dim, [Octant(*prev_last)])
+                b = Octants.from_octants(forest.dim, [Octant(*f_r)])
+                pair = Octants.concat([a, b])
+                if not pair.is_sorted() or (
+                    a.tree[0] == b.tree[0] and a.keys()[0] == b.keys()[0]
+                ):
+                    errors.append(
+                        f"segments of ranks {prev_rank} and {r} out of SFC order"
+                    )
+                elif (
+                    is_ancestor_pairwise(a, b)[0] or is_ancestor_pairwise(b, a)[0]
+                ):
+                    errors.append(
+                        f"boundary octants of ranks {prev_rank} and {r} overlap"
+                    )
+            prev_last = l_r
+            prev_rank = r
+
+
+def _check_coverage(comm: Comm, forest: Forest, errors: List[str]) -> None:
+    """Invariant 3: the union of segments tiles every tree exactly."""
+    total = comm.allreduce(forest.local.total_volume(), SUM)
+    expect = forest.conn.num_trees * (1 << (forest.dim * forest.D.maxlevel))
+    if comm.rank == 0 and total != expect:
+        errors.append(
+            f"partition covers lattice volume {total} != {expect} (gaps or overlaps)"
+        )
+
+
+def _check_ghost(
+    comm: Comm, forest: Forest, ghost: GhostLayer, errors: List[str]
+) -> None:
+    """Invariant 5: ghost layer and owner bookkeeping agree globally."""
+    g = ghost.octants
+    if len(ghost.owners) != len(g):
+        errors.append("ghost owners array length mismatch")
+        return
+    if len(g) and not g.is_sorted():
+        errors.append("ghost octants out of SFC order")
+    if len(g) and (ghost.owners == comm.rank).any():
+        errors.append("ghost layer contains this rank's own octants")
+    if len(g):
+        computed = forest.owner_of(g)
+        if not np.array_equal(computed, ghost.owners):
+            bad = int(np.flatnonzero(computed != ghost.owners)[0])
+            errors.append(
+                f"ghost #{bad} owner {int(ghost.owners[bad])} disagrees with "
+                f"partition markers ({int(computed[bad])})"
+            )
+    # ghost_map must partition the ghost array by recorded owner.
+    seen = np.zeros(len(g), dtype=bool)
+    for src, idx in ghost.ghost_map.items():
+        idx = np.asarray(idx)
+        if len(idx) and (
+            (idx < 0).any() or (idx >= len(g)).any() or seen[idx].any()
+        ):
+            errors.append(f"ghost_map[{src}] indices invalid or overlapping")
+            continue
+        seen[idx] = True
+        if len(idx) and not (ghost.owners[idx] == src).all():
+            errors.append(f"ghost_map[{src}] points at ghosts of another owner")
+    if not seen.all():
+        errors.append("ghost_map does not cover every ghost octant")
+    # mirror_map indices must address real local octants.
+    for dest, idx in ghost.mirror_map.items():
+        idx = np.asarray(idx)
+        if len(idx) and ((idx < 0).any() or (idx >= len(forest.local)).any()):
+            errors.append(f"mirror_map[{dest}] indices out of local range")
+
+    # Round-trip: every ghost must be an actual leaf on its claimed owner.
+    outbox = {}
+    if len(g):
+        for owner in np.unique(ghost.owners):
+            sel = np.flatnonzero(ghost.owners == owner)
+            outbox[int(owner)] = octants_to_wire(g[sel])
+    inbox = comm.exchange(outbox)
+    mine = forest.local
+    for src in sorted(inbox):
+        claimed = octants_from_wire(forest.dim, inbox[src])
+        if not len(claimed):
+            continue
+        if not len(mine):
+            errors.append(
+                f"rank {src} holds ghosts owned here, but this rank is empty"
+            )
+            continue
+        pos = searchsorted_octants(mine, claimed, side="left")
+        ok = pos < len(mine)
+        cand = np.minimum(pos, len(mine) - 1)
+        got = mine[cand]
+        ok &= (
+            (got.tree == claimed.tree)
+            & (got.x == claimed.x)
+            & (got.y == claimed.y)
+            & (got.z == claimed.z)
+            & (got.level == claimed.level)
+        )
+        if not ok.all():
+            bad = claimed.octant(int(np.flatnonzero(~ok)[0]))
+            errors.append(
+                f"rank {src} holds ghost {bad.as_tuple()} that is not a leaf here"
+            )
+
+
+def _collect(
+    comm: Comm,
+    forest: Forest,
+    ghost: Optional[GhostLayer],
+    codim: Optional[int],
+    check_balance: bool,
+) -> List[Tuple[int, str]]:
+    """Run all invariant checks; return the globally agreed error list."""
+    errors: List[str] = []
+    levels_ok = _check_local_leaves(forest, errors)
+    _check_global_order(comm, forest, errors)
+    # Coverage and balance evaluate level-derived shifts, which are
+    # undefined on out-of-range levels; every rank agrees (collectively)
+    # to skip them when any rank's levels are corrupt — the corruption
+    # itself is already reported by invariant 1.
+    levels_sane = bool(comm.allreduce(levels_ok, LAND))
+    if levels_sane:
+        _check_coverage(comm, forest, errors)
+    if ghost is not None:
+        _check_ghost(comm, forest, ghost, errors)
+    # Balance check last: it is collective and must run on every rank
+    # regardless of earlier local findings (collective discipline).
+    if check_balance and levels_sane and not is_balanced(forest, codim=codim):
+        if comm.rank == 0:
+            errors.append("2:1 balance violated (inter- or intra-rank)")
+    rows = comm.allgather(list(errors))
+    return [(r, msg) for r, msgs in enumerate(rows) for msg in msgs]
+
+
+def forest_is_valid(
+    comm: Comm,
+    forest: Forest,
+    ghost: Optional[GhostLayer] = None,
+    codim: Optional[int] = None,
+    check_balance: bool = True,
+) -> bool:
+    """Collectively check every distributed forest invariant.
+
+    Returns the same boolean on every rank and never modifies the
+    forest.  ``comm`` must be the forest's communicator (possibly
+    decorated); ``ghost`` optionally adds the ghost/owner agreement
+    checks; ``codim`` selects the balance adjacency (default: full).
+    ``check_balance=False`` skips the 2:1 balance requirement — the one
+    invariant that legitimately does not hold between a refine/coarsen
+    and the next ``balance()`` call (p4est keeps it in the separate
+    ``p4est_is_balanced`` predicate for the same reason).
+    """
+    ok = len(_collect(comm, forest, ghost, codim, check_balance)) == 0
+    return bool(comm.allreduce(ok, LAND))
+
+
+def validate_forest(
+    comm: Comm,
+    forest: Forest,
+    ghost: Optional[GhostLayer] = None,
+    codim: Optional[int] = None,
+    check_balance: bool = True,
+) -> None:
+    """Like :func:`forest_is_valid` but raises with the full diagnosis.
+
+    Raises :class:`ForestInvariantError` (on every rank, with identical
+    content) naming the lowest offending rank and listing every rank's
+    findings.  ``check_balance`` as in :func:`forest_is_valid`.
+    """
+    errors = _collect(comm, forest, ghost, codim, check_balance)
+    if errors:
+        raise ForestInvariantError(errors)

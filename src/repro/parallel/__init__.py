@@ -22,7 +22,18 @@ from repro.parallel.machine import (
     spmd_run_resilient,
 )
 from repro.parallel.ops import MAX, MIN, PROD, SUM, payload_nbytes
+from repro.parallel.sanitizer import (
+    CollectiveMismatchError,
+    SanitizedComm,
+    SanitizerState,
+)
 from repro.parallel.stats import CommStats
+from repro.parallel.watchdog import (
+    FlightRecorder,
+    HangError,
+    HangWatchdog,
+    WatchdogComm,
+)
 
 __all__ = [
     "Comm",
@@ -38,6 +49,13 @@ __all__ = [
     "FaultPlan",
     "FaultyComm",
     "InjectedFailure",
+    "CollectiveMismatchError",
+    "SanitizedComm",
+    "SanitizerState",
+    "HangError",
+    "HangWatchdog",
+    "WatchdogComm",
+    "FlightRecorder",
     "CommStats",
     "SUM",
     "MIN",

@@ -21,6 +21,7 @@ Compose it over :class:`~repro.parallel.machine.ThreadComm` via the
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -124,6 +125,51 @@ class FaultPlan:
 
     def __len__(self) -> int:
         return len(self.faults)
+
+    # Serialization --------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the plan to a JSON string (exact round-trip).
+
+        The schedule is a pure value — kinds, integer addresses, float
+        delays, and the seed — so JSON carries it losslessly between
+        processes, config files, and CI artifacts.
+        """
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "faults": [
+                    {
+                        "kind": f.kind,
+                        "rank": f.rank,
+                        "at_call": f.at_call,
+                        "seconds": f.seconds,
+                    }
+                    for f in self.faults
+                ],
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Reconstruct a plan from :meth:`to_json` output.
+
+        Round-trips exactly: ``FaultPlan.from_json(p.to_json()) == p``
+        (both dataclasses compare by value).  Unknown kinds or negative
+        addresses are rejected by :class:`Fault` validation.
+        """
+        data = json.loads(text)
+        faults = [
+            Fault(
+                kind=f["kind"],
+                rank=int(f["rank"]),
+                at_call=int(f["at_call"]),
+                seconds=float(f.get("seconds", 0.0)),
+            )
+            for f in data.get("faults", [])
+        ]
+        return cls(faults, seed=int(data.get("seed", 0)))
 
 
 # Payload mutation -----------------------------------------------------------

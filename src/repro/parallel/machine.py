@@ -24,7 +24,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.parallel.comm import Comm
 from repro.parallel.ops import SUM, ReduceOp, identity_for, payload_nbytes
+from repro.parallel.sanitizer import SanitizedComm, SanitizerState
 from repro.parallel.stats import CommStats
+from repro.parallel.watchdog import HangError, HangWatchdog
 
 MAX_RANKS = 1024
 
@@ -42,10 +44,24 @@ class SpmdError(RuntimeError):
 
 
 class _Shared:
-    """State shared by the ranks of one SPMD run."""
+    """State shared by the ranks of one SPMD run.
 
-    def __init__(self, size: int) -> None:
+    ``timeout`` arms every barrier wait: a wait that expires breaks the
+    protocol for all ranks and the failure is attributed (via the
+    ``watchdog``'s heartbeat diagnosis when one is attached) instead of
+    wedging the run.  ``None`` (the default) waits indefinitely, which is
+    byte-identical to the pre-watchdog behavior.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        timeout: Optional[float] = None,
+        watchdog: Optional[HangWatchdog] = None,
+    ) -> None:
         self.size = size
+        self.timeout = timeout
+        self.watchdog = watchdog
         self.barrier = threading.Barrier(size)
         self.slots: List[Any] = [None] * size
         self.result: Any = None
@@ -91,10 +107,39 @@ class ThreadComm(Comm):
     # Internal machinery ---------------------------------------------------
 
     def _wait(self) -> int:
+        """One barrier round, armed with the run's consistent timeout.
+
+        Every blocking path of the machine funnels through this wait, so
+        a single ``timeout`` bounds them all.  On a broken barrier with no
+        rank failure on record the wait itself expired: the watchdog (if
+        attached) diagnoses the heartbeat table, names the offending
+        rank, and dumps the flight recorder before the failure is
+        recorded, so the resulting :class:`SpmdError` carries an
+        attributable ``failed_rank`` instead of a bare abort.
+        """
+        shared = self._shared
         try:
-            return self._shared.barrier.wait()
+            return shared.barrier.wait(shared.timeout)
         except threading.BrokenBarrierError:
-            failed = self._shared.failed_rank
+            if shared.failed_rank is None:
+                # No failure recorded: the wait timed out (only possible
+                # with a timeout armed).  Attribute the hang.
+                if shared.watchdog is not None:
+                    shared.watchdog.on_timeout(self.rank, shared)
+                else:
+                    shared.abort(
+                        self.rank,
+                        HangError(
+                            f"collective timed out after {shared.timeout}s "
+                            "(attach a HangWatchdog for a per-rank diagnosis)",
+                        ),
+                    )
+            failed = shared.failed_rank
+            exc = shared.failure
+            if isinstance(exc, HangError):
+                raise SpmdError(
+                    f"SPMD hang (rank {failed}): {exc}", failed_rank=failed
+                ) from exc
             raise SpmdError(
                 f"SPMD run aborted (failure on rank {failed})", failed_rank=failed
             ) from None
@@ -317,13 +362,22 @@ class _Attempt:
         kwargs: dict,
         comm_wrapper: Optional[Callable[[Comm], Comm]] = None,
         trace: bool = False,
+        timeout: Optional[float] = None,
+        watchdog: Optional[HangWatchdog] = None,
+        sanitize: bool = False,
     ) -> None:
         if not 1 <= size <= MAX_RANKS:
             raise ValueError(f"size must be in [1, {MAX_RANKS}], got {size}")
-        self.shared = _Shared(size)
+        if timeout is None and watchdog is not None:
+            timeout = watchdog.timeout
+        self.shared = _Shared(size, timeout=timeout, watchdog=watchdog)
         self.comms = [ThreadComm(r, self.shared) for r in range(size)]
         self.outcomes: List[Optional[RankOutcome]] = [None] * size
         self.wall_seconds = 0.0
+        self.artifact: Optional[str] = None
+        if watchdog is not None:
+            watchdog.attach(size)
+        san_state = SanitizerState(size) if sanitize else None
         if trace:
             # Imported lazily: repro.trace depends on this module's package.
             from repro.trace.comm import TracingComm
@@ -334,7 +388,16 @@ class _Attempt:
         def runner(rank: int) -> None:
             comm = self.comms[rank]
             comm._mark = time.thread_time()  # clock baseline in the rank thread
-            facade = comm_wrapper(comm) if comm_wrapper is not None else comm
+            # Decorator stack, innermost first: watchdog heartbeats bracket
+            # the real blocking waits, the sanitizer sees post-fault
+            # payloads (comm_wrapper composes faults on top), tracing is
+            # outermost so injected faults are metered too.
+            base: Comm = comm
+            if watchdog is not None:
+                base = watchdog.comm_for(base)
+            if san_state is not None:
+                base = SanitizedComm(base, san_state)
+            facade = comm_wrapper(base) if comm_wrapper is not None else base
             tracer = None
             if trace:
                 tracer = Tracer(rank, epoch=epoch)
@@ -346,8 +409,12 @@ class _Attempt:
                 else:
                     value = fn(facade, *args, **kwargs)
             except BaseException as exc:  # noqa: BLE001 - must unblock peers
+                if watchdog is not None:
+                    watchdog.finished(rank, errored=True)
                 self.shared.abort(rank, exc)
                 return
+            if watchdog is not None:
+                watchdog.finished(rank)
             comm._begin()  # flush trailing compute time
             self.outcomes[rank] = RankOutcome(
                 value,
@@ -365,9 +432,52 @@ class _Attempt:
         ]
         for t in threads:
             t.start()
-        for t in threads:
-            t.join()
+        self._join(threads)
         self.wall_seconds = time.perf_counter() - t0
+        if self.failed and watchdog is not None:
+            # Flight-recorder dump for *any* failure (mismatch, injected
+            # fault, program error); the hang path has already dumped.
+            self.artifact = watchdog.dump_for_failure("spmd-error")
+
+    def _join(self, threads: List[threading.Thread]) -> None:
+        """Join the rank threads; never wedge when a timeout is armed.
+
+        Without a timeout this is a plain join (unchanged semantics).
+        With one, a thread that stays alive past a grace period *after
+        the run has failed* is wedged outside the barrier protocol (e.g.
+        an infinite compute loop); it is recorded as a hang on its rank
+        and abandoned as a daemon so the driver regains control.
+        """
+        timeout = self.shared.timeout
+        if timeout is None:
+            for t in threads:
+                t.join()
+            return
+        grace = timeout + 1.0
+        alive = list(enumerate(threads))
+        failed_at: Optional[float] = None
+        while alive:
+            for _, t in alive:
+                t.join(0.05)
+            alive = [(r, t) for r, t in alive if t.is_alive()]
+            if not alive:
+                return
+            if self.shared.failed_rank is None:
+                continue  # still running normally; keep waiting
+            now = time.perf_counter()
+            if failed_at is None:
+                failed_at = now
+            elif now - failed_at > grace:
+                for r, _ in alive:
+                    self.shared.abort(
+                        r,
+                        HangError(
+                            f"rank {r} thread still running {grace:.1f}s after "
+                            "the run aborted (wedged outside comm); abandoned",
+                            rank=r,
+                        ),
+                    )
+                return
 
     @property
     def failed(self) -> bool:
@@ -381,15 +491,21 @@ class _Attempt:
         return merged
 
     def raise_failure(self) -> None:
-        """Re-raise the recorded failure, naming the first failed rank."""
+        """Re-raise the recorded failure, naming the first failed rank.
+
+        When a flight recorder was dumped for this attempt, its artifact
+        path is chained into the message so a post-mortem never starts
+        from a bare traceback.
+        """
         rank = self.shared.failed_rank
         exc = self.shared.failure
         assert exc is not None
         if isinstance(exc, SpmdError):
             raise exc
-        raise SpmdError(
-            f"SPMD run failed on rank {rank}: {exc!r}", failed_rank=rank
-        ) from exc
+        message = f"SPMD run failed on rank {rank}: {exc!r}"
+        if self.artifact is not None and self.artifact not in message:
+            message += f" [flight recorder: {self.artifact}]"
+        raise SpmdError(message, failed_rank=rank) from exc
 
     def report(self) -> SpmdReport:
         assert all(o is not None for o in self.outcomes)
@@ -399,7 +515,14 @@ class _Attempt:
 
 
 def spmd_run_detailed(
-    size: int, fn: Callable[..., Any], *args: Any, trace: bool = False, **kwargs: Any
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    trace: bool = False,
+    timeout: Optional[float] = None,
+    watchdog: Optional[HangWatchdog] = None,
+    sanitize: bool = False,
+    **kwargs: Any,
 ) -> SpmdReport:
     """Run ``fn(comm, *args, **kwargs)`` SPMD on ``size`` ranks with metering.
 
@@ -408,15 +531,42 @@ def spmd_run_detailed(
     timelines align) behind a :class:`~repro.trace.comm.TracingComm`; the
     per-rank :class:`~repro.trace.tracer.TraceReport`s land on the outcomes
     and :meth:`SpmdReport.profile` merges them.
+
+    ``timeout`` bounds every blocking collective wait (default: wait
+    forever, exactly the pre-watchdog behavior).  ``watchdog`` attaches a
+    :class:`~repro.parallel.watchdog.HangWatchdog` — heartbeats, hang
+    diagnosis, and a per-rank flight recorder dumped to a JSON artifact
+    on any failure; it supplies its own timeout when ``timeout`` is not
+    given.  ``sanitize=True`` cross-validates every collective call
+    signature across ranks and raises
+    :class:`~repro.parallel.sanitizer.CollectiveMismatchError` on
+    divergence instead of deadlocking or corrupting.  All three are off
+    by default and then cost nothing on the comm path.
     """
-    attempt = _Attempt(size, fn, args, kwargs, trace=trace)
+    attempt = _Attempt(
+        size,
+        fn,
+        args,
+        kwargs,
+        trace=trace,
+        timeout=timeout,
+        watchdog=watchdog,
+        sanitize=sanitize,
+    )
     if attempt.failed:
         attempt.raise_failure()
     return attempt.report()
 
 
 def spmd_run(
-    size: int, fn: Callable[..., Any], *args: Any, trace: bool = False, **kwargs: Any
+    size: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    trace: bool = False,
+    timeout: Optional[float] = None,
+    watchdog: Optional[HangWatchdog] = None,
+    sanitize: bool = False,
+    **kwargs: Any,
 ) -> List[Any]:
     """Run ``fn(comm, *args, **kwargs)`` SPMD on ``size`` ranks.
 
@@ -424,9 +574,19 @@ def spmd_run(
     :class:`SpmdError` naming the first failed rank propagates with the
     original exception chained (peers are unblocked via barrier abort).
     ``trace=True`` enables phase tracing (use :func:`spmd_run_detailed` to
-    also get the reports back).
+    also get the reports back); ``timeout``/``watchdog``/``sanitize``
+    enable the correctness layer (see :func:`spmd_run_detailed`).
     """
-    return spmd_run_detailed(size, fn, *args, trace=trace, **kwargs).values
+    return spmd_run_detailed(
+        size,
+        fn,
+        *args,
+        trace=trace,
+        timeout=timeout,
+        watchdog=watchdog,
+        sanitize=sanitize,
+        **kwargs,
+    ).values
 
 
 # Self-healing runs ----------------------------------------------------------
@@ -478,6 +638,7 @@ class RecoveryReport:
     octants_repartitioned: int = 0  # octants redistributed by restores
     wall_seconds_lost: float = 0.0  # wall time of the failed attempts
     lost_stats: CommStats = field(default_factory=CommStats)
+    artifacts: List[str] = field(default_factory=list)  # flight-recorder dumps
 
     def summary(self) -> str:
         ranks = ",".join(str(r) for r in self.ranks_lost) or "-"
@@ -511,6 +672,9 @@ def spmd_run_resilient(
     store: Optional[CheckpointStore] = None,
     comm_wrapper: Optional[Callable[[Comm, int], Comm]] = None,
     trace: bool = False,
+    timeout: Optional[float] = None,
+    watchdog: Optional[HangWatchdog] = None,
+    sanitize: bool = False,
     **kwargs: Any,
 ) -> ResilientResult:
     """Run ``fn(comm, store, *args, **kwargs)`` SPMD with checkpoint recovery.
@@ -536,6 +700,14 @@ def spmd_run_resilient(
     ``trace=True`` the successful attempt's per-rank phase traces land on
     the returned report (see :func:`spmd_run_detailed`); tracing composes
     outside ``comm_wrapper``, so injected faults are metered too.
+
+    ``timeout``/``watchdog``/``sanitize`` arm the correctness layer per
+    attempt (see :func:`spmd_run_detailed`): a watchdog-detected hang or
+    a sanitizer-detected collective mismatch surfaces as an attributable
+    failure (``SpmdError.failed_rank``) and therefore rides the same
+    checkpoint/shrink/retry path as a crash, instead of wedging the run.
+    Flight-recorder artifacts of failed attempts are collected on
+    ``RecoveryReport.artifacts``.
     """
     if store is None:
         store = CheckpointStore()
@@ -549,7 +721,15 @@ def spmd_run_resilient(
             else None
         )
         attempt = _Attempt(
-            cur_size, fn, (store,) + args, kwargs, comm_wrapper=wrap, trace=trace
+            cur_size,
+            fn,
+            (store,) + args,
+            kwargs,
+            comm_wrapper=wrap,
+            trace=trace,
+            timeout=timeout,
+            watchdog=watchdog,
+            sanitize=sanitize,
         )
         if not attempt.failed:
             recovery.final_size = cur_size
@@ -559,6 +739,8 @@ def spmd_run_resilient(
         recovery.recoveries += 1
         recovery.wall_seconds_lost += attempt.wall_seconds
         recovery.lost_stats.merge(attempt.lost_stats())
+        if attempt.artifact is not None:
+            recovery.artifacts.append(attempt.artifact)
         failed = attempt.shared.failed_rank
         if failed is not None:
             recovery.ranks_lost.append(failed)

@@ -272,6 +272,19 @@ def current_tracer() -> Optional[Tracer]:
     return getattr(_TLS, "tracer", None)
 
 
+def current_phase_path() -> str:
+    """Path of the innermost open span on this thread, or ``""``.
+
+    Used by the flight recorder of :mod:`repro.parallel.watchdog` to label
+    recorded comm operations with the phase they were issued from; costs
+    one thread-local read when tracing is off.
+    """
+    tracer = getattr(_TLS, "tracer", None)
+    if tracer is None or not tracer._stack:
+        return ""
+    return tracer._stack[-1].path
+
+
 def phase(name: str):
     """Open a phase span on this thread's tracer (no-op when tracing is off).
 

@@ -1,0 +1,191 @@
+"""Tests for the distributed forest invariant checker (repro.p4est.validate)."""
+
+import numpy as np
+import pytest
+
+from repro.p4est import (
+    Forest,
+    ForestInvariantError,
+    build_ghost,
+    builders,
+    forest_is_valid,
+    validate_forest,
+)
+from repro.p4est.balance import balance
+from repro.parallel import SerialComm, spmd_run
+
+
+def make_forest(comm, level=2, seed=7, prob=0.3):
+    f = Forest.new(builders.unit_square(), comm, level=level)
+    rng = np.random.default_rng(seed + comm.rank)
+    f.refine(callback=lambda o: rng.random(len(o)) < prob)
+    balance(f)
+    f.partition()
+    return f
+
+
+def test_serial_valid_forest():
+    comm = SerialComm()
+    f = make_forest(comm)
+    g = build_ghost(f)
+    assert forest_is_valid(comm, f, ghost=g)
+    validate_forest(comm, f, ghost=g)  # must not raise
+
+
+def test_parallel_valid_forest():
+    def prog(comm):
+        f = make_forest(comm)
+        g = build_ghost(f)
+        validate_forest(comm, f, ghost=g)
+        return forest_is_valid(comm, f, ghost=g)
+
+    assert spmd_run(4, prog) == [True] * 4
+
+
+def test_dropped_octant_detected():
+    def prog(comm):
+        f = make_forest(comm)
+        counts = comm.allgather(len(f.local))
+        victim = int(np.argmax(counts))
+        if comm.rank == victim:
+            f.local = f.local[np.arange(len(f.local) - 1)]
+        ok = forest_is_valid(comm, f)
+        try:
+            validate_forest(comm, f)
+            raise AssertionError("corruption not detected")
+        except ForestInvariantError as e:
+            return ok, e.failed_rank, str(e), victim
+
+    results = spmd_run(4, prog)
+    assert all(r == results[0] for r in results)  # identical on every rank
+    ok, failed_rank, message, victim = results[0]
+    assert ok is False
+    assert failed_rank == 0  # coverage gap is global, attributed to rank 0
+    assert "markers count" in message or "lattice volume" in message
+
+
+def test_unsorted_local_octants_detected():
+    def prog(comm):
+        f = make_forest(comm)
+        if comm.rank == 1 and len(f.local) > 1:
+            order = np.arange(len(f.local))[::-1]
+            f.local = f.local[order]
+        try:
+            validate_forest(comm, f)
+            return None
+        except ForestInvariantError as e:
+            return e.failed_rank
+
+    results = spmd_run(3, prog)
+    assert results == [1] * 3
+
+
+def test_duplicate_octant_detected():
+    comm = SerialComm()
+    f = make_forest(comm)
+    dup = np.concatenate([[0], np.arange(len(f.local))])
+    f.local = f.local[np.sort(dup)]
+    f.markers.counts[0] = len(f.local)
+    with pytest.raises(ForestInvariantError) as ei:
+        validate_forest(comm, f)
+    assert "duplicate" in str(ei.value) or "volume" in str(ei.value)
+
+
+def test_unbalanced_forest_detected():
+    comm = SerialComm()
+    f = Forest.new(builders.unit_square(), comm, level=1)
+    # Refine one quadrant, then the child abutting the coarse right
+    # neighbor: level 3 faces level 1 with no balance call.
+    f.refine(mask=np.arange(len(f.local)) == 0)
+    h2 = int(f.D.octant_len(2))
+    f.refine(mask=(f.local.level == 2) & (f.local.x == h2) & (f.local.y == 0))
+    assert not forest_is_valid(comm, f)
+    with pytest.raises(ForestInvariantError) as ei:
+        validate_forest(comm, f)
+    assert "balance" in str(ei.value)
+
+
+def test_corrupted_ghost_owner_detected():
+    def prog(comm):
+        f = make_forest(comm)
+        g = build_ghost(f)
+        if comm.rank == 0 and len(g.octants):
+            g.owners = g.owners.copy()
+            g.owners[0] = (int(g.owners[0]) + 1) % comm.size
+        ok = forest_is_valid(comm, f, ghost=g)
+        return ok
+
+    results = spmd_run(4, prog)
+    assert results == [False] * 4
+
+
+def test_fake_ghost_octant_detected():
+    # A ghost octant that is not a leaf anywhere must fail the
+    # round-trip check on its claimed owner.
+    def prog(comm):
+        from repro.p4est.octant import Octants
+
+        f = make_forest(comm)
+        g = build_ghost(f)
+        if comm.rank == 1 and len(g.octants):
+            octs = g.octants
+            lvl = octs.level.copy()
+            lvl[0] = min(int(lvl[0]) + 1, f.D.maxlevel)  # now a non-leaf child
+            g.octants = Octants(octs.dim, octs.tree, octs.x, octs.y, octs.z, lvl)
+        return forest_is_valid(comm, f, ghost=g)
+
+    results = spmd_run(4, prog)
+    assert results == [False] * 4
+
+
+def test_validate_after_each_amr_phase():
+    def prog(comm):
+        f = Forest.new(builders.unit_square(), comm, level=2)
+        rng = np.random.default_rng(11 + comm.rank)
+        checks = []
+        f.refine(callback=lambda o: rng.random(len(o)) < 0.4)
+        checks.append(forest_is_valid(comm, f))
+        balance(f)
+        checks.append(forest_is_valid(comm, f))
+        f.partition()
+        checks.append(forest_is_valid(comm, f))
+        g = build_ghost(f)
+        checks.append(forest_is_valid(comm, f, ghost=g))
+        return checks
+
+    assert spmd_run(4, prog) == [[True] * 4] * 4
+
+
+def test_adapt_and_rebalance_validate_knob():
+    from repro.amr.driver import adapt_and_rebalance
+
+    def prog(comm):
+        f = Forest.new(builders.unit_square(), comm, level=2)
+        refine = np.zeros(len(f.local), dtype=bool)
+        refine[: len(refine) // 2] = True
+        result, _ = adapt_and_rebalance(f, refine, validate=True)
+        return result.elements_after
+
+    vals = spmd_run(2, prog)
+    assert vals[0] == vals[1] > 0
+
+
+def test_corrupt_level_detected_without_crash():
+    # An out-of-range level makes level-derived shifts (side lengths,
+    # lattice volumes, balance neighborhoods) undefined; the validator
+    # must report it as a violation, not crash computing them.
+    def prog(comm):
+        f = make_forest(comm)
+        if comm.rank == 1 and len(f.local):
+            f.local.level[0] = 99
+        ok = forest_is_valid(comm, f)
+        with pytest.raises(ForestInvariantError) as ei:
+            validate_forest(comm, f)
+        return ok, ei.value.failed_rank, str(ei.value)
+
+    results = spmd_run(3, prog)
+    assert all(r == results[0] for r in results)
+    ok, failed_rank, message = results[0]
+    assert ok is False
+    assert failed_rank == 1
+    assert "level outside" in message

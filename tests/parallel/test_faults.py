@@ -185,3 +185,55 @@ def test_truncate_payload_kinds():
     assert truncate_payload("hello!") == "hel"
     assert truncate_payload([1, 2, 3, 4]) == [1, 2]
     assert truncate_payload(7) == 7
+
+
+def test_fault_plan_json_round_trip():
+    plan = FaultPlan(
+        [
+            Fault(CRASH, 1, 7),
+            Fault(CORRUPT, 0, 3),
+            Fault(TRUNCATE, 2, 5),
+            Fault(DELAY, 3, 2, seconds=0.125),
+        ],
+        seed=42,
+    )
+    text = plan.to_json()
+    back = FaultPlan.from_json(text)
+    assert back == plan  # dataclass equality: exact round-trip
+    assert back.seed == 42
+    assert back.at(3, 2)[0].seconds == 0.125
+    # Round-tripping the serialization is a fixed point.
+    assert back.to_json() == text
+
+
+def test_fault_plan_json_empty_and_seeded():
+    assert FaultPlan.from_json(FaultPlan().to_json()) == FaultPlan()
+    seeded = FaultPlan.seeded(7, size=4, ncalls=30, crash_prob=0.05, delay_prob=0.2)
+    assert FaultPlan.from_json(seeded.to_json()) == seeded
+
+
+def test_fault_plan_json_rejects_bad_kind():
+    import json as _json
+
+    text = _json.dumps(
+        {"seed": 0, "faults": [{"kind": "meteor", "rank": 0, "at_call": 0}]}
+    )
+    with pytest.raises(ValueError):
+        FaultPlan.from_json(text)
+
+
+def test_fault_plan_json_behaves_identically():
+    plan = FaultPlan.crash(rank=1, at_call=4)
+    wire = FaultPlan.from_json(plan.to_json())
+
+    def prog(comm, p):
+        faulty = FaultyComm(comm, p)
+        for _ in range(6):
+            faulty.barrier()
+        return comm.rank
+
+    with pytest.raises(SpmdError) as a:
+        spmd_run(2, prog, plan)
+    with pytest.raises(SpmdError) as b:
+        spmd_run(2, prog, wire)
+    assert a.value.failed_rank == b.value.failed_rank == 1

@@ -1,0 +1,151 @@
+"""Tests for the collective-call sanitizer (repro.parallel.sanitizer)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    MAX,
+    SUM,
+    CollectiveMismatchError,
+    SpmdError,
+    spmd_run,
+)
+from repro.parallel.sanitizer import (
+    CallSignature,
+    SanitizerState,
+    payload_fingerprint,
+    reduce_op_name,
+)
+
+
+def test_payload_fingerprints():
+    assert payload_fingerprint(None) == "none"
+    assert payload_fingerprint(True) == "bool"
+    assert payload_fingerprint(3) == "int"
+    assert payload_fingerprint(2.5) == "float"
+    assert payload_fingerprint("hi") == "str[2]"
+    assert payload_fingerprint(b"abc") == "bytes[3]"
+    fp = payload_fingerprint(np.zeros((2, 3), dtype=np.float64))
+    assert "float64" in fp and "(2, 3)" in fp
+    assert payload_fingerprint([1, 2]) != payload_fingerprint([1, 2.0])
+    assert payload_fingerprint({0: 1, 1: 2}) == payload_fingerprint({5: 9, 7: 8})
+
+
+def test_reduce_op_names():
+    assert reduce_op_name(SUM) == "SUM"
+    assert reduce_op_name(MAX) == "MAX"
+
+
+def test_signature_rendering():
+    sig = CallSignature(op="allreduce", reduce_op="SUM", payload="int")
+    assert str(sig) == "allreduce(op=SUM, payload=int)"
+    assert str(CallSignature(op="barrier")) == "barrier()"
+    assert str(CallSignature(op="bcast", root=2)) == "bcast(root=2)"
+
+
+def test_matching_program_passes():
+    def prog(comm):
+        comm.barrier()
+        x = comm.allreduce(comm.rank, SUM)
+        rows = comm.allgather(comm.rank)
+        comm.bcast("payload", root=1)
+        return x, len(rows)
+
+    assert spmd_run(4, prog, sanitize=True) == [(6, 4)] * 4
+
+
+def test_mismatched_op_kind_detected():
+    def prog(comm):
+        if comm.rank == 1:
+            comm.barrier()
+        else:
+            comm.allreduce(1, SUM)
+
+    with pytest.raises(SpmdError) as ei:
+        spmd_run(3, prog, sanitize=True)
+    assert ei.value.failed_rank in (0, 1)
+    cause = ei.value.__cause__
+    assert isinstance(cause, CollectiveMismatchError)
+    text = str(cause)
+    assert "barrier()" in text and "allreduce(op=SUM, payload=int)" in text
+    assert "call #0" in text
+
+
+def test_mismatched_root_detected():
+    def prog(comm):
+        comm.bcast("x", root=0 if comm.rank != 2 else 1)
+
+    with pytest.raises(SpmdError) as ei:
+        spmd_run(3, prog, sanitize=True)
+    cause = ei.value.__cause__
+    assert isinstance(cause, CollectiveMismatchError)
+    assert "root=0" in str(cause) and "root=1" in str(cause)
+
+
+def test_mismatched_reduce_op_detected():
+    def prog(comm):
+        comm.allreduce(comm.rank, MAX if comm.rank == 3 else SUM)
+
+    with pytest.raises(SpmdError) as ei:
+        spmd_run(4, prog, sanitize=True)
+    cause = ei.value.__cause__
+    assert isinstance(cause, CollectiveMismatchError)
+    assert "op=SUM" in str(cause) and "op=MAX" in str(cause)
+
+
+def test_mismatched_payload_structure_detected():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.allreduce(np.zeros(4), SUM)
+        else:
+            comm.allreduce(np.zeros(5), SUM)
+
+    with pytest.raises(SpmdError) as ei:
+        spmd_run(2, prog, sanitize=True)
+    assert isinstance(ei.value.__cause__, CollectiveMismatchError)
+
+
+def test_payload_values_not_compared():
+    # Same shape/dtype, different values: perfectly legal collectives.
+    def prog(comm):
+        return float(comm.allreduce(np.full(3, float(comm.rank)), SUM).sum())
+
+    assert spmd_run(3, prog, sanitize=True) == [9.0] * 3
+
+
+def test_gather_payloads_may_differ():
+    # gather/allgather payloads are rank-local by design; only the op
+    # kind and root are cross-checked.
+    def prog(comm):
+        return comm.allgather(np.zeros(comm.rank + 1))
+
+    vals = spmd_run(3, prog, sanitize=True)
+    assert [len(v) for v in vals[0]] == [1, 2, 3]
+
+
+def test_detection_is_deterministic_across_repeats():
+    def prog(comm):
+        comm.barrier()
+        if comm.rank == 2:
+            comm.allgather(0)
+        else:
+            comm.barrier()
+
+    for _ in range(5):
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(4, prog, sanitize=True)
+        cause = ei.value.__cause__
+        assert isinstance(cause, CollectiveMismatchError)
+        assert "call #1" in str(cause)
+        assert 2 in (cause.rank, cause.ref_rank)
+
+
+def test_state_retires_completed_entries():
+    state = SanitizerState(2)
+    sig = CallSignature(op="barrier")
+    for seq in range(100):
+        state.check(0, seq, sig)
+        state.check(1, seq, sig)
+    # Entries are retired once every rank has passed them: the table
+    # stays bounded by rank skew, not run length.
+    assert len(state._sites) == 0

@@ -1,0 +1,192 @@
+"""Tests for the hang watchdog and flight recorder (repro.parallel.watchdog)."""
+
+import json
+import time
+
+import pytest
+
+from repro.parallel import (
+    SUM,
+    FaultPlan,
+    FaultyComm,
+    HangError,
+    HangWatchdog,
+    SpmdError,
+    spmd_run,
+    spmd_run_resilient,
+)
+from repro.parallel.faults import DELAY, Fault
+
+
+def make_watchdog(tmp_path, timeout=0.5, history=32):
+    return HangWatchdog(
+        timeout=timeout, history=history, artifact_dir=str(tmp_path)
+    )
+
+
+def test_healthy_run_unchanged(tmp_path):
+    wd = make_watchdog(tmp_path)
+
+    def prog(comm):
+        comm.barrier()
+        return comm.allreduce(comm.rank, SUM)
+
+    assert spmd_run(4, prog, watchdog=wd) == [6] * 4
+    assert wd.last_artifact is None
+
+
+def test_early_exit_rank_diagnosed(tmp_path):
+    wd = make_watchdog(tmp_path)
+
+    def prog(comm):
+        comm.barrier()
+        if comm.rank == 2:
+            return "left early"
+        comm.barrier()
+        return "ok"
+
+    with pytest.raises(SpmdError) as ei:
+        spmd_run(3, prog, watchdog=wd)
+    err = ei.value
+    assert err.failed_rank == 2
+    assert "rank 2" in str(err)
+    cause = err.__cause__
+    assert isinstance(cause, HangError)
+    assert cause.rank == 2
+    assert cause.artifact is not None and cause.artifact in str(err)
+
+
+def test_flight_recorder_artifact_contents(tmp_path):
+    wd = make_watchdog(tmp_path)
+
+    def prog(comm):
+        comm.allreduce(1, SUM)
+        comm.allgather(comm.rank)
+        if comm.rank == 0:
+            return
+        comm.barrier()
+
+    with pytest.raises(SpmdError):
+        spmd_run(3, prog, watchdog=wd)
+    assert wd.last_artifact is not None
+    with open(wd.last_artifact) as f:
+        dump = json.load(f)
+    assert dump["reason"] == "hang"
+    assert dump["offender"] == 0
+    assert dump["size"] == 3
+    assert len(dump["ranks"]) == 3
+    r0 = dump["ranks"][0]
+    assert r0["finished"] is True
+    assert [r["op"] for r in r0["records"]] == ["allreduce", "allgather"]
+    # The waiting peers have the barrier open in flight.
+    assert dump["ranks"][1]["in_flight"]["op"] == "barrier"
+
+
+def test_wedged_compute_rank_diagnosed(tmp_path):
+    wd = make_watchdog(tmp_path, timeout=0.4)
+
+    def prog(comm):
+        comm.barrier()
+        if comm.rank == 1:
+            time.sleep(2.5)  # wedged outside comm while peers wait
+        comm.barrier()
+
+    with pytest.raises(SpmdError) as ei:
+        spmd_run(3, prog, watchdog=wd)
+    assert ei.value.failed_rank == 1
+    assert "outside comm" in str(ei.value)
+
+
+def test_timeout_without_watchdog_still_aborts():
+    def prog(comm):
+        if comm.rank == 0:
+            return
+        comm.barrier()
+
+    with pytest.raises(SpmdError) as ei:
+        spmd_run(2, prog, timeout=0.3)
+    assert isinstance(ei.value.__cause__, HangError)
+
+
+def test_ring_buffer_is_bounded(tmp_path):
+    wd = make_watchdog(tmp_path, timeout=2.0, history=8)
+
+    def prog(comm):
+        for _ in range(40):
+            comm.barrier()
+        return comm.rank
+
+    assert spmd_run(2, prog, watchdog=wd) == [0, 1]
+    # Force a dump to inspect recorder state after a healthy run.
+    path = wd.dump("inspect")
+    with open(path) as f:
+        dump = json.load(f)
+    assert dump["ranks"][0]["records_retained"] == 8
+    assert dump["ranks"][0]["records_total"] == 40
+
+
+def test_phase_labels_recorded_when_traced(tmp_path):
+    from repro.trace import phase
+
+    wd = make_watchdog(tmp_path, timeout=2.0)
+
+    def prog(comm):
+        with phase("Balance"):
+            comm.allreduce(1, SUM)
+        if comm.rank == 1:
+            return
+        comm.barrier()
+
+    with pytest.raises(SpmdError):
+        spmd_run(2, prog, watchdog=wd, trace=True)
+    with open(wd.last_artifact) as f:
+        dump = json.load(f)
+    assert dump["ranks"][0]["records"][0]["phase"] == "Balance"
+
+
+def test_resilient_recovers_from_hang(tmp_path):
+    wd = make_watchdog(tmp_path, timeout=0.4)
+    # A DELAY fault longer than the timeout wedges rank 1 at its third
+    # comm call on attempt 0 only; the watchdog converts the hang into an
+    # attributable fault and the retry succeeds.
+    plan = FaultPlan([Fault(DELAY, 1, 2, seconds=2.0)])
+
+    def wrapper(comm, attempt):
+        return FaultyComm(comm, plan) if attempt == 0 else comm
+
+    def prog(comm, store):
+        total = 0
+        for _ in range(5):
+            total = comm.allreduce(1, SUM)
+        return total
+
+    result = spmd_run_resilient(
+        3, prog, comm_wrapper=wrapper, watchdog=wd, max_retries=2
+    )
+    assert result.values == [3, 3, 3]
+    assert result.recovery.recoveries == 1
+    assert result.recovery.ranks_lost == [1]
+    assert len(result.recovery.artifacts) == 1
+    with open(result.recovery.artifacts[0]) as f:
+        assert json.load(f)["offender"] == 1
+
+
+def test_hang_detection_deterministic(tmp_path):
+    for _ in range(4):
+        wd = make_watchdog(tmp_path, timeout=0.3)
+
+        def prog(comm):
+            if comm.rank == 3:
+                return
+            comm.allgather(comm.rank)
+
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(4, prog, watchdog=wd)
+        assert ei.value.failed_rank == 3
+
+
+def test_watchdog_validation():
+    with pytest.raises(ValueError):
+        HangWatchdog(timeout=0.0)
+    with pytest.raises(ValueError):
+        HangWatchdog(history=0)
