@@ -28,7 +28,7 @@ from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
 from repro.p4est.nodes import lnodes
 from repro.parallel import SerialComm
-from repro.parallel.machine import spmd_run_detailed
+from repro.parallel import Machine, RunConfig
 from repro.perf.machine import JAGUAR_XT5
 from repro.perf.model import (
     CommCost,
@@ -90,7 +90,7 @@ def test_fig4_weak_scaling_table(benchmark):
         t, forest = run_phases(comm)
         return t.seconds, forest.local_count
 
-    report = spmd_run_detailed(4, prog)
+    report = Machine(RunConfig(size=4)).run(prog).report
     n_rank = report.values[0][1]
     stats = report.outcomes[0].stats
     # Attribute the exchange traffic to Balance/Ghost/Nodes (the paper's

@@ -23,7 +23,7 @@ from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
 from repro.p4est.nodes import lnodes
 from repro.p4est.octant import Octants
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import Machine, RunConfig, Sanitize, SerialComm, Watchdog
 from repro.perf.model import format_table
 from repro.solvers.amg import smoothed_aggregation
 from repro.solvers.krylov import cg
@@ -56,7 +56,7 @@ def test_benchmark_owner_search(benchmark):
         return int(owners.sum())
 
     benchmark.pedantic(
-        lambda: spmd_run(4, prog), rounds=2, iterations=1, warmup_rounds=0
+        lambda: Machine(RunConfig(size=4)).run(prog).values, rounds=2, iterations=1, warmup_rounds=0
     )
 
 
@@ -66,7 +66,7 @@ def test_benchmark_ghost(benchmark):
         return len(build_ghost(forest))
 
     out = benchmark.pedantic(
-        lambda: spmd_run(4, prog), rounds=2, iterations=1, warmup_rounds=0
+        lambda: Machine(RunConfig(size=4)).run(prog).values, rounds=2, iterations=1, warmup_rounds=0
     )
     assert all(n > 0 for n in out)
 
@@ -143,7 +143,7 @@ def test_ablation_weighted_partition(benchmark):
         return unweighted_load, float(w2.sum())
 
     out = benchmark.pedantic(
-        lambda: spmd_run(4, prog), rounds=1, iterations=1, warmup_rounds=0
+        lambda: Machine(RunConfig(size=4)).run(prog).values, rounds=1, iterations=1, warmup_rounds=0
     )
     un = [a for a, _ in out]
     we = [b for _, b in out]
@@ -244,17 +244,17 @@ def test_benchmark_sanitizer_watchdog_overhead_off(benchmark):
             best = min(best, time.perf_counter() - t0)
         return best
 
-    t_plain = timed(lambda: spmd_run(RANKS, pingpong))
+    t_plain = timed(lambda: Machine(RunConfig(size=RANKS)).run(pingpong).values)
     t_guarded = timed(
-        lambda: spmd_run(
-            RANKS,
-            pingpong,
-            sanitize=True,
-            watchdog=HangWatchdog(timeout=60.0),
-        )
+        lambda: Machine(
+            RunConfig(
+                size=RANKS,
+                layers=[Sanitize(), Watchdog(HangWatchdog(timeout=60.0))],
+            )
+        ).run(pingpong).values
     )
     benchmark.pedantic(
-        lambda: spmd_run(RANKS, pingpong), rounds=3, iterations=1, warmup_rounds=1
+        lambda: Machine(RunConfig(size=RANKS)).run(pingpong).values, rounds=3, iterations=1, warmup_rounds=1
     )
     per_call_plain = t_plain / CALLS
     per_call_guarded = t_guarded / CALLS

@@ -2,11 +2,12 @@
 
 A dynamically adapted advection run on the spherical shell checkpoints
 the forest and solution at every adapt cycle.  A deterministic fault
-plan kills rank 1 at a mid-run collective on the first attempt;
-``spmd_run_resilient`` catches the failure, restores from the last
-checkpoint (re-partitioning the octants onto the relaunched ranks), and
-completes.  The final solution matches the fault-free reference run, and
-the RecoveryReport prices the lost work for the performance model.
+plan kills rank 1 at a mid-run collective on the first attempt; the
+recovering machine (``RunConfig(recover=True)``) catches the failure,
+restores from the last checkpoint (re-partitioning the octants onto the
+relaunched ranks), and completes.  The final solution matches the
+fault-free reference run, and the RecoveryReport prices the lost work
+for the performance model.
 
 Run:  python examples/fault_recovery.py
 """
@@ -15,9 +16,10 @@ from repro.apps.advection.driver import AdvectionConfig, AdvectionRun
 from repro.parallel import (
     CheckpointStore,
     FaultPlan,
+    Faults,
     FaultyComm,
-    spmd_run,
-    spmd_run_resilient,
+    Machine,
+    RunConfig,
 )
 from repro.perf import JAGUAR_XT5, comm_cost_from_run
 
@@ -42,23 +44,29 @@ def main():
     print("-" * 60)
 
     print(f"fault-free reference run ({RANKS} ranks, {NSTEPS} steps):")
-    l2_ref, mass_ref, elems_ref = spmd_run(
-        RANKS, lambda c: advect(c, CheckpointStore())
-    )[0]
+    reference = Machine(RunConfig(size=RANKS)).run(
+        lambda c: advect(c, CheckpointStore())
+    )
+    l2_ref, mass_ref, elems_ref = reference.values[0]
     print(f"  elements {elems_ref}, L2 error {l2_ref:.6f}, mass {mass_ref:.6f}")
 
     # Rank 1 dies at its 80th communicator operation -- mid-run, after
     # the first checkpoint.  The plan only applies to attempt 0.
     plan = FaultPlan.crash(rank=1, at_call=80)
     print(f"\nresilient run with injected crash ({plan.faults[0]}):")
-    result = spmd_run_resilient(
-        RANKS,
-        advect,
+    config = RunConfig(
+        size=RANKS,
+        recover=True,
         max_retries=2,
-        comm_wrapper=lambda comm, attempt: (
-            FaultyComm(comm, plan) if attempt == 0 else comm
-        ),
+        layers=[
+            Faults(
+                wrapper=lambda comm, attempt: (
+                    FaultyComm(comm, plan) if attempt == 0 else comm
+                )
+            )
+        ],
     )
+    result = Machine(config).run(advect)
     l2, mass, elems = result.values[0]
     print(f"  elements {elems}, L2 error {l2:.6f}, mass {mass:.6f}")
     print(f"  recovery: {result.recovery.summary()}")

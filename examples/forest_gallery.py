@@ -21,7 +21,7 @@ from repro.mangll.geometry import (
 from repro.p4est.balance import balance
 from repro.p4est.builders import moebius, rotcubes, shell
 from repro.p4est.forest import Forest
-from repro.parallel import spmd_run
+from repro.parallel import Machine, RunConfig
 
 
 def fractal_mask(octs, maxlevel):
@@ -46,7 +46,7 @@ def main():
         path = draw_forest_svg("gallery_moebius.svg", forest, MoebiusGeometry())
         return forest.global_count, path
 
-    out = spmd_run(4, moebius_prog)
+    out = Machine(RunConfig(size=4)).run(moebius_prog).values
     print(f"  Möbius strip  : {out[0][0]:6d} quadrants -> {out[0][1]}")
 
     def rotcubes_prog(comm):
@@ -55,7 +55,7 @@ def main():
         path = write_vtk("gallery_rotcubes.vtk", forest, MultilinearGeometry(conn))
         return forest.global_count, path
 
-    out = spmd_run(4, rotcubes_prog)
+    out = Machine(RunConfig(size=4)).run(rotcubes_prog).values
     print(f"  rotated cubes : {out[0][0]:6d} octants   -> {out[0][1]}")
 
     def shell_prog(comm):
@@ -64,7 +64,7 @@ def main():
         path = write_vtk("gallery_shell.vtk", forest, ShellGeometry())
         return forest.global_count, path
 
-    out = spmd_run(4, shell_prog)
+    out = Machine(RunConfig(size=4)).run(shell_prog).values
     print(f"  24-tree shell : {out[0][0]:6d} octants   -> {out[0][1]}")
 
 

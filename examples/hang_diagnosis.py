@@ -5,8 +5,8 @@ diagnosis instead of silent corruption or a wedged run:
 
 1. A *mismatched collective* — rank 0 calls ``allreduce`` while its
    peers sit in ``barrier``.  Under MPI this deadlocks (or worse); the
-   sanitizer (``sanitize=True``) cross-checks every call signature
-   across ranks and aborts naming both divergent calls.
+   sanitizer layer (``layers=[Sanitize()]``) cross-checks every call
+   signature across ranks and aborts naming both divergent calls.
 2. A *hang* — one rank leaves the collective pattern early while its
    peers wait forever.  The watchdog times the wait out, diagnoses the
    heartbeat table to name the offender, and dumps a flight-recorder
@@ -18,7 +18,15 @@ Run:  python examples/hang_diagnosis.py
 
 import json
 
-from repro.parallel import SUM, HangWatchdog, SpmdError, spmd_run
+from repro.parallel import (
+    SUM,
+    HangWatchdog,
+    Machine,
+    RunConfig,
+    Sanitize,
+    SpmdError,
+    Watchdog,
+)
 
 RANKS = 3
 
@@ -43,9 +51,9 @@ def hanging(comm):
 
 
 def main():
-    print(f"== 1. mismatched collective on {RANKS} ranks (sanitize=True)")
+    print(f"== 1. mismatched collective on {RANKS} ranks (Sanitize layer)")
     try:
-        spmd_run(RANKS, mismatched, sanitize=True)
+        Machine(RunConfig(size=RANKS, layers=[Sanitize()])).run(mismatched)
     except SpmdError as err:
         print(f"  caught SpmdError, failed_rank={err.failed_rank}")
         print(f"  diagnosis: {err.__cause__}")
@@ -53,7 +61,7 @@ def main():
     print(f"\n== 2. hang on {RANKS} ranks (watchdog, 0.5s timeout)")
     watchdog = HangWatchdog(timeout=0.5, history=16)
     try:
-        spmd_run(RANKS, hanging, watchdog=watchdog)
+        Machine(RunConfig(size=RANKS, layers=[Watchdog(watchdog)])).run(hanging)
     except SpmdError as err:
         print(f"  caught SpmdError, failed_rank={err.failed_rank}")
         print(f"  diagnosis: {err.__cause__}")

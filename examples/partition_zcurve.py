@@ -17,7 +17,7 @@ from repro.mangll.geometry import MultilinearGeometry
 from repro.p4est.balance import balance
 from repro.p4est.builders import two_trees_2d
 from repro.p4est.forest import Forest
-from repro.parallel import spmd_run
+from repro.parallel import Machine, RunConfig
 
 
 def rank_program(comm):
@@ -45,7 +45,7 @@ def rank_program(comm):
 
 
 def main():
-    out = spmd_run(3, rank_program)
+    out = Machine(RunConfig(size=3)).run(rank_program).values
     print("Fig. 2: space-filling curve partition over two quadtrees")
     print("-" * 58)
     total = sum(r["count"] for r in out)

@@ -17,7 +17,7 @@ from repro.p4est.builders import moebius
 from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
 from repro.p4est.nodes import lnodes
-from repro.parallel import spmd_run
+from repro.parallel import Machine, RunConfig
 
 
 def rank_program(comm):
@@ -55,7 +55,7 @@ def rank_program(comm):
 
 
 def main():
-    results = spmd_run(3, rank_program)
+    results = Machine(RunConfig(size=3)).run(rank_program).values
     print("Forest-of-octrees quickstart (Möbius strip, 3 ranks)")
     print("-" * 52)
     for r in results:

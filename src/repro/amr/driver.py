@@ -42,8 +42,8 @@ class CheckpointPolicy:
     :meth:`after_adapt` once per cycle; every ``every``-th call snapshots
     the forest (plus per-element fields and app ``meta``) into ``store``
     via partition-independent :func:`repro.p4est.checkpoint.save`.  The
-    store outlives the rank threads, which is what makes
-    :func:`~repro.parallel.machine.spmd_run_resilient` restarts possible.
+    store outlives the rank threads (or worker processes), which is
+    what makes recovering runs (``RunConfig(recover=True)``) possible.
     """
 
     store: CheckpointStore = field(default_factory=CheckpointStore)
@@ -117,7 +117,11 @@ def adapt_and_rebalance(
     nref = forest.refine(mask=refine_mask, maxlevel=max_level)
 
     ncoarse = 0
-    if coarsen_mask is not None and coarsen_mask.any():
+    # Collective-uniform branch: coarsen() refreshes the global counts
+    # (an allgather), so every rank must enter whenever any rank could —
+    # gating on the local mask being non-empty deadlocks/diverges ranks
+    # whose segment happens to hold no coarsen candidates.
+    if coarsen_mask is not None:
         # Map the coarsen flags onto the post-refinement array: refined
         # elements are never coarsen candidates, surviving elements keep
         # their flag (found by key lookup).

@@ -14,9 +14,10 @@ module provides that machine without touching any algorithm code:
   (:class:`InjectedFailure`), payload corruption, payload truncation, or
   delays, then delegates to the wrapped communicator.
 
-Compose it over :class:`~repro.parallel.machine.ThreadComm` via the
-``comm_wrapper`` hook of :func:`~repro.parallel.machine.spmd_run_resilient`
-(or wrap manually inside any rank program) to exercise recovery paths.
+Compose it innermost on any run via the
+:class:`~repro.parallel.layers.Faults` layer — ``RunConfig(recover=True,
+layers=[Faults(plan=...)])`` or ``Faults(wrapper=...)`` for per-attempt
+control — to exercise recovery paths.
 """
 
 from __future__ import annotations

@@ -1,50 +1,71 @@
-"""Thread-backed SPMD execution of rank programs.
+"""The thread execution backend, plus the deprecated ``spmd_run*`` shims.
 
-:func:`spmd_run` launches one thread per rank, each executing the same
+:class:`ThreadBackend` runs one thread per rank, each executing the same
 ``fn(comm, *args)`` against its own :class:`ThreadComm`.  Collectives are
 implemented with a shared two-phase barrier protocol: every rank deposits
 its contribution, the barrier's leader combines, a second barrier releases
 the results.  The protocol is deterministic (results never depend on
 thread scheduling) and exception-safe: a raising rank aborts the barrier,
-unblocking all peers, and the original exception is re-raised from
-:func:`spmd_run`.
+unblocking all peers, and the original exception is re-raised from the
+driver.
 
-This machine is the stand-in for MPI on the paper's Cray XT5: algorithms
-exercise real distributed storage and real communication structure, while
-:class:`~repro.parallel.stats.CommStats` meters the traffic for the
-performance model.
+All argument validation and :class:`~repro.parallel.stats.CommStats`
+metering live in the shared :class:`~repro.parallel.backend.MeteredComm`
+frontend, so accounting is byte-exact with the process backend of
+:mod:`repro.parallel.process_backend`.  Threads share one address space
+and the GIL: communication is cheap but compute never overlaps, which is
+exactly what the process backend exists to fix (see ``docs/BACKENDS.md``).
+
+The historical entry points :func:`spmd_run`, :func:`spmd_run_detailed`,
+and :func:`spmd_run_resilient` remain as thin deprecated shims over
+:class:`repro.parallel.run.Machine`; new code should build a
+:class:`~repro.parallel.run.RunConfig` instead.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.parallel.backend import (
+    MAX_RANKS,
+    AttemptRequest,
+    AttemptResult,
+    Backend,
+    MeteredComm,
+    RankOutcome,
+    SpmdError,
+    SpmdReport,
+    effective_timeout,
+)
 from repro.parallel.comm import Comm
-from repro.parallel.ops import SUM, ReduceOp, identity_for, payload_nbytes
-from repro.parallel.sanitizer import SanitizedComm, SanitizerState
+from repro.parallel.layers import (
+    CommLayer,
+    Faults,
+    LayerContext,
+    Sanitize,
+    Trace,
+    Watchdog,
+    find_layer,
+    wrap_comm,
+)
+from repro.parallel.run import (
+    CheckpointStore,
+    Machine,
+    RecoveryReport,
+    RunConfig,
+    RunResult,
+)
+from repro.parallel.sanitizer import SanitizerState
 from repro.parallel.stats import CommStats
 from repro.parallel.watchdog import HangError, HangWatchdog
 
-MAX_RANKS = 1024
-
-
-class SpmdError(RuntimeError):
-    """Raised on all surviving ranks when a peer rank fails.
-
-    ``failed_rank`` is the lowest rank whose own exception (not a
-    cascaded abort) brought the run down, or ``None`` when unknown.
-    """
-
-    def __init__(self, message: str, failed_rank: Optional[int] = None) -> None:
-        super().__init__(message)
-        self.failed_rank = failed_rank
-
 
 class _Shared:
-    """State shared by the ranks of one SPMD run.
+    """State shared by the rank threads of one SPMD attempt.
 
     ``timeout`` arms every barrier wait: a wait that expires breaks the
     protocol for all ranks and the failure is attributed (via the
@@ -59,6 +80,7 @@ class _Shared:
         timeout: Optional[float] = None,
         watchdog: Optional[HangWatchdog] = None,
     ) -> None:
+        """Set up the barrier, slot array, and failure table for ``size`` ranks."""
         self.size = size
         self.timeout = timeout
         self.watchdog = watchdog
@@ -84,27 +106,24 @@ class _Shared:
 
     @property
     def failed_rank(self) -> Optional[int]:
+        """Lowest rank with a primary failure on record, or ``None``."""
         with self._lock:
             return min(self.failures) if self.failures else None
 
     @property
     def failure(self) -> Optional[BaseException]:
+        """The primary failure of :attr:`failed_rank`, or ``None``."""
         with self._lock:
             return self.failures[min(self.failures)] if self.failures else None
 
 
-class ThreadComm(Comm):
+class ThreadComm(MeteredComm):
     """Communicator handle for one rank of a thread-backed SPMD run."""
 
     def __init__(self, rank: int, shared: _Shared) -> None:
-        self.rank = rank
-        self.size = shared.size
-        self.stats = CommStats()
+        """Bind rank ``rank`` to the attempt's shared barrier state."""
+        super().__init__(rank, shared.size)
         self._shared = shared
-        self.compute_seconds = 0.0
-        self._mark = time.thread_time()
-
-    # Internal machinery ---------------------------------------------------
 
     def _wait(self) -> int:
         """One barrier round, armed with the run's consistent timeout.
@@ -166,257 +185,65 @@ class ThreadComm(Comm):
         result = shared.result
         return result
 
-    def _begin(self) -> None:
-        now = time.thread_time()
-        self.compute_seconds += now - self._mark
 
-    def _end(self) -> None:
-        self._mark = time.thread_time()
+class ThreadBackend(Backend):
+    """One thread per rank; the default (and only GIL-bound) backend."""
 
-    # Collectives ----------------------------------------------------------
+    name = "thread"
 
-    def barrier(self) -> None:
-        self._begin()
-        self.stats.record("barrier", 0, 0)
-        self._wait()
-        self._wait()
-        self._end()
-
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        self._begin()
-        self._check_root(root)
-        sent = payload_nbytes(obj) if self.rank == root else 0
-        self.stats.record("bcast", self.size - 1 if self.rank == root else 0, sent)
-        result = self._collect(obj if self.rank == root else None, lambda slots: slots[root])
-        self._end()
-        return result
-
-    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
-        self._begin()
-        self._check_root(root)
-        self.stats.record("gather", 0 if self.rank == root else 1, payload_nbytes(obj))
-        result = self._collect(obj, list)
-        self._end()
-        return result if self.rank == root else None
-
-    def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
-        self._begin()
-        self._check_root(root)
-        if self.rank == root:
-            if objs is None or len(objs) != self.size:
-                raise ValueError("scatter requires a list of one value per rank at root")
-            sent = sum(payload_nbytes(o) for i, o in enumerate(objs) if i != root)
-            self.stats.record("scatter", self.size - 1, sent)
-        else:
-            self.stats.record("scatter", 0, 0)
-        result = self._collect(objs if self.rank == root else None, lambda slots: slots[root])
-        self._end()
-        return result[self.rank]
-
-    def allgather(self, obj: Any) -> List[Any]:
-        self._begin()
-        self.stats.record("allgather", self.size - 1, payload_nbytes(obj))
-        result = self._collect(obj, list)
-        self._end()
-        return list(result)
-
-    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
-        self._begin()
-        self.stats.record("allreduce", self.size - 1, payload_nbytes(value))
-
-        def combine(slots: List[Any]) -> Any:
-            acc = slots[0]
-            for v in slots[1:]:
-                acc = op(acc, v)
-            return acc
-
-        result = self._collect(value, combine)
-        self._end()
-        return result
-
-    def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
-        self._begin()
-        self.stats.record("exscan", 1, payload_nbytes(value))
-
-        def combine(slots: List[Any]) -> List[Any]:
-            prefixes = [identity_for(op, slots[0])]
-            acc = slots[0]
-            for v in slots[1:]:
-                prefixes.append(acc)
-                acc = op(acc, v)
-            return prefixes
-
-        result = self._collect(value, combine)
-        self._end()
-        return result[self.rank]
-
-    def scan(self, value: Any, op: ReduceOp = SUM) -> Any:
-        self._begin()
-        self.stats.record("scan", 1, payload_nbytes(value))
-
-        def combine(slots: List[Any]) -> List[Any]:
-            prefixes = []
-            acc = None
-            for i, v in enumerate(slots):
-                acc = v if i == 0 else op(acc, v)
-                prefixes.append(acc)
-            return prefixes
-
-        result = self._collect(value, combine)
-        self._end()
-        return result[self.rank]
-
-    def alltoall(self, objs: List[Any]) -> List[Any]:
-        self._begin()
-        if len(objs) != self.size:
-            raise ValueError("alltoall requires one value per destination rank")
-        sent = sum(payload_nbytes(o) for i, o in enumerate(objs) if i != self.rank)
-        self.stats.record("alltoall", self.size - 1, sent)
-        result = self._collect(list(objs), lambda slots: slots)
-        received = [result[src][self.rank] for src in range(self.size)]
-        self._end()
-        return received
-
-    def exchange(self, outbox: Dict[int, Any]) -> Dict[int, Any]:
-        self._begin()
-        for dest in outbox:
-            if not 0 <= dest < self.size:
-                raise ValueError(f"exchange destination {dest} out of range")
-        nmsg = sum(1 for d in outbox if d != self.rank)
-        nbytes = sum(payload_nbytes(v) for d, v in outbox.items() if d != self.rank)
-        self.stats.record("exchange", nmsg, nbytes)
-        all_outboxes = self._collect(dict(outbox), lambda slots: slots)
-        inbox = {
-            src: all_outboxes[src][self.rank]
-            for src in range(self.size)
-            if self.rank in all_outboxes[src]
-        }
-        self._end()
-        return inbox
-
-    def _check_root(self, root: int) -> None:
-        if not 0 <= root < self.size:
-            raise ValueError(f"root {root} out of range for size-{self.size} comm")
-
-
-@dataclass
-class RankOutcome:
-    """Result and metering for one rank of an SPMD run."""
-
-    value: Any
-    stats: CommStats
-    compute_seconds: float
-    trace: Any = None  # TraceReport when the run was traced
-
-
-@dataclass
-class SpmdReport:
-    """Everything :func:`spmd_run_detailed` learned about a run."""
-
-    outcomes: List[RankOutcome]
-    wall_seconds: float
-
-    @property
-    def values(self) -> List[Any]:
-        return [o.value for o in self.outcomes]
-
-    @property
-    def max_compute_seconds(self) -> float:
-        return max(o.compute_seconds for o in self.outcomes)
-
-    def merged_stats(self) -> CommStats:
-        merged = CommStats()
-        for o in self.outcomes:
-            merged.merge(o.stats)
-        return merged
-
-    @property
-    def trace_reports(self) -> List[Any]:
-        """Per-rank :class:`~repro.trace.tracer.TraceReport`s (traced runs)."""
-        return [o.trace for o in self.outcomes if o.trace is not None]
-
-    def profile(self, wall_seconds: Optional[float] = None) -> Any:
-        """Merge the per-rank traces into a :class:`~repro.trace.RunProfile`.
-
-        Raises :class:`ValueError` when the run was not launched with
-        ``trace=True``.
-        """
-        reports = self.trace_reports
-        if not reports:
-            raise ValueError("run was not traced; pass trace=True to spmd_run_*")
-        from repro.trace.profile import RunProfile
-
-        if wall_seconds is None:
-            wall_seconds = self.wall_seconds
-        return RunProfile.from_reports(reports, wall_seconds=wall_seconds)
-
-
-class _Attempt:
-    """One launch of ``size`` rank threads (shared by the run entrypoints)."""
-
-    def __init__(
-        self,
-        size: int,
-        fn: Callable[..., Any],
-        args: tuple,
-        kwargs: dict,
-        comm_wrapper: Optional[Callable[[Comm], Comm]] = None,
-        trace: bool = False,
-        timeout: Optional[float] = None,
-        watchdog: Optional[HangWatchdog] = None,
-        sanitize: bool = False,
-    ) -> None:
-        if not 1 <= size <= MAX_RANKS:
-            raise ValueError(f"size must be in [1, {MAX_RANKS}], got {size}")
-        if timeout is None and watchdog is not None:
-            timeout = watchdog.timeout
-        self.shared = _Shared(size, timeout=timeout, watchdog=watchdog)
-        self.comms = [ThreadComm(r, self.shared) for r in range(size)]
-        self.outcomes: List[Optional[RankOutcome]] = [None] * size
-        self.wall_seconds = 0.0
-        self.artifact: Optional[str] = None
+    def run_attempt(self, request: AttemptRequest) -> AttemptResult:
+        """Launch, join, and account one attempt of ``request.size`` ranks."""
+        size = request.size
+        timeout = effective_timeout(request)
+        wd_layer = find_layer(request.layers, "watchdog")
+        watchdog = wd_layer.watchdog if wd_layer is not None else None
+        shared = _Shared(size, timeout=timeout, watchdog=watchdog)
+        comms = [ThreadComm(r, shared) for r in range(size)]
+        outcomes: List[Optional[RankOutcome]] = [None] * size
         if watchdog is not None:
             watchdog.attach(size)
-        san_state = SanitizerState(size) if sanitize else None
-        if trace:
+        san_state = (
+            SanitizerState(size)
+            if find_layer(request.layers, "sanitize") is not None
+            else None
+        )
+        tracing = find_layer(request.layers, "trace") is not None
+        if tracing:
             # Imported lazily: repro.trace depends on this module's package.
-            from repro.trace.comm import TracingComm
             from repro.trace.tracer import Tracer
 
             epoch = time.perf_counter()  # shared t=0 across rank timelines
+        fn_args = request.args if request.store is None else (request.store,) + request.args
 
         def runner(rank: int) -> None:
-            comm = self.comms[rank]
+            """Execute one rank: wrap layers, run the program, record."""
+            comm = comms[rank]
             comm._mark = time.thread_time()  # clock baseline in the rank thread
-            # Decorator stack, innermost first: watchdog heartbeats bracket
-            # the real blocking waits, the sanitizer sees post-fault
-            # payloads (comm_wrapper composes faults on top), tracing is
-            # outermost so injected faults are metered too.
-            base: Comm = comm
-            if watchdog is not None:
-                base = watchdog.comm_for(base)
-            if san_state is not None:
-                base = SanitizedComm(base, san_state)
-            facade = comm_wrapper(base) if comm_wrapper is not None else base
-            tracer = None
-            if trace:
-                tracer = Tracer(rank, epoch=epoch)
-                facade = TracingComm(facade, tracer)
+            tracer = Tracer(rank, epoch=epoch) if tracing else None
+            ctx = LayerContext(
+                rank=rank,
+                size=size,
+                attempt=request.attempt,
+                sanitizer_state=san_state,
+                watchdog=watchdog,
+                tracer=tracer,
+            )
+            facade = wrap_comm(comm, request.layers, ctx)
             try:
                 if tracer is not None:
                     with tracer.activate():
-                        value = fn(facade, *args, **kwargs)
+                        value = request.fn(facade, *fn_args, **request.kwargs)
                 else:
-                    value = fn(facade, *args, **kwargs)
+                    value = request.fn(facade, *fn_args, **request.kwargs)
             except BaseException as exc:  # noqa: BLE001 - must unblock peers
                 if watchdog is not None:
                     watchdog.finished(rank, errored=True)
-                self.shared.abort(rank, exc)
+                shared.abort(rank, exc)
                 return
             if watchdog is not None:
                 watchdog.finished(rank)
             comm._begin()  # flush trailing compute time
-            self.outcomes[rank] = RankOutcome(
+            outcomes[rank] = RankOutcome(
                 value,
                 comm.stats,
                 comm.compute_seconds,
@@ -432,14 +259,29 @@ class _Attempt:
         ]
         for t in threads:
             t.start()
-        self._join(threads)
-        self.wall_seconds = time.perf_counter() - t0
-        if self.failed and watchdog is not None:
-            # Flight-recorder dump for *any* failure (mismatch, injected
-            # fault, program error); the hang path has already dumped.
-            self.artifact = watchdog.dump_for_failure("spmd-error")
+        self._join(shared, threads)
+        wall_seconds = time.perf_counter() - t0
+        failed_rank = shared.failed_rank
+        artifact: Optional[str] = None
+        lost = CommStats()
+        if failed_rank is not None:
+            if watchdog is not None:
+                # Flight-recorder dump for *any* failure (mismatch, injected
+                # fault, program error); the hang path has already dumped.
+                artifact = watchdog.dump_for_failure("spmd-error")
+            for comm in comms:
+                lost.merge(comm.stats)
+        return AttemptResult(
+            outcomes,
+            wall_seconds,
+            failed_rank=failed_rank,
+            failure=shared.failure,
+            artifact=artifact,
+            lost_stats=lost,
+        )
 
-    def _join(self, threads: List[threading.Thread]) -> None:
+    @staticmethod
+    def _join(shared: _Shared, threads: List[threading.Thread]) -> None:
         """Join the rank threads; never wedge when a timeout is armed.
 
         Without a timeout this is a plain join (unchanged semantics).
@@ -448,7 +290,7 @@ class _Attempt:
         an infinite compute loop); it is recorded as a hang on its rank
         and abandoned as a daemon so the driver regains control.
         """
-        timeout = self.shared.timeout
+        timeout = shared.timeout
         if timeout is None:
             for t in threads:
                 t.join()
@@ -462,14 +304,14 @@ class _Attempt:
             alive = [(r, t) for r, t in alive if t.is_alive()]
             if not alive:
                 return
-            if self.shared.failed_rank is None:
+            if shared.failed_rank is None:
                 continue  # still running normally; keep waiting
             now = time.perf_counter()
             if failed_at is None:
                 failed_at = now
             elif now - failed_at > grace:
                 for r, _ in alive:
-                    self.shared.abort(
+                    shared.abort(
                         r,
                         HangError(
                             f"rank {r} thread still running {grace:.1f}s after "
@@ -479,39 +321,29 @@ class _Attempt:
                     )
                 return
 
-    @property
-    def failed(self) -> bool:
-        return self.shared.failed_rank is not None
 
-    def lost_stats(self) -> CommStats:
-        """Traffic performed by every rank of a failed attempt (lost work)."""
-        merged = CommStats()
-        for comm in self.comms:
-            merged.merge(comm.stats)
-        return merged
+# Deprecated entry points ----------------------------------------------------
 
-    def raise_failure(self) -> None:
-        """Re-raise the recorded failure, naming the first failed rank.
+_MIGRATION_HINT = "see docs/BACKENDS.md for the RunConfig migration guide"
 
-        When a flight recorder was dumped for this attempt, its artifact
-        path is chained into the message so a post-mortem never starts
-        from a bare traceback.
-        """
-        rank = self.shared.failed_rank
-        exc = self.shared.failure
-        assert exc is not None
-        if isinstance(exc, SpmdError):
-            raise exc
-        message = f"SPMD run failed on rank {rank}: {exc!r}"
-        if self.artifact is not None and self.artifact not in message:
-            message += f" [flight recorder: {self.artifact}]"
-        raise SpmdError(message, failed_rank=rank) from exc
 
-    def report(self) -> SpmdReport:
-        assert all(o is not None for o in self.outcomes)
-        return SpmdReport(
-            [o for o in self.outcomes if o is not None], self.wall_seconds
-        )
+def _legacy_layers(
+    trace: bool,
+    watchdog: Optional[HangWatchdog],
+    sanitize: bool,
+    comm_wrapper: Optional[Callable[..., Comm]] = None,
+) -> List[CommLayer]:
+    """Translate the old keyword sprawl into an explicit layer stack."""
+    layers: List[CommLayer] = []
+    if comm_wrapper is not None:
+        layers.append(Faults(wrapper=comm_wrapper))
+    if sanitize:
+        layers.append(Sanitize())
+    if watchdog is not None:
+        layers.append(Watchdog(watchdog))
+    if trace:
+        layers.append(Trace())
+    return layers
 
 
 def spmd_run_detailed(
@@ -524,38 +356,26 @@ def spmd_run_detailed(
     sanitize: bool = False,
     **kwargs: Any,
 ) -> SpmdReport:
-    """Run ``fn(comm, *args, **kwargs)`` SPMD on ``size`` ranks with metering.
+    """Run ``fn(comm, *args, **kwargs)`` SPMD with metering.  Deprecated.
 
-    With ``trace=True`` every rank runs under an active
-    :class:`~repro.trace.tracer.Tracer` (sharing one epoch, so Chrome-trace
-    timelines align) behind a :class:`~repro.trace.comm.TracingComm`; the
-    per-rank :class:`~repro.trace.tracer.TraceReport`s land on the outcomes
-    and :meth:`SpmdReport.profile` merges them.
-
-    ``timeout`` bounds every blocking collective wait (default: wait
-    forever, exactly the pre-watchdog behavior).  ``watchdog`` attaches a
-    :class:`~repro.parallel.watchdog.HangWatchdog` — heartbeats, hang
-    diagnosis, and a per-rank flight recorder dumped to a JSON artifact
-    on any failure; it supplies its own timeout when ``timeout`` is not
-    given.  ``sanitize=True`` cross-validates every collective call
-    signature across ranks and raises
-    :class:`~repro.parallel.sanitizer.CollectiveMismatchError` on
-    divergence instead of deadlocking or corrupting.  All three are off
-    by default and then cost nothing on the comm path.
+    Use ``Machine(RunConfig(size=..., layers=[...])).run(fn, ...).report``
+    instead; the keyword toggles map to
+    :class:`~repro.parallel.layers.Trace`,
+    :class:`~repro.parallel.layers.Watchdog`, and
+    :class:`~repro.parallel.layers.Sanitize` layers.
     """
-    attempt = _Attempt(
-        size,
-        fn,
-        args,
-        kwargs,
-        trace=trace,
-        timeout=timeout,
-        watchdog=watchdog,
-        sanitize=sanitize,
+    warnings.warn(
+        "spmd_run_detailed() is deprecated; use "
+        f"Machine(RunConfig(...)).run(...).report ({_MIGRATION_HINT})",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    if attempt.failed:
-        attempt.raise_failure()
-    return attempt.report()
+    config = RunConfig(
+        size=size,
+        timeout=timeout,
+        layers=_legacy_layers(trace, watchdog, sanitize),
+    )
+    return Machine(config).run(fn, *args, **kwargs).report
 
 
 def spmd_run(
@@ -568,94 +388,34 @@ def spmd_run(
     sanitize: bool = False,
     **kwargs: Any,
 ) -> List[Any]:
-    """Run ``fn(comm, *args, **kwargs)`` SPMD on ``size`` ranks.
+    """Run ``fn(comm, *args, **kwargs)`` SPMD on ``size`` ranks.  Deprecated.
 
-    Returns the list of per-rank return values.  If any rank raises, a
+    Use ``Machine(RunConfig(size=...)).run(fn, ...).values`` instead.
+    Returns the list of per-rank return values; if any rank raises, a
     :class:`SpmdError` naming the first failed rank propagates with the
-    original exception chained (peers are unblocked via barrier abort).
-    ``trace=True`` enables phase tracing (use :func:`spmd_run_detailed` to
-    also get the reports back); ``timeout``/``watchdog``/``sanitize``
-    enable the correctness layer (see :func:`spmd_run_detailed`).
+    original exception chained.
     """
-    return spmd_run_detailed(
-        size,
-        fn,
-        *args,
-        trace=trace,
+    warnings.warn(
+        "spmd_run() is deprecated; use "
+        f"Machine(RunConfig(...)).run(...).values ({_MIGRATION_HINT})",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    config = RunConfig(
+        size=size,
         timeout=timeout,
-        watchdog=watchdog,
-        sanitize=sanitize,
-        **kwargs,
-    ).values
-
-
-# Self-healing runs ----------------------------------------------------------
-
-
-class CheckpointStore:
-    """In-memory checkpoint slot surviving across restart attempts.
-
-    Rank programs call :meth:`save` (typically only the gather root passes
-    a non-``None`` payload) and :meth:`load` to resume.  The store lives in
-    the driver, outside the rank threads, so it survives a failed attempt.
-    """
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._payload: Any = None
-        self.saves = 0
-
-    def save(self, payload: Any) -> None:
-        """Record ``payload`` as the latest checkpoint (``None`` is a no-op)."""
-        if payload is None:
-            return
-        with self._lock:
-            self._payload = payload
-            self.saves += 1
-
-    def load(self) -> Any:
-        """Latest checkpoint payload, or ``None`` if nothing was saved."""
-        with self._lock:
-            return self._payload
-
-    @property
-    def octants(self) -> int:
-        """Global octant count of the stored checkpoint (0 if not a forest)."""
-        with self._lock:
-            return int(getattr(self._payload, "global_octants", 0) or 0)
-
-
-@dataclass
-class RecoveryReport:
-    """Structured accounting of a :func:`spmd_run_resilient` run."""
-
-    attempts: int = 1  # total launches, including the successful one
-    recoveries: int = 0  # failed launches that were retried
-    ranks_lost: List[int] = field(default_factory=list)
-    initial_size: int = 0
-    final_size: int = 0
-    checkpoints_used: int = 0  # retries that restored from a checkpoint
-    octants_repartitioned: int = 0  # octants redistributed by restores
-    wall_seconds_lost: float = 0.0  # wall time of the failed attempts
-    lost_stats: CommStats = field(default_factory=CommStats)
-    artifacts: List[str] = field(default_factory=list)  # flight-recorder dumps
-
-    def summary(self) -> str:
-        ranks = ",".join(str(r) for r in self.ranks_lost) or "-"
-        return (
-            f"attempts {self.attempts} (recoveries {self.recoveries}), "
-            f"ranks lost [{ranks}], size {self.initial_size}->{self.final_size}, "
-            f"checkpoints used {self.checkpoints_used}, "
-            f"octants repartitioned {self.octants_repartitioned}, "
-            f"wall lost {self.wall_seconds_lost:.3f}s, "
-            f"lost messages {self.lost_stats.total_messages}, "
-            f"lost bytes {self.lost_stats.total_bytes}"
-        )
+        layers=_legacy_layers(trace, watchdog, sanitize),
+    )
+    return Machine(config).run(fn, *args, **kwargs).values
 
 
 @dataclass
 class ResilientResult:
-    """Return value of :func:`spmd_run_resilient`."""
+    """Return value of the deprecated :func:`spmd_run_resilient`.
+
+    New code receives the equivalent :class:`~repro.parallel.run.RunResult`
+    from ``Machine(RunConfig(recover=True)).run(...)``.
+    """
 
     values: List[Any]
     report: SpmdReport
@@ -677,80 +437,31 @@ def spmd_run_resilient(
     sanitize: bool = False,
     **kwargs: Any,
 ) -> ResilientResult:
-    """Run ``fn(comm, store, *args, **kwargs)`` SPMD with checkpoint recovery.
+    """Run ``fn(comm, store, *args, **kwargs)`` with recovery.  Deprecated.
 
-    ``fn`` receives the :class:`CheckpointStore` after the communicator; it
-    should resume from ``store.load()`` when that is not ``None`` and
-    periodically ``store.save`` a restart payload (e.g. a
-    :class:`repro.p4est.checkpoint.ForestCheckpoint`).  On :class:`SpmdError`
-    the failed rank is recorded and the program is relaunched from the last
-    checkpoint, up to ``max_retries`` times; with ``shrink_on_failure`` each
-    retry drops the failed rank from the communicator (never below
-    ``min_size``) — possible because checkpoints are partition-independent.
-
-    ``comm_wrapper(comm, attempt)``, if given, decorates every rank's
-    communicator per attempt — the hook used to compose
-    :class:`repro.parallel.faults.FaultyComm` fault plans over specific
-    attempts.  Exceptions other than rank failures (e.g. ``ValueError``
-    raised consistently by the program itself on every attempt) still
-    propagate after the retry budget is exhausted.
-
-    Returns a :class:`ResilientResult`; its :class:`RecoveryReport` is the
-    input for charging recovery overhead in :mod:`repro.perf`.  With
-    ``trace=True`` the successful attempt's per-rank phase traces land on
-    the returned report (see :func:`spmd_run_detailed`); tracing composes
-    outside ``comm_wrapper``, so injected faults are metered too.
-
-    ``timeout``/``watchdog``/``sanitize`` arm the correctness layer per
-    attempt (see :func:`spmd_run_detailed`): a watchdog-detected hang or
-    a sanitizer-detected collective mismatch surfaces as an attributable
-    failure (``SpmdError.failed_rank``) and therefore rides the same
-    checkpoint/shrink/retry path as a crash, instead of wedging the run.
-    Flight-recorder artifacts of failed attempts are collected on
-    ``RecoveryReport.artifacts``.
+    Use ``Machine(RunConfig(size=..., recover=True, max_retries=...,
+    layers=[Faults(wrapper=...), ...])).run(fn, ...)`` instead; the
+    ``comm_wrapper(comm, attempt)`` hook is exactly
+    ``Faults(wrapper=...)``.  Semantics are unchanged: on failure the
+    program is relaunched from the last checkpoint up to ``max_retries``
+    times, optionally shrinking the rank count, and the result carries
+    the :class:`RecoveryReport` consumed by :mod:`repro.perf`.
     """
-    if store is None:
-        store = CheckpointStore()
-    recovery = RecoveryReport(initial_size=size, final_size=size)
-    cur_size = size
-    attempt_idx = 0
-    while True:
-        wrap = (
-            (lambda comm, a=attempt_idx: comm_wrapper(comm, a))
-            if comm_wrapper is not None
-            else None
-        )
-        attempt = _Attempt(
-            cur_size,
-            fn,
-            (store,) + args,
-            kwargs,
-            comm_wrapper=wrap,
-            trace=trace,
-            timeout=timeout,
-            watchdog=watchdog,
-            sanitize=sanitize,
-        )
-        if not attempt.failed:
-            recovery.final_size = cur_size
-            report = attempt.report()
-            return ResilientResult(report.values, report, recovery)
-
-        recovery.recoveries += 1
-        recovery.wall_seconds_lost += attempt.wall_seconds
-        recovery.lost_stats.merge(attempt.lost_stats())
-        if attempt.artifact is not None:
-            recovery.artifacts.append(attempt.artifact)
-        failed = attempt.shared.failed_rank
-        if failed is not None:
-            recovery.ranks_lost.append(failed)
-        if attempt_idx >= max_retries:
-            recovery.attempts = attempt_idx + 1
-            attempt.raise_failure()
-        if store.load() is not None:
-            recovery.checkpoints_used += 1
-            recovery.octants_repartitioned += store.octants
-        if shrink_on_failure and cur_size > min_size:
-            cur_size -= 1
-        attempt_idx += 1
-        recovery.attempts = attempt_idx + 1
+    warnings.warn(
+        "spmd_run_resilient() is deprecated; use "
+        f"Machine(RunConfig(recover=True, ...)).run(...) ({_MIGRATION_HINT})",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    config = RunConfig(
+        size=size,
+        timeout=timeout,
+        recover=True,
+        max_retries=max_retries,
+        shrink_on_failure=shrink_on_failure,
+        min_size=min_size,
+        layers=_legacy_layers(trace, watchdog, sanitize, comm_wrapper),
+    )
+    result = Machine(config).run(fn, *args, store=store, **kwargs)
+    assert result.recovery is not None
+    return ResilientResult(result.values, result.report, result.recovery)

@@ -1,0 +1,655 @@
+"""The process execution backend: ranks are worker OS processes.
+
+This is the backend that makes the machine scale the way the paper's
+does: each rank runs in its own interpreter, so mangll element kernels
+and octant sorts on different ranks execute truly concurrently instead
+of time-slicing one GIL.  Semantics are identical to the thread backend
+— same values, byte-exact :class:`~repro.parallel.stats.CommStats` —
+because both share the :class:`~repro.parallel.backend.MeteredComm`
+collective frontend; only the transport underneath differs.
+
+Transport: each worker holds a duplex pipe to the parent, which runs a
+router loop for the attempt.  Collectives are *lock-step rounds*: every
+rank deposits its contribution (``put``), the router broadcasts the full
+slot list back once all ranks have arrived, and each rank combines
+locally (combines are pure, so local combination is deterministic and
+identical to the thread backend's leader-combine).  Large ndarray
+payloads travel through POSIX shared memory (:mod:`repro.parallel.shm`)
+instead of the pipe.
+
+The observability stack crosses the process boundary by proxy: the
+sanitizer table, the hang watchdog, and the checkpoint store live in the
+parent; workers relay heartbeats, signature checks, and checkpoint
+traffic over the same pipe (pipe FIFO ordering keeps heartbeats ahead of
+the blocking operation they bracket).  Failure handling mirrors the
+thread backend's shared-state protocol — lowest primary failure wins,
+cascades never mask the cause — with one genuinely new power: a worker
+that *dies* (SIGKILL included) is detected as a dropped connection and
+attributed as that rank's failure, which is what lets resilient runs
+recover from real process loss, not just simulated faults.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from multiprocessing import connection
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.parallel.backend import (
+    AttemptRequest,
+    AttemptResult,
+    Backend,
+    MeteredComm,
+    RankOutcome,
+    SpmdError,
+    effective_timeout,
+)
+from repro.parallel.comm import Comm
+from repro.parallel.layers import LayerContext, find_layer, wrap_comm
+from repro.parallel.sanitizer import CallSignature, SanitizerState
+from repro.parallel.shm import (
+    detach,
+    iter_refs,
+    release,
+    unlink_by_name,
+    unwire_payload,
+    wire_payload,
+)
+from repro.parallel.stats import CommStats
+from repro.parallel.watchdog import HangError, WatchdogComm
+from repro.trace.tracer import current_phase_path
+
+
+class ProcessComm(MeteredComm):
+    """Worker-side communicator: lock-step pipe rounds + shared memory.
+
+    One round = one ``put`` to the parent and one ``slots`` broadcast
+    back.  Shared-memory segments this rank creates are closed as soon as
+    the round is answered; *unlinking* them is the parent router's job
+    (it frees round ``k-1``'s segments when round ``k`` completes, and
+    sweeps the rest at the end of the attempt), so a rank that finishes
+    its program simply exits — it never contributes a phantom round that
+    could complete a collective its peers should be hanging in.
+    """
+
+    def __init__(self, rank: int, size: int, conn: Any, shm_threshold: int) -> None:
+        """Bind ``rank`` to its parent pipe ``conn``."""
+        super().__init__(rank, size)
+        self._conn = conn
+        self._shm_threshold = shm_threshold
+        self._round = 0
+        self.saw_abort = False
+
+    # Pipe protocol ----------------------------------------------------------
+
+    def _send(self, msg: Tuple[Any, ...]) -> None:
+        """Fire one message at the parent router."""
+        self._conn.send(msg)
+
+    def _recv(self, expected: str) -> Tuple[Any, ...]:
+        """Receive the next router message; ``abort`` preempts anything.
+
+        An ``abort`` carries the failed rank and (for hangs) the
+        diagnosis message; it raises the same cascaded
+        :class:`~repro.parallel.backend.SpmdError` the thread backend's
+        broken barrier produces.
+        """
+        msg = self._conn.recv()
+        tag = msg[0]
+        if tag == "abort":
+            self.saw_abort = True
+            failed, hang_msg = msg[1], msg[2]
+            if hang_msg is not None:
+                raise SpmdError(
+                    f"SPMD hang (rank {failed}): {hang_msg}", failed_rank=failed
+                ) from None
+            raise SpmdError(
+                f"SPMD run aborted (failure on rank {failed})", failed_rank=failed
+            ) from None
+        if tag != expected:
+            raise RuntimeError(
+                f"rank {self.rank}: protocol error, expected {expected!r} got {tag!r}"
+            )
+        return msg
+
+    def _request(self, msg: Tuple[Any, ...], expected: str) -> Tuple[Any, ...]:
+        """One synchronous request/reply round trip with the router."""
+        self._send(msg)
+        return self._recv(expected)
+
+    def _round_trip(self, payload: Any) -> List[Any]:
+        """Run one lock-step round; returns the unwired slot list."""
+        msg = self._request(("put", self._round, payload), "slots")
+        if msg[1] != self._round:
+            raise RuntimeError(
+                f"rank {self.rank}: round skew (at {self._round}, router at {msg[1]})"
+            )
+        self._round += 1
+        return [unwire_payload(s) for s in msg[2]]
+
+    # Transport primitives ---------------------------------------------------
+
+    def _wait(self) -> int:
+        """One synchronization round (no payload)."""
+        self._round_trip(None)
+        return 0 if self.rank == 0 else 1
+
+    def _collect(self, contribution: Any, combine: Callable[[List[Any]], Any]) -> Any:
+        """Deposit, receive all slots, combine locally.
+
+        A combine failure surfaces exactly like the thread backend's
+        leader-combine failure, naming this rank.
+        """
+        created: List[Any] = []
+        wired = wire_payload(contribution, self._shm_threshold, created)
+        try:
+            slots = self._round_trip(wired)
+        except BaseException:
+            # The round never completed, so no peer holds the refs: the
+            # segments are ours alone and safe to unlink here.
+            release(created)
+            raise
+        detach(created)  # parent owns the unlink from here on
+        try:
+            return combine(slots)
+        except SpmdError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - attribute, then cascade
+            raise SpmdError(
+                f"collective combine failed on rank {self.rank}: {exc!r}",
+                failed_rank=self.rank,
+            ) from exc
+
+class _SanitizerProxy:
+    """Worker-side stand-in for the parent's :class:`SanitizerState`."""
+
+    def __init__(self, comm: ProcessComm) -> None:
+        """Relay through ``comm``'s pipe."""
+        self._comm = comm
+        self.size = comm.size
+
+    def check(self, rank: int, seq: int, sig: CallSignature) -> None:
+        """Cross-validate against the parent table; re-raise mismatches."""
+        reply = self._comm._request(("san", seq, sig), "san-reply")
+        if reply[1] is not None:
+            raise pickle.loads(reply[1])
+
+
+class _WatchdogProxy:
+    """Worker-side stand-in for the parent's :class:`HangWatchdog`.
+
+    Heartbeats are fire-and-forget: pipe FIFO ordering guarantees the
+    parent records the ``enter`` before it sees the ``put`` of the
+    operation the heartbeat brackets, which is all diagnosis needs.  The
+    worker's phase path travels with the ``enter`` (the monitor lives in
+    the parent, where no phase is active).
+    """
+
+    def __init__(self, comm: ProcessComm) -> None:
+        """Relay through ``comm``'s pipe."""
+        self._comm = comm
+
+    def comm_for(self, inner: Comm) -> WatchdogComm:
+        """Wrap ``inner`` exactly like the real monitor does."""
+        return WatchdogComm(inner, self)
+
+    def enter(self, rank: int, op: str, detail: str) -> None:
+        """Open this rank's heartbeat in the parent."""
+        self._comm._send(("wd", "enter", op, detail, current_phase_path()))
+        return None
+
+    def exit(self, rank: int, record: Any) -> None:
+        """Close this rank's heartbeat in the parent."""
+        self._comm._send(("wd", "exit"))
+
+    def finished(self, rank: int, errored: bool = False) -> None:
+        """Mark this rank's program returned (or raised) in the parent."""
+        self._comm._send(("wd", "fin", errored))
+
+
+class _StoreProxy:
+    """Worker-side stand-in for the parent's checkpoint store."""
+
+    def __init__(self, comm: ProcessComm) -> None:
+        """Relay through ``comm``'s pipe."""
+        self._comm = comm
+
+    def save(self, payload: Any) -> None:
+        """Forward a checkpoint to the parent store (fire-and-forget)."""
+        if payload is None:
+            return
+        self._comm._send(("save", payload))
+
+    def load(self) -> Any:
+        """Fetch the latest checkpoint from the parent store."""
+        return self._comm._request(("load",), "loaded")[1]
+
+
+def _worker_main(
+    conn: Any,
+    rank: int,
+    size: int,
+    shm_threshold: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    layers: tuple,
+    attempt: int,
+    has_store: bool,
+    epoch: float,
+    tracing: bool,
+) -> None:
+    """Entry point of one worker process: wrap, run, report.
+
+    Module-level (not a closure) so the ``spawn`` start method can import
+    it.  Reports exactly one of ``done`` (value + metering + trace) or
+    ``err`` (pickled exception + the stats lost with it); a cascade from
+    a received ``abort`` reports nothing — the parent already knows.
+    """
+    comm = ProcessComm(rank, size, conn, shm_threshold)
+    watchdog = (
+        _WatchdogProxy(comm) if find_layer(layers, "watchdog") is not None else None
+    )
+    tracer = None
+    if tracing:
+        from repro.trace.tracer import Tracer
+
+        tracer = Tracer(rank, epoch=epoch)
+    ctx = LayerContext(
+        rank=rank,
+        size=size,
+        attempt=attempt,
+        sanitizer_state=(
+            _SanitizerProxy(comm) if find_layer(layers, "sanitize") is not None else None
+        ),
+        watchdog=watchdog,
+        tracer=tracer,
+    )
+    facade = wrap_comm(comm, layers, ctx)
+    fn_args = (_StoreProxy(comm),) + tuple(args) if has_store else tuple(args)
+    comm._mark = time.thread_time()
+    try:
+        try:
+            if tracer is not None:
+                with tracer.activate():
+                    value = fn(facade, *fn_args, **kwargs)
+            else:
+                value = fn(facade, *fn_args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - reported to the parent
+            if not comm.saw_abort:
+                try:
+                    if watchdog is not None:
+                        watchdog.finished(rank, errored=True)
+                    try:
+                        blob = ("p", pickle.dumps(exc))
+                    except Exception:  # noqa: BLE001 - unpicklable program error
+                        blob = ("r", repr(exc))
+                    comm._send(("err", blob, comm.stats))
+                except (OSError, BrokenPipeError):
+                    pass
+            return
+        if watchdog is not None:
+            watchdog.finished(rank)
+        comm._begin()
+        try:
+            comm._send(
+                (
+                    "done",
+                    value,
+                    comm.stats,
+                    comm.compute_seconds,
+                    tracer.report() if tracer is not None else None,
+                )
+            )
+        except (OSError, BrokenPipeError):
+            pass  # parent tore the attempt down first
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _Router:
+    """Parent-side event loop for one process-backend attempt."""
+
+    def __init__(self, backend: "ProcessBackend", request: AttemptRequest) -> None:
+        """Resolve the attempt's layers, monitor, and timeout."""
+        self.backend = backend
+        self.request = request
+        self.size = request.size
+        self.timeout = effective_timeout(request)
+        wd_layer = find_layer(request.layers, "watchdog")
+        self.watchdog = wd_layer.watchdog if wd_layer is not None else None
+        self.san_state = (
+            SanitizerState(self.size)
+            if find_layer(request.layers, "sanitize") is not None
+            else None
+        )
+        self.tracing = find_layer(request.layers, "trace") is not None
+        # Round state
+        self.round_idx = 0
+        self.slots: List[Any] = [None] * self.size
+        self.contributed: Set[int] = set()
+        self.last_progress = time.perf_counter()
+        # Outcome state
+        self.outcomes: List[Optional[RankOutcome]] = [None] * self.size
+        self.completed: Set[int] = set()
+        self.failures: Dict[int, BaseException] = {}
+        self.err_stats = CommStats()
+        self.aborted = False
+        self.abort_at = 0.0
+        self.open_rec: Dict[int, Any] = {}
+        # Shared-memory ownership: the router unlinks round k-1's segments
+        # when round k completes; leftovers are swept after the attempt.
+        self.prev_round_names: Set[str] = set()
+        self.cur_round_names: Set[str] = set()
+        self.conns: List[Any] = []
+        self.alive: Dict[Any, int] = {}  # conn -> rank, removed on EOF
+
+    # Failure bookkeeping (mirrors _Shared.abort) ---------------------------
+
+    def record_failure(self, rank: int, exc: BaseException) -> None:
+        """Record a primary failure; cascades never mask the first cause."""
+        if not isinstance(exc, SpmdError) or not self.failures:
+            self.failures.setdefault(rank, exc)
+
+    @property
+    def failed_rank(self) -> Optional[int]:
+        """Lowest rank with a primary failure, or ``None``."""
+        return min(self.failures) if self.failures else None
+
+    def abort_all(self) -> None:
+        """Tell every surviving worker the attempt is over."""
+        if self.aborted:
+            return
+        self.aborted = True
+        self.abort_at = time.perf_counter()
+        failed = self.failed_rank
+        exc = self.failures[failed] if failed is not None else None
+        hang_msg = str(exc) if isinstance(exc, HangError) else None
+        for conn, rank in list(self.alive.items()):
+            if rank in self.completed:
+                continue
+            try:
+                conn.send(("abort", failed, hang_msg))
+            except (OSError, BrokenPipeError):
+                pass
+
+    # Message handling -------------------------------------------------------
+
+    def dispatch(self, rank: int, conn: Any, msg: Tuple[Any, ...]) -> None:
+        """Handle one worker message."""
+        tag = msg[0]
+        if tag == "put":
+            self.on_put(rank, msg[1], msg[2])
+        elif tag == "san":
+            self.on_san(rank, conn, msg[1], msg[2])
+        elif tag == "wd":
+            self.on_wd(rank, msg)
+        elif tag == "save":
+            if self.request.store is not None:
+                self.request.store.save(msg[1])
+        elif tag == "load":
+            payload = (
+                self.request.store.load() if self.request.store is not None else None
+            )
+            try:
+                conn.send(("loaded", payload))
+            except (OSError, BrokenPipeError):
+                pass
+        elif tag == "done":
+            self.outcomes[rank] = RankOutcome(msg[1], msg[2], msg[3], trace=msg[4])
+            self.completed.add(rank)
+        elif tag == "err":
+            kind, payload = msg[1]
+            if kind == "p":
+                try:
+                    exc = pickle.loads(payload)
+                except Exception:  # noqa: BLE001 - unpicklable on this side too
+                    exc = RuntimeError(f"rank {rank} raised (undecodable exception)")
+            else:
+                exc = RuntimeError(f"rank {rank} raised: {payload}")
+            self.err_stats.merge(msg[2])
+            self.record_failure(rank, exc)
+            self.abort_all()
+        else:
+            self.record_failure(
+                rank, RuntimeError(f"protocol error: unknown message {tag!r}")
+            )
+            self.abort_all()
+
+    def on_put(self, rank: int, round_idx: int, payload: Any) -> None:
+        """Deposit one contribution; broadcast the round when complete."""
+        if round_idx != self.round_idx:
+            self.record_failure(
+                rank,
+                RuntimeError(
+                    f"round skew: rank {rank} at {round_idx}, router at {self.round_idx}"
+                ),
+            )
+            self.abort_all()
+            return
+        for ref in iter_refs(payload):
+            self.cur_round_names.add(ref.name)
+        self.slots[rank] = payload
+        self.contributed.add(rank)
+        self.last_progress = time.perf_counter()
+        if len(self.contributed) == self.size:
+            blob = pickle.dumps(
+                ("slots", self.round_idx, self.slots), pickle.HIGHEST_PROTOCOL
+            )
+            for conn in self.alive:
+                try:
+                    conn.send_bytes(blob)
+                except (OSError, BrokenPipeError):
+                    pass  # the dropped connection surfaces as EOF
+            # Every rank contributed to this round, so every rank has
+            # copied out of the previous round's segments: free them.
+            for name in self.prev_round_names:
+                unlink_by_name(name)
+            self.prev_round_names = self.cur_round_names
+            self.cur_round_names = set()
+            self.round_idx += 1
+            self.slots = [None] * self.size
+            self.contributed.clear()
+            self.last_progress = time.perf_counter()
+
+    def on_san(self, rank: int, conn: Any, seq: int, sig: CallSignature) -> None:
+        """Cross-validate one call signature against the shared table."""
+        assert self.san_state is not None
+        blob = None
+        try:
+            self.san_state.check(rank, seq, sig)
+        except Exception as exc:  # noqa: BLE001 - relayed, raised worker-side
+            blob = pickle.dumps(exc)
+        try:
+            conn.send(("san-reply", blob))
+        except (OSError, BrokenPipeError):
+            pass
+
+    def on_wd(self, rank: int, msg: Tuple[Any, ...]) -> None:
+        """Apply one relayed heartbeat event to the parent monitor."""
+        if self.watchdog is None:
+            return
+        kind = msg[1]
+        if kind == "enter":
+            self.open_rec[rank] = self.watchdog.enter(
+                rank, msg[2], msg[3], phase=msg[4]
+            )
+        elif kind == "exit":
+            rec = self.open_rec.pop(rank, None)
+            if rec is not None:
+                self.watchdog.exit(rank, rec)
+        elif kind == "fin":
+            self.watchdog.finished(rank, errored=msg[2])
+
+    def on_death(self, rank: int) -> None:
+        """A worker's pipe dropped: benign after completion/abort, else fatal."""
+        if rank in self.completed or self.aborted:
+            return
+        self.record_failure(
+            rank,
+            RuntimeError(
+                f"worker process for rank {rank} died mid-run "
+                "(connection lost; killed or crashed)"
+            ),
+        )
+        self.abort_all()
+
+    def check_hang(self) -> None:
+        """Detect a stalled round and attribute it like the thread backend."""
+        if (
+            self.aborted
+            or self.timeout is None
+            or not self.contributed
+            or time.perf_counter() - self.last_progress <= self.timeout
+        ):
+            return
+        if self.watchdog is not None:
+            reporter = min(self.contributed)
+            err_rank, error = self.watchdog.timeout_fault(reporter)
+        else:
+            absent = set(range(self.size)) - self.contributed - self.completed
+            err_rank = min(absent) if absent else min(self.contributed)
+            error = HangError(
+                f"collective timed out after {self.timeout}s "
+                f"(rank {err_rank} never arrived; attach a HangWatchdog for "
+                "a per-rank diagnosis)",
+                rank=err_rank,
+            )
+        self.record_failure(err_rank, error)
+        self.abort_all()
+
+    # Main loop --------------------------------------------------------------
+
+    def run(self) -> AttemptResult:
+        """Spawn the workers, route until the attempt resolves, account."""
+        req = self.request
+        ctx = multiprocessing.get_context(self.backend.start_method)
+        if self.watchdog is not None:
+            self.watchdog.attach(self.size)
+        epoch = time.perf_counter()  # valid across processes: CLOCK_MONOTONIC
+        procs = []
+        t0 = time.perf_counter()
+        for rank in range(self.size):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    rank,
+                    self.size,
+                    self.backend.shm_threshold_bytes,
+                    req.fn,
+                    tuple(req.args),
+                    dict(req.kwargs),
+                    tuple(req.layers),
+                    req.attempt,
+                    req.store is not None,
+                    epoch,
+                    self.tracing,
+                ),
+                name=f"spmd-rank-{rank}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self.conns.append(parent_conn)
+            self.alive[parent_conn] = rank
+            procs.append(proc)
+
+        grace = (self.timeout + 1.0) if self.timeout is not None else 5.0
+        while self.alive and len(self.completed) < self.size:
+            ready = connection.wait(list(self.alive), timeout=0.05)
+            if not ready:
+                self.check_hang()
+                if self.aborted and time.perf_counter() - self.abort_at > grace:
+                    break  # stragglers wedged outside comm; killed below
+                continue
+            for conn in ready:
+                rank = self.alive.get(conn)
+                if rank is None:
+                    continue
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    del self.alive[conn]
+                    self.on_death(rank)
+                    continue
+                self.dispatch(rank, conn, msg)
+
+        deadline = time.perf_counter() + grace
+        for proc in procs:
+            proc.join(max(0.0, deadline - time.perf_counter()))
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
+        wall_seconds = time.perf_counter() - t0
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        # Sweep the not-yet-freed rounds (the run's last round, plus any
+        # partial round a dead or aborted worker left behind).
+        for name in self.prev_round_names | self.cur_round_names:
+            unlink_by_name(name)
+
+        failed_rank = self.failed_rank
+        artifact: Optional[str] = None
+        lost = CommStats()
+        if failed_rank is not None:
+            if self.watchdog is not None:
+                artifact = self.watchdog.dump_for_failure("spmd-error")
+            lost.merge(self.err_stats)
+            for outcome in self.outcomes:
+                if outcome is not None:
+                    lost.merge(outcome.stats)
+        return AttemptResult(
+            self.outcomes,
+            wall_seconds,
+            failed_rank=failed_rank,
+            failure=self.failures.get(failed_rank) if failed_rank is not None else None,
+            artifact=artifact,
+            lost_stats=lost,
+        )
+
+
+class ProcessBackend(Backend):
+    """One worker process per rank; true parallel compute.
+
+    ``start_method`` selects the :mod:`multiprocessing` start method
+    (``"spawn"`` is the portable default; ``"fork"`` launches much
+    faster where available).  ``shm_threshold_bytes`` is the payload
+    size at which ndarrays travel via shared memory instead of the pipe.
+    Rank programs and their arguments must be picklable (module-level
+    functions; under ``fork`` this is not enforced by the OS but keeps
+    runs portable across start methods).
+    """
+
+    name = "process"
+
+    def __init__(
+        self, start_method: str = "spawn", shm_threshold_bytes: int = 1 << 16
+    ) -> None:
+        """Validate and record the backend options."""
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                f"start method {start_method!r} not available on this platform "
+                f"(have {multiprocessing.get_all_start_methods()})"
+            )
+        if shm_threshold_bytes < 0:
+            raise ValueError("shm_threshold_bytes must be >= 0")
+        self.start_method = start_method
+        self.shm_threshold_bytes = shm_threshold_bytes
+
+    def run_attempt(self, request: AttemptRequest) -> AttemptResult:
+        """Execute one attempt with a fresh set of worker processes."""
+        return _Router(self, request).run()

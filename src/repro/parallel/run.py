@@ -1,0 +1,301 @@
+"""The SPMD launch API: ``RunConfig`` + ``Machine``.
+
+This is the one non-deprecated way to execute a rank program.  A run is
+described declaratively by a :class:`RunConfig` — how many ranks, which
+execution backend (``"thread"`` or ``"process"``), which communicator
+:mod:`layers <repro.parallel.layers>`, timeouts, and the recovery
+policy — and executed by a :class:`Machine`::
+
+    from repro.parallel import Machine, RunConfig, Sanitize, Trace
+
+    config = RunConfig(size=4, backend="process", layers=[Sanitize(), Trace()])
+    result = Machine(config).run(step, forest_args)
+    print(result.values, result.report.merged_stats().summary())
+
+The legacy entry points (``spmd_run``, ``spmd_run_detailed``,
+``spmd_run_resilient`` in :mod:`repro.parallel.machine`) are deprecated
+shims over this module; see ``docs/BACKENDS.md`` for the migration
+guide.  Whatever the backend, the same program yields the same values
+and byte-exact :class:`~repro.parallel.stats.CommStats` — backends
+change how ranks execute, never what they compute.
+
+Recovery (``RunConfig(recover=True)``) subsumes the old
+``spmd_run_resilient``: the rank program receives a
+:class:`CheckpointStore` after the communicator, failed attempts are
+relaunched from the last checkpoint (optionally shrinking the rank
+count), and the returned :class:`RunResult` carries a
+:class:`RecoveryReport`.  Under the process backend this recovers from
+*genuinely dead* worker processes (SIGKILL included), not merely
+simulated faults.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.parallel.backend import (
+    BACKENDS,
+    MAX_RANKS,
+    AttemptRequest,
+    Backend,
+    SpmdReport,
+    get_backend,
+)
+from repro.parallel.layers import CommLayer, normalize_layers
+from repro.parallel.stats import CommStats
+
+
+class CheckpointStore:
+    """In-memory checkpoint slot surviving across restart attempts.
+
+    Rank programs call :meth:`save` (typically only the gather root passes
+    a non-``None`` payload) and :meth:`load` to resume.  The store lives in
+    the driver, outside the rank threads or processes, so it survives a
+    failed attempt; under the process backend workers talk to it through
+    a proxy and payloads must be picklable.
+    """
+
+    def __init__(self) -> None:
+        """Create an empty store."""
+        self._lock = threading.Lock()
+        self._payload: Any = None
+        self.saves = 0
+
+    def save(self, payload: Any) -> None:
+        """Record ``payload`` as the latest checkpoint (``None`` is a no-op)."""
+        if payload is None:
+            return
+        with self._lock:
+            self._payload = payload
+            self.saves += 1
+
+    def load(self) -> Any:
+        """Latest checkpoint payload, or ``None`` if nothing was saved."""
+        with self._lock:
+            return self._payload
+
+    @property
+    def octants(self) -> int:
+        """Global octant count of the stored checkpoint (0 if not a forest)."""
+        with self._lock:
+            return int(getattr(self._payload, "global_octants", 0) or 0)
+
+
+@dataclass
+class RecoveryReport:
+    """Structured accounting of a recovering (``recover=True``) run."""
+
+    attempts: int = 1  # total launches, including the successful one
+    recoveries: int = 0  # failed launches that were retried
+    ranks_lost: List[int] = field(default_factory=list)
+    initial_size: int = 0
+    final_size: int = 0
+    checkpoints_used: int = 0  # retries that restored from a checkpoint
+    octants_repartitioned: int = 0  # octants redistributed by restores
+    wall_seconds_lost: float = 0.0  # wall time of the failed attempts
+    lost_stats: CommStats = field(default_factory=CommStats)
+    artifacts: List[str] = field(default_factory=list)  # flight-recorder dumps
+
+    def summary(self) -> str:
+        """One-line human-readable account of the recovery history."""
+        ranks = ",".join(str(r) for r in self.ranks_lost) or "-"
+        return (
+            f"attempts {self.attempts} (recoveries {self.recoveries}), "
+            f"ranks lost [{ranks}], size {self.initial_size}->{self.final_size}, "
+            f"checkpoints used {self.checkpoints_used}, "
+            f"octants repartitioned {self.octants_repartitioned}, "
+            f"wall lost {self.wall_seconds_lost:.3f}s, "
+            f"lost messages {self.lost_stats.total_messages}, "
+            f"lost bytes {self.lost_stats.total_bytes}"
+        )
+
+
+@dataclass
+class RunConfig:
+    """Declarative description of one SPMD run.
+
+    ``size``
+        Number of ranks, in ``[1, MAX_RANKS]``.
+    ``backend``
+        ``"thread"`` (ranks are threads — cheap, GIL-serialized compute)
+        or ``"process"`` (ranks are worker processes — true parallel
+        compute, picklable programs/payloads required).  See
+        ``docs/BACKENDS.md`` for the full matrix.
+    ``layers``
+        Communicator decorators (:class:`~repro.parallel.layers.Faults`,
+        :class:`~repro.parallel.layers.Sanitize`,
+        :class:`~repro.parallel.layers.Watchdog`,
+        :class:`~repro.parallel.layers.Trace`), composed in the canonical
+        order regardless of list order.
+    ``timeout``
+        Bound (seconds) on every blocking collective wait; ``None``
+        defers to the watchdog layer's timeout, or waits forever.
+    ``recover`` / ``max_retries`` / ``shrink_on_failure`` / ``min_size``
+        The self-healing policy.  With ``recover=True`` the rank program
+        receives a :class:`CheckpointStore` after the communicator and
+        failed attempts are retried from the last checkpoint, dropping
+        one rank per failure when ``shrink_on_failure`` is set (never
+        below ``min_size``).
+    ``start_method`` / ``shm_threshold_bytes``
+        Process-backend tuning: the :mod:`multiprocessing` start method
+        (``"spawn"`` is the portable default; ``"fork"`` is much faster
+        to launch where available) and the payload size at which
+        ndarrays travel via POSIX shared memory instead of pickled
+        pipe traffic.
+    """
+
+    size: int
+    backend: str = "thread"
+    layers: Sequence[CommLayer] = ()
+    timeout: Optional[float] = None
+    recover: bool = False
+    max_retries: int = 3
+    shrink_on_failure: bool = False
+    min_size: int = 1
+    start_method: str = "spawn"
+    shm_threshold_bytes: int = 1 << 16
+
+    def __post_init__(self) -> None:
+        """Validate the configuration and canonicalize the layer stack."""
+        if not 1 <= self.size <= MAX_RANKS:
+            raise ValueError(f"size must be in [1, {MAX_RANKS}], got {self.size}")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        self.layers = normalize_layers(self.layers)
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 1 <= self.min_size <= self.size:
+            raise ValueError("min_size must be in [1, size]")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.shm_threshold_bytes < 0:
+            raise ValueError("shm_threshold_bytes must be >= 0")
+
+
+@dataclass
+class RunResult:
+    """What :meth:`Machine.run` returns.
+
+    ``values`` are the per-rank return values of the successful attempt;
+    ``report`` carries per-rank metering, traces, and wall time;
+    ``recovery`` is the :class:`RecoveryReport` of a ``recover=True``
+    run (``None`` for plain runs).
+    """
+
+    values: List[Any]
+    report: SpmdReport
+    recovery: Optional[RecoveryReport] = None
+
+
+class Machine:
+    """Executes rank programs according to one :class:`RunConfig`.
+
+    A machine is cheap to build and stateless between runs; reuse one
+    for many launches of the same configuration.  The execution backend
+    is resolved once at construction.
+    """
+
+    def __init__(self, config: RunConfig) -> None:
+        """Resolve the configured backend for ``config``."""
+        self.config = config
+        options = {}
+        if config.backend == "process":
+            options = {
+                "start_method": config.start_method,
+                "shm_threshold_bytes": config.shm_threshold_bytes,
+            }
+        self._backend = get_backend(config.backend, **options)
+
+    @property
+    def backend(self) -> Backend:
+        """The resolved execution backend."""
+        return self._backend
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        store: Optional[CheckpointStore] = None,
+        **kwargs: Any,
+    ) -> RunResult:
+        """Run ``fn`` SPMD on the configured ranks.
+
+        Plain runs call ``fn(comm, *args, **kwargs)`` on every rank and
+        raise :class:`~repro.parallel.backend.SpmdError` (naming the
+        first failed rank, original exception chained) if any rank
+        fails.  With ``recover=True`` — or whenever ``store`` is passed —
+        ``fn`` is called as ``fn(comm, store, *args, **kwargs)``; under
+        ``recover=True`` failed attempts are retried from the last
+        checkpoint up to ``max_retries`` times and the result carries a
+        :class:`RecoveryReport`.
+        """
+        cfg = self.config
+        if cfg.recover:
+            return self._run_recovering(fn, args, kwargs, store)
+        request = AttemptRequest(
+            cfg.size,
+            fn,
+            args,
+            kwargs,
+            layers=cfg.layers,
+            timeout=cfg.timeout,
+            store=store,
+        )
+        result = self._backend.run_attempt(request)
+        if result.failed:
+            result.raise_failure()
+        report = result.report()
+        return RunResult(report.values, report, None)
+
+    def _run_recovering(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        store: Optional[CheckpointStore],
+    ) -> RunResult:
+        """The checkpoint/shrink/retry loop shared by every backend."""
+        cfg = self.config
+        if store is None:
+            store = CheckpointStore()
+        recovery = RecoveryReport(initial_size=cfg.size, final_size=cfg.size)
+        cur_size = cfg.size
+        attempt_idx = 0
+        while True:
+            request = AttemptRequest(
+                cur_size,
+                fn,
+                args,
+                kwargs,
+                layers=cfg.layers,
+                attempt=attempt_idx,
+                timeout=cfg.timeout,
+                store=store,
+            )
+            result = self._backend.run_attempt(request)
+            if not result.failed:
+                recovery.final_size = cur_size
+                report = result.report()
+                return RunResult(report.values, report, recovery)
+
+            recovery.recoveries += 1
+            recovery.wall_seconds_lost += result.wall_seconds
+            recovery.lost_stats.merge(result.lost_stats)
+            if result.artifact is not None:
+                recovery.artifacts.append(result.artifact)
+            if result.failed_rank is not None:
+                recovery.ranks_lost.append(result.failed_rank)
+            if attempt_idx >= cfg.max_retries:
+                recovery.attempts = attempt_idx + 1
+                result.raise_failure()
+            if store.load() is not None:
+                recovery.checkpoints_used += 1
+                recovery.octants_repartitioned += store.octants
+            if cfg.shrink_on_failure and cur_size > cfg.min_size:
+                cur_size -= 1
+            attempt_idx += 1
+            recovery.attempts = attempt_idx + 1

@@ -22,9 +22,9 @@ raises.  Because every ``Comm`` operation is collective, per-rank
 sequence numbers align across ranks in a correct program, so any
 disagreement at the same index is a real divergence.
 
-Enable per run with ``spmd_run(..., sanitize=True)`` (see
-:func:`repro.parallel.machine.spmd_run_detailed`); disabled, nothing in
-this module is on any comm path.
+Enable per run with a :class:`~repro.parallel.layers.Sanitize` layer on
+``RunConfig(layers=[...])``; disabled, nothing in this module is on any
+comm path.
 """
 
 from __future__ import annotations
@@ -154,6 +154,13 @@ class CollectiveMismatchError(RuntimeError):
             f"{signature} but rank {ref_rank} called {ref_signature}"
         )
 
+    def __reduce__(self):
+        """Pickle by field (workers relay this error across the pipe)."""
+        return (
+            type(self),
+            (self.rank, self.signature, self.ref_rank, self.ref_signature, self.seq),
+        )
+
 
 class SanitizerState:
     """Cross-rank signature table shared by all ranks of one run.
@@ -196,10 +203,11 @@ class SanitizedComm(Comm):
 
     Stats alias the wrapped comm's, so metering is unchanged; the
     decorator composes with :class:`~repro.parallel.faults.FaultyComm`
-    and :class:`~repro.trace.comm.TracingComm` in any order.  When
-    composed *under* a fault injector it sees post-fault payloads, so a
-    truncated reduction payload surfaces as a mismatch on the faulty
-    rank instead of a downstream combine error.
+    and :class:`~repro.trace.comm.TracingComm` in any order.  In the
+    canonical stack (:data:`~repro.parallel.layers.LAYER_ORDER`) it sits
+    *above* the fault injector: it validates the program's calls, so an
+    injected payload corruption — a transport fault, not a program
+    divergence — surfaces downstream exactly where a real one would.
     """
 
     def __init__(self, inner: Comm, state: SanitizerState) -> None:

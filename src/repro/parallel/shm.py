@@ -1,0 +1,204 @@
+"""Shared-memory transport for large ndarray payloads (process backend).
+
+Pickling a multi-megabyte element-data array through a pipe copies it
+twice per hop (serialize, deserialize) and once more per receiving rank
+on the broadcast back.  This module lets the process backend ship such
+payloads through POSIX shared memory instead: the sending worker copies
+the array into a :class:`multiprocessing.shared_memory.SharedMemory`
+segment and substitutes a tiny :class:`ShmRef` into the pickled message;
+receivers attach, copy out, and detach.  Only the reference crosses the
+pipe, so the pipe cost of an ``allgather``/``exchange`` payload is O(1)
+in the array size.
+
+Lifecycle (see :class:`~repro.parallel.process_backend.ProcessComm`):
+workers create segments and close their own handles as soon as the
+round's ``put`` is answered (:func:`detach`); every *unlink* belongs to
+the parent router, which frees round ``k-1``'s segments the moment round
+``k`` completes — by then every rank has provably copied out, because
+contributing to round ``k`` happens strictly after unwiring round
+``k-1`` — and sweeps whatever remains at the end of the attempt.  A
+crashed or SIGKILLed worker therefore never leaks its segments, and a
+completed worker can exit without waiting for peers to catch up.
+
+Resource-tracker discipline: segment ownership here is fully explicit
+(creator unlink + parent safety net), so all tracker traffic for these
+segments is suppressed (:func:`_untracked`).  The default tracking can't
+be used: Python 3.11 registers a name on *every* handle (attach
+included) into per-tracker-process set caches, so creator/attacher
+register–unregister pairs land on different trackers (or collapse in a
+shared set) and either spam ``KeyError`` or "leaked shared_memory"
+warnings, and a killed worker's tracker may unlink a segment peers are
+still copying.  The one leak the safety net cannot see — a worker killed
+between creating a segment and the router reading the ``put`` that names
+it — is bounded by one payload per rank.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Iterator, List, Tuple
+
+import numpy as np
+
+#: dtype kinds that are plain fixed-size buffers (bool, int, uint, float,
+#: complex); object/str/void arrays keep going through pickle.
+_BUFFER_KINDS = "biufc"
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """A pickled stand-in for an ndarray parked in shared memory."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+
+@contextmanager
+def _untracked():
+    """Suppress resource-tracker traffic while touching our segments."""
+    orig_reg = resource_tracker.register
+    orig_unreg = resource_tracker.unregister
+
+    def register(name: str, rtype: str) -> None:
+        """Forward every registration except shared-memory ones."""
+        if rtype != "shared_memory":
+            orig_reg(name, rtype)
+
+    def unregister(name: str, rtype: str) -> None:
+        """Forward every deregistration except shared-memory ones."""
+        if rtype != "shared_memory":
+            orig_unreg(name, rtype)
+
+    resource_tracker.register = register
+    resource_tracker.unregister = unregister
+    try:
+        yield
+    finally:
+        resource_tracker.register = orig_reg
+        resource_tracker.unregister = orig_unreg
+
+
+def _eligible(obj: Any, threshold: int) -> bool:
+    """Whether ``obj`` is an ndarray worth parking in shared memory."""
+    return (
+        isinstance(obj, np.ndarray)
+        and obj.dtype.kind in _BUFFER_KINDS
+        and obj.nbytes >= threshold
+    )
+
+
+def _export(arr: np.ndarray, created: List[shared_memory.SharedMemory]) -> ShmRef:
+    """Copy ``arr`` into a fresh segment; append the handle to ``created``."""
+    with _untracked():
+        shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    view: np.ndarray = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+    view[...] = arr
+    created.append(shm)
+    return ShmRef(shm.name, str(arr.dtype), tuple(arr.shape))
+
+
+def _import(ref: ShmRef) -> np.ndarray:
+    """Attach to ``ref``'s segment, copy the array out, and detach."""
+    with _untracked():
+        shm = shared_memory.SharedMemory(name=ref.name)
+    try:
+        return np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf).copy()
+    finally:
+        shm.close()
+
+
+def wire_payload(
+    obj: Any, threshold: int, created: List[shared_memory.SharedMemory]
+) -> Any:
+    """Replace large ndarrays in ``obj`` with :class:`ShmRef` stand-ins.
+
+    Containers are rewritten one level deep (list/tuple elements, dict
+    values) — the payload shapes the collectives actually carry; anything
+    nested deeper travels by pickle unchanged.  Created segments are
+    appended to ``created`` for the caller's deferred unlink.
+    """
+    if _eligible(obj, threshold):
+        return _export(obj, created)
+    if isinstance(obj, list):
+        return [_export(v, created) if _eligible(v, threshold) else v for v in obj]
+    if isinstance(obj, tuple):
+        return tuple(
+            _export(v, created) if _eligible(v, threshold) else v for v in obj
+        )
+    if isinstance(obj, dict):
+        return {
+            k: _export(v, created) if _eligible(v, threshold) else v
+            for k, v in obj.items()
+        }
+    return obj
+
+
+def unwire_payload(obj: Any) -> Any:
+    """Resolve :class:`ShmRef` stand-ins in ``obj`` back into ndarrays."""
+    if isinstance(obj, ShmRef):
+        return _import(obj)
+    if isinstance(obj, list):
+        return [_import(v) if isinstance(v, ShmRef) else v for v in obj]
+    if isinstance(obj, tuple):
+        return tuple(_import(v) if isinstance(v, ShmRef) else v for v in obj)
+    if isinstance(obj, dict):
+        return {k: _import(v) if isinstance(v, ShmRef) else v for k, v in obj.items()}
+    return obj
+
+
+def iter_refs(obj: Any) -> Iterator[ShmRef]:
+    """Yield every :class:`ShmRef` in a wired payload (one level deep)."""
+    if isinstance(obj, ShmRef):
+        yield obj
+        return
+    if isinstance(obj, (list, tuple)):
+        for v in obj:
+            if isinstance(v, ShmRef):
+                yield v
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            if isinstance(v, ShmRef):
+                yield v
+
+
+def detach(segments: List[shared_memory.SharedMemory]) -> None:
+    """Close creator handles without unlinking (the parent owns the free)."""
+    for shm in segments:
+        try:
+            shm.close()
+        except OSError:
+            pass
+    segments.clear()
+
+
+def release(segments: List[shared_memory.SharedMemory]) -> None:
+    """Close and unlink creator-owned segments (idempotent, best-effort)."""
+    with _untracked():
+        for shm in segments:
+            try:
+                shm.close()
+            except OSError:
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+    segments.clear()
+
+
+def unlink_by_name(name: str) -> bool:
+    """Unlink a segment by name if it still exists (the parent safety net)."""
+    with _untracked():
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            return False
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+    return True

@@ -21,7 +21,7 @@ attributable faults:
   when, who has exited or diverged), names the offending rank, dumps the
   flight recorder, and records a :class:`HangError` so the failure
   propagates with ``SpmdError.failed_rank`` set — which is exactly what
-  :func:`~repro.parallel.machine.spmd_run_resilient` needs to trigger its
+  a recovering run (``RunConfig(recover=True)``) needs to trigger its
   checkpoint/shrink/retry path instead of wedging.
 
 Disabled (the default), none of this is on any comm path; the machine's
@@ -64,6 +64,13 @@ class HangError(RuntimeError):
         super().__init__(message)
         self.rank = rank
         self.artifact = artifact
+
+    def __reduce__(self):
+        """Pickle with the diagnosed rank and artifact intact (for workers)."""
+        return (
+            type(self),
+            (self.args[0] if self.args else "", self.rank, self.artifact),
+        )
 
 
 @dataclass
@@ -126,7 +133,8 @@ class _RankState:
 class HangWatchdog:
     """Monitor for one (or a sequence of) SPMD run(s).
 
-    Pass to ``spmd_run(..., watchdog=HangWatchdog(timeout=...))``; the
+    Pass via ``RunConfig(layers=[Watchdog(HangWatchdog(timeout=...))])``
+    (or let ``Watchdog(timeout=...)`` build one); the
     machine attaches it per attempt (:meth:`attach`), arms every barrier
     wait with ``timeout`` seconds, and consults :meth:`on_timeout` when a
     wait expires without a recorded rank failure.  ``history`` bounds the
@@ -178,14 +186,21 @@ class HangWatchdog:
 
     # Heartbeat protocol (called from rank threads) -------------------------
 
-    def enter(self, rank: int, op: str, detail: str) -> CommRecord:
-        """Record that ``rank`` is entering a blocking ``op``."""
+    def enter(
+        self, rank: int, op: str, detail: str, phase: Optional[str] = None
+    ) -> CommRecord:
+        """Record that ``rank`` is entering a blocking ``op``.
+
+        ``phase`` overrides the thread-local phase lookup; the process
+        backend passes the worker-side phase path through its relay, since
+        the monitor lives in the parent where no phase is active.
+        """
         rs = self._ranks[rank]
         rec = CommRecord(
             seq=rs.calls,
             op=op,
             detail=detail,
-            phase=current_phase_path(),
+            phase=current_phase_path() if phase is None else phase,
             t_enter=time.perf_counter() - self._epoch,
         )
         rs.calls += 1
@@ -322,22 +337,33 @@ class HangWatchdog:
             if self._timeout_handled or shared.failed_rank is not None:
                 return
             self._timeout_handled = True
-            offender, lines = self.diagnose()
-            path = self.dump("hang", extra={"diagnosis": lines, "offender": offender})
-            detail = "; ".join(lines)
-            if offender is None:
-                msg = (
-                    f"collective timed out after {self.timeout}s with all ranks "
-                    f"waiting ({detail}) [flight recorder: {path}]"
-                )
-                err_rank = reporter_rank
-            else:
-                msg = (
-                    f"hang detected: rank {offender} left the collective pattern "
-                    f"({detail}) [flight recorder: {path}]"
-                )
-                err_rank = offender
-            shared.abort(err_rank, HangError(msg, rank=offender, artifact=path))
+            err_rank, error = self.timeout_fault(reporter_rank)
+            shared.abort(err_rank, error)
+
+    def timeout_fault(self, reporter_rank: int) -> Tuple[int, HangError]:
+        """Diagnose a timeout into an attributed ``(rank, HangError)`` pair.
+
+        Shared by the thread backend's :meth:`on_timeout` path and the
+        process backend's parent router (which detects the stalled round
+        itself and has no shared failure table).  Dumps the flight
+        recorder as a side effect.
+        """
+        offender, lines = self.diagnose()
+        path = self.dump("hang", extra={"diagnosis": lines, "offender": offender})
+        detail = "; ".join(lines)
+        if offender is None:
+            msg = (
+                f"collective timed out after {self.timeout}s with all ranks "
+                f"waiting ({detail}) [flight recorder: {path}]"
+            )
+            err_rank = reporter_rank
+        else:
+            msg = (
+                f"hang detected: rank {offender} left the collective pattern "
+                f"({detail}) [flight recorder: {path}]"
+            )
+            err_rank = offender
+        return err_rank, HangError(msg, rank=offender, artifact=path)
 
 
 class WatchdogComm(Comm):

@@ -14,7 +14,8 @@ from repro.mangll.mesh import build_mesh
 from repro.p4est.balance import is_balanced
 from repro.p4est.builders import brick_2d, unit_square
 from repro.p4est.forest import Forest
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import Sanitize, SerialComm
+from tests.parallel.helpers import run as spmd
 
 
 def test_adapt_refines_and_transfers():
@@ -89,8 +90,31 @@ def test_adapt_parallel_consistency(size):
         )
         return forest.global_count
 
-    out = spmd_run(size, prog)
+    out = spmd(size, prog)
     assert len(set(out)) == 1
+
+
+def test_adapt_coarsen_is_collective_with_rank_local_candidates():
+    """Regression: coarsening was gated on the LOCAL mask having any
+    candidates, so ranks whose segment held none skipped the collective
+    count refresh inside ``Forest.coarsen`` and the SPMD collective
+    sequences diverged (first bites at 5+ ranks; caught by the
+    sanitizer).  The adapt cycle must stay collective-uniform even when
+    only one rank has coarsen work."""
+
+    def prog(comm):
+        conn = unit_square()
+        forest = Forest.new(conn, comm, level=3)
+        quarter = forest.D.root_len // 4
+        coarsen = (forest.local.x < quarter) & (forest.local.y < quarter)
+        refine = np.zeros(forest.local_count, dtype=bool)
+        result, _ = adapt_and_rebalance(forest, refine, coarsen)
+        forest.validate()
+        return result.coarsened
+
+    out = spmd(5, prog, layers=[Sanitize()])
+    assert len(set(out)) == 1
+    assert out[0] > 0
 
 
 def test_gradient_indicator_flags_steep_elements():
@@ -150,7 +174,7 @@ def test_mark_fixed_fraction(size):
         total = comm.allreduce(100, SUM)
         return nref / total, ncoar / total
 
-    for fr, fc in spmd_run(size, prog):
+    for fr, fc in spmd(size, prog):
         assert 0.05 <= fr <= 0.2
         assert 0.1 <= fc <= 0.3
 

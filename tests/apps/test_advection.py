@@ -9,7 +9,8 @@ from repro.apps.advection.fronts import (
     rotate_points,
     rotation_velocity,
 )
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 
 
 def test_rotation_velocity_and_rodrigues():
@@ -100,5 +101,5 @@ def test_parallel_run_matches_serial_counts(size):
         run.run(8)
         return run.global_elements(), round(run.mass(), 9)
 
-    for out in spmd_run(size, prog):
+    for out in spmd(size, prog):
         assert out == ref

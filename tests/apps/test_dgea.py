@@ -19,7 +19,8 @@ from repro.mangll.rk import lsrk45_step
 from repro.p4est.builders import unit_cube, unit_square
 from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 
 
 # --- PREM ---------------------------------------------------------------------
@@ -247,7 +248,7 @@ def test_seismic_parallel_consistent(size):
         run.run(3)
         return run.global_elements(), round(run.total_energy(), 10)
 
-    outs = spmd_run(size, prog)
+    outs = spmd(size, prog)
     assert len({o[0] for o in outs}) == 1
     assert outs[0][0] == ref
     assert len({o[1] for o in outs}) == 1

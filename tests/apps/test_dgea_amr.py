@@ -13,7 +13,8 @@ from repro.mangll.rk import lsrk45_step
 from repro.p4est.builders import unit_cube, unit_square
 from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 
 
 def test_wavefront_tracking_refines_near_source():
@@ -159,9 +160,9 @@ def test_forest_checksum_partition_invariant():
         assert c1 == c2  # same leaves, different distribution
         return c1
 
-    serial = spmd_run(1, prog)[0]
+    serial = spmd(1, prog)[0]
     for size in (2, 3):
-        out = spmd_run(size, prog)
+        out = spmd(size, prog)
         assert all(c == serial for c in out)
 
 

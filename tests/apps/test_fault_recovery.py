@@ -3,7 +3,7 @@
 The acceptance scenario of the resilience subsystem: a dynamically
 adapted advection run checkpoints at every adapt cycle; one rank is
 crashed at a mid-run collective by a deterministic fault plan; the run
-completes via :func:`spmd_run_resilient` restored from the last
+completes via a recovering :class:`Machine` run restored from the last
 checkpoint, and the final solution matches the fault-free run.
 """
 
@@ -13,11 +13,11 @@ from repro.apps.advection.driver import AdvectionConfig, AdvectionRun
 from repro.parallel import (
     CheckpointStore,
     FaultPlan,
+    Faults,
     FaultyComm,
     SerialComm,
-    spmd_run,
-    spmd_run_resilient,
 )
+from tests.parallel.helpers import run as spmd, run_recovering
 
 P = 2
 NSTEPS = 6
@@ -46,7 +46,7 @@ def _advect(comm, store):
 @pytest.fixture(scope="module")
 def fault_free():
     """Reference run, also measuring the per-rank collective call count."""
-    out = spmd_run(
+    out = spmd(
         P, lambda c: _advect(FaultyComm(c, FaultPlan([])), CheckpointStore())
     )
     return out[0]
@@ -57,11 +57,11 @@ def test_crash_recovery_matches_fault_free_run(fault_free):
     # checkpoint (taken at the step-3 adapt), well before the end.
     crash_at = (3 * fault_free["calls"]) // 4
     plan = FaultPlan.crash(rank=1, at_call=crash_at)
-    res = spmd_run_resilient(
+    res = run_recovering(
         P,
         _advect,
         max_retries=2,
-        comm_wrapper=lambda c, a: FaultyComm(c, plan) if a == 0 else c,
+        layers=[Faults(wrapper=lambda c, a: FaultyComm(c, plan) if a == 0 else c)],
     )
     final = res.values[0]
     assert final["elements"] == fault_free["elements"]
@@ -90,7 +90,7 @@ def test_advection_checkpoint_restores_across_rank_counts():
         run.run(cfg.adapt_every)
         return store.load(), run.global_elements(), round(run.mass(), 12)
 
-    ckpt, elements, mass = spmd_run(2, first_leg)[0]
+    ckpt, elements, mass = spmd(2, first_leg)[0]
     assert ckpt is not None
     assert ckpt.meta["step"] == cfg.adapt_every
 

@@ -10,7 +10,8 @@ from repro.io.vtk import write_vtk
 from repro.mangll.geometry import MoebiusGeometry, MultilinearGeometry, ShellGeometry
 from repro.p4est.builders import moebius, shell, unit_square
 from repro.p4est.forest import Forest
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 
 
 def test_vtk_2d(tmp_path):
@@ -49,7 +50,7 @@ def test_vtk_parallel_gather(tmp_path):
         forest = Forest.new(conn, comm, level=2)
         return write_vtk(path, forest, MultilinearGeometry(conn))
 
-    out = spmd_run(3, prog)
+    out = spmd(3, prog)
     assert out[0] == path and out[1] is None
     assert "CELLS 16" in open(path).read()
 
@@ -62,7 +63,7 @@ def test_vtk_per_rank_files(tmp_path):
         forest = Forest.new(conn, comm, level=2)
         return write_vtk(base, forest, MultilinearGeometry(conn), gather=False)
 
-    outs = spmd_run(2, prog)
+    outs = spmd(2, prog)
     assert all(os.path.exists(o) for o in outs)
     assert outs[0] != outs[1]
 
@@ -75,7 +76,7 @@ def test_svg_moebius(tmp_path):
         forest = Forest.new(conn, comm, level=2)
         return draw_forest_svg(path, forest, MoebiusGeometry())
 
-    out = spmd_run(3, prog)
+    out = spmd(3, prog)
     assert out[0] == path
     text = open(path).read()
     assert text.count("<polygon") == 5 * 16

@@ -18,7 +18,8 @@ from repro.p4est.builders import brick_2d, unit_cube, unit_square
 from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
 from repro.p4est.nodes import lnodes
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 from repro.solvers.krylov import cg as cg_solve
 
 
@@ -166,7 +167,7 @@ def test_poisson_parallel_matches_serial(size):
     def prog(comm):
         return poisson_error(3, 1, refine_fn, comm)
 
-    for e in spmd_run(size, prog):
+    for e in spmd(size, prog):
         np.testing.assert_allclose(e, e_serial, rtol=1e-6)
 
 

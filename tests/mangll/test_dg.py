@@ -21,7 +21,8 @@ from repro.p4est.builders import (
 )
 from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 
 
 def make_space(conn, comm, level, degree, geometry=None, refine_mask_fn=None):
@@ -177,8 +178,8 @@ def test_rhs_rank_invariant(size):
         flat = sorted(p for chunk in gathered for p in chunk)
         return flat
 
-    ref = spmd_run(1, prog)[0]
-    for size_out in spmd_run(size, prog):
+    ref = spmd(1, prog)[0]
+    for size_out in spmd(size, prog):
         assert size_out == ref
 
 
@@ -357,6 +358,6 @@ def test_parallel_advection_matches_serial(size):
         l2 = solver.integrate_quantity(q**2)[0]
         return round(float(total), 12), round(float(l2), 12)
 
-    ref = spmd_run(1, run)[0]
-    out = spmd_run(size, run)
+    ref = spmd(1, run)[0]
+    out = spmd(size, run)
     assert out == [ref] * size

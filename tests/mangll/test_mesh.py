@@ -12,7 +12,8 @@ from repro.mangll.mesh import Mesh, build_mesh, face_node_indices, reference_nod
 from repro.p4est.builders import brick_2d, shell, unit_cube, unit_square
 from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 
 
 def test_reference_nodes_ordering():
@@ -109,7 +110,7 @@ def test_mesh_includes_ghosts():
         np.testing.assert_allclose(total, 2.0, atol=1e-12)
         return True
 
-    assert all(spmd_run(3, prog))
+    assert all(spmd(3, prog))
 
 
 def test_inverted_element_detected():

@@ -8,7 +8,8 @@ from repro.mangll.mesh import build_mesh
 from repro.mangll.probes import PointProbe
 from repro.p4est.builders import brick_2d, shell, unit_square
 from repro.p4est.forest import Forest
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 
 
 def test_shell_locate_roundtrip():
@@ -69,7 +70,7 @@ def test_probe_samples_polynomial_exactly(size):
         assert np.isnan(vals[3])
         return True
 
-    assert all(spmd_run(size, prog))
+    assert all(spmd(size, prog))
 
 
 def test_probe_on_shell_vector_field():

@@ -14,7 +14,8 @@ from repro.mangll.transfer import (
 from repro.p4est.balance import balance
 from repro.p4est.builders import brick_2d, unit_cube, unit_square
 from repro.p4est.forest import Forest
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 
 
 def test_nested_interp_1d_exactness():
@@ -148,7 +149,7 @@ def test_partition_carries_fields(size):
         )
         return moved
 
-    out = spmd_run(size, prog)
+    out = spmd(size, prog)
     assert len(set(out)) == 1
 
 

@@ -24,7 +24,8 @@ from repro.p4est.builders import (
 )
 from repro.p4est.forest import Forest, octants_from_wire, octants_to_wire
 from repro.p4est.octant import Octants, is_ancestor_pairwise
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 
 from tests.p4est.test_forest import fractal_mask, gather_global
 
@@ -160,8 +161,8 @@ def test_balance_rank_invariant(size):
         assert is_balanced(forest)
         return octants_to_wire(gather_global(comm, forest))
 
-    reference = spmd_run(1, prog)[0]
-    for wire in spmd_run(size, prog):
+    reference = spmd(1, prog)[0]
+    for wire in spmd(size, prog):
         np.testing.assert_array_equal(wire, reference)
 
 
@@ -203,7 +204,7 @@ def test_balance_random_refinements_brute_force(seed, size):
         after = gather_global(comm, forest)
         return octants_to_wire(before), octants_to_wire(after)
 
-    out = spmd_run(size, prog)
+    out = spmd(size, prog)
     before = octants_from_wire(2, out[0][0])
     after = octants_from_wire(2, out[0][1])
     assert brute_force_balanced(conn, after, 2)

@@ -6,7 +6,8 @@ import pytest
 from repro.io.checkpoint import read_checkpoint, write_checkpoint
 from repro.p4est import builders, checkpoint
 from repro.p4est.forest import Forest
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 
 
 def _adapted_forest(comm, conn, seed=0):
@@ -51,7 +52,7 @@ CONNS = {
 @pytest.mark.parametrize("P,Pprime", [(3, 5), (4, 2), (2, 1), (1, 4)])
 def test_restore_onto_different_rank_count(conn_name, P, Pprime):
     conn = CONNS[conn_name]()
-    out = spmd_run(P, _save_ckpt, conn)
+    out = spmd(P, _save_ckpt, conn)
     ckpt, count, forest_sum, field_sum = out[0]
     assert ckpt is not None
     assert all(o[0] is None for o in out[1:])  # gathered to root only
@@ -70,7 +71,7 @@ def test_restore_onto_different_rank_count(conn_name, P, Pprime):
             meta,
         )
 
-    for count2, forest_sum2, field_sum2, meta in spmd_run(Pprime, restorer):
+    for count2, forest_sum2, field_sum2, meta in spmd(Pprime, restorer):
         assert count2 == count
         assert forest_sum2 == forest_sum
         assert field_sum2 == field_sum

@@ -16,7 +16,8 @@ from repro.p4est.builders import (
 )
 from repro.p4est.forest import Forest, octants_from_wire, octants_to_wire
 from repro.p4est.octant import Octants
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 
 SIZES = [1, 2, 3, 5]
 
@@ -45,7 +46,7 @@ def test_new_uniform(size, level):
         forest.validate()
         return forest.global_count, forest.local_count
 
-    out = spmd_run(size, prog)
+    out = spmd(size, prog)
     expect = conn.num_trees * (1 << (3 * level))
     assert all(g == expect for g, _ in out)
     locals_ = [l for _, l in out]
@@ -61,7 +62,7 @@ def test_new_with_empty_ranks():
         forest.validate()
         return forest.local_count
 
-    out = spmd_run(4, prog)
+    out = spmd(4, prog)
     assert sorted(out) == [0, 0, 0, 1]
 
 
@@ -84,7 +85,7 @@ def test_refine_all_multiplies(size):
         forest.validate()
         return n0, forest.global_count
 
-    for n0, n1 in spmd_run(size, prog):
+    for n0, n1 in spmd(size, prog):
         assert n1 == 4 * n0
 
 
@@ -154,7 +155,7 @@ def test_coarsen_requires_whole_family_locally():
         forest.validate()
         return done, forest.global_count
 
-    out = spmd_run(2, prog)
+    out = spmd(2, prog)
     assert all(d == 0 and g == 4 for d, g in out)
 
 
@@ -173,7 +174,7 @@ def test_partition_balances_counts(size):
         forest.validate()
         return forest.local_count, forest.global_count
 
-    out = spmd_run(size, prog)
+    out = spmd(size, prog)
     counts = [c for c, _ in out]
     assert max(counts) - min(counts) <= 1
     assert len({g for _, g in out}) == 1
@@ -192,7 +193,7 @@ def test_partition_weighted(size):
         w2 = np.where(forest.local.tree == 0, 3.0, 1.0)
         return float(w2.sum())
 
-    loads = spmd_run(size, prog)
+    loads = spmd(size, prog)
     assert max(loads) - min(loads) <= 3.0  # within one max-weight octant
 
 
@@ -216,8 +217,8 @@ def test_global_leafset_is_rank_invariant(size):
         forest.validate()
         return octants_to_wire(gather_global(comm, forest))
 
-    reference = spmd_run(1, prog)[0]
-    out = spmd_run(size, prog)
+    reference = spmd(1, prog)[0]
+    out = spmd(size, prog)
     for wire in out:
         np.testing.assert_array_equal(wire, reference)
 
@@ -240,7 +241,7 @@ def test_owner_search(size):
             assert np.all(seg == p)
         return True
 
-    assert all(spmd_run(size, prog))
+    assert all(spmd(size, prog))
 
 
 def test_owner_range_spans_ranks():
@@ -253,7 +254,7 @@ def test_owner_range_spans_ranks():
         lo, hi = forest.owner_range(root)
         return int(lo[0]), int(hi[0])
 
-    out = spmd_run(4, prog)
+    out = spmd(4, prog)
     assert out == [(0, 3)] * 4
 
 
@@ -269,7 +270,7 @@ def test_markers_shared_metadata_is_small():
         assert m.global_count == forest.global_count
         return True
 
-    assert all(spmd_run(3, prog))
+    assert all(spmd(3, prog))
 
 
 def test_wire_roundtrip():
@@ -298,7 +299,7 @@ def test_random_refine_partition_roundtrips(seed, size):
         forest.validate()
         return forest.global_count
 
-    counts = spmd_run(size, prog)
+    counts = spmd(size, prog)
     assert len(set(counts)) == 1
 
 

@@ -8,7 +8,8 @@ from repro.p4est.builders import brick_2d, moebius, rotcubes, shell, unit_square
 from repro.p4est.forest import Forest, octants_from_wire, octants_to_wire
 from repro.p4est.ghost import build_ghost
 from repro.p4est.octant import Octants, searchsorted_octants
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 
 from tests.p4est.test_forest import fractal_mask, gather_global
 
@@ -41,7 +42,7 @@ def test_ghost_uniform_2d(size):
         assert gdata.shape == (len(ghost),)
         return len(ghost), forest.local_count
 
-    out = spmd_run(size, prog)
+    out = spmd(size, prog)
     for ng, nl in out:
         assert 0 < ng <= 64 - nl
 
@@ -77,7 +78,7 @@ def test_ghost_contains_all_adjacent_remote_leaves(size):
         spurious_set = ghost_keys - expect_keys
         return missing, len(spurious_set), len(ghost)
 
-    out = spmd_run(size, prog)
+    out = spmd(size, prog)
     for missing, spurious, ng in out:
         assert missing == 0, "ghost layer missed an adjacent remote leaf"
         assert ng > 0
@@ -111,7 +112,7 @@ def test_ghost_across_trees(builder):
         trees_ghost = set(np.unique(ghost.octants.tree).tolist())
         return len(ghost), bool(trees_ghost - trees_local)
 
-    out = spmd_run(4, prog)
+    out = spmd(4, prog)
     assert all(ng > 0 for ng, _ in out)
     # At least one rank sees ghosts from a tree it does not own.
     assert any(cross for _, cross in out)
@@ -136,7 +137,7 @@ def test_ghost_data_exchange_roundtrip(size):
         np.testing.assert_array_equal(gvec[:, 1], 2 * gdata)
         return True
 
-    assert all(spmd_run(size, prog))
+    assert all(spmd(size, prog))
 
 
 def test_ghost_codim_1_smaller_than_full():
@@ -148,7 +149,7 @@ def test_ghost_codim_1_smaller_than_full():
         g2 = build_ghost(forest, codim=2)
         return len(g1), len(g2)
 
-    out = spmd_run(4, prog)
+    out = spmd(4, prog)
     assert any(a < b for a, b in out)
     assert all(a <= b for a, b in out)
 
@@ -181,4 +182,4 @@ def test_mirrors_match_neighbor_ghosts(size):
             assert inventories[p][comm.rank] == wire
         return True
 
-    assert all(spmd_run(size, prog))
+    assert all(spmd(size, prog))

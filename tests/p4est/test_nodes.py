@@ -26,7 +26,8 @@ from repro.p4est.builders import (
 from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
 from repro.p4est.nodes import lnodes
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 from repro.parallel.ops import SUM
 
 from tests.p4est.test_forest import fractal_mask
@@ -204,8 +205,8 @@ def test_global_count_rank_invariant(size, degree):
         assert total_owned == ln.global_num_nodes
         return ln.global_num_nodes
 
-    reference = spmd_run(1, prog)[0]
-    counts = spmd_run(size, prog)
+    reference = spmd(1, prog)[0]
+    counts = spmd(size, prog)
     assert counts == [reference] * size
 
 
@@ -220,7 +221,7 @@ def test_scatter_forward_propagates_global_ids(size):
         np.testing.assert_array_equal(filled, ln.global_ids.astype(float))
         return True
 
-    assert all(spmd_run(size, prog))
+    assert all(spmd(size, prog))
 
 
 @pytest.mark.parametrize("size", [2, 3])
@@ -242,7 +243,7 @@ def test_scatter_reverse_add_counts_sharers(size):
         assert abs(comm.allreduce(owned_sum, SUM) - inc) < 1e-9
         return True
 
-    assert all(spmd_run(size, prog))
+    assert all(spmd(size, prog))
 
 
 @pytest.mark.parametrize("size", [1, 2, 4])
@@ -263,7 +264,7 @@ def test_element_nodes_consistency_across_ranks(size):
         np.testing.assert_allclose(filled, key_val)
         return True
 
-    assert all(spmd_run(size, prog))
+    assert all(spmd(size, prog))
 
 
 def test_degree_validation():
@@ -302,7 +303,7 @@ def test_random_adapted_mesh_invariants(seed, size, degree):
         np.testing.assert_array_equal(filled, ln.global_ids.astype(float))
         return ln.global_num_nodes
 
-    counts = spmd_run(size, prog)
+    counts = spmd(size, prog)
     assert len(set(counts)) == 1
 
 

@@ -5,7 +5,8 @@ import pytest
 
 from repro.p4est.builders import unit_cube, unit_square
 from repro.p4est.forest import Forest
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 from repro.parallel.ops import SUM
 
 
@@ -27,7 +28,7 @@ def test_keep_families_enables_full_coarsening(size, dim_conn):
         assert forest.global_count == nc
         return forest.local_count
 
-    spmd_run(size, prog)
+    spmd(size, prog)
 
 
 @pytest.mark.parametrize("size", [3, 5])
@@ -42,7 +43,7 @@ def test_plain_partition_can_block_coarsening(size):
         done = forest.coarsen(mask=np.ones(forest.local_count, dtype=bool))
         return comm.allreduce(done, SUM)
 
-    total = spmd_run(size, prog)[0]
+    total = spmd(size, prog)[0]
     assert total < 4  # some families straddle rank cuts
 
 
@@ -58,7 +59,7 @@ def test_keep_families_load_balance_stays_close(size):
         forest.validate()
         return forest.local_count
 
-    counts = spmd_run(size, prog)
+    counts = spmd(size, prog)
     # Alignment costs at most one family of slack per cut.
     assert max(counts) - min(counts) <= 2**2 + 1
 
@@ -80,4 +81,4 @@ def test_keep_families_with_carry(size):
         np.testing.assert_array_equal(tag2, forest.local.keys().astype(np.float64))
         return True
 
-    assert all(spmd_run(size, prog))
+    assert all(spmd(size, prog))

@@ -19,7 +19,8 @@ from repro.p4est.connectivity import CellTransform
 from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
 from repro.p4est.nodes import lnodes
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 from repro.parallel.ops import SUM
 
 
@@ -42,7 +43,7 @@ def test_random_adapt_cycles_keep_invariants_3d(seed, size):
         assert is_balanced(forest)
         return forest.checksum() if size == 1 else forest.global_count
 
-    out = spmd_run(size, prog)
+    out = spmd(size, prog)
     assert len(set(out)) == 1
 
 
@@ -120,7 +121,7 @@ def test_nodes_count_invariant_under_partition(seed):
 
     counts = {}
     for size in (1, 3):
-        counts[size] = spmd_run(size, prog)[0]
+        counts[size] = spmd(size, prog)[0]
     # Note: refinement masks are per-rank random -> different forests per
     # size; only internal consistency is asserted here.
     assert all(c > 0 for c in counts.values())
@@ -160,5 +161,5 @@ def test_shell_full_pipeline_smoke():
         assert mesh.nelem_local == forest.local_count
         return ln.global_num_nodes
 
-    out = spmd_run(3, prog)
+    out = spmd(3, prog)
     assert len(set(out)) == 1

@@ -8,7 +8,8 @@ from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
 from repro.p4est.octant import Octant, Octants
 from repro.p4est.search import contains_point, find_octants, locate_points
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 
 from tests.p4est.test_forest import fractal_mask, gather_global
 
@@ -68,7 +69,7 @@ def test_locate_points_parallel_owners(size):
         assert np.all((idx >= 0) == (ranks == comm.rank))
         return ranks.tolist()
 
-    out = spmd_run(size, prog)
+    out = spmd(size, prog)
     # All ranks agree on ownership.
     assert all(o == out[0] for o in out)
 
@@ -91,7 +92,7 @@ def test_two_layer_ghost_superset(size):
         # layer adds something for interior ranks.
         return len(g1), len(g2)
 
-    out = spmd_run(size, prog)
+    out = spmd(size, prog)
     assert any(b > a for a, b in out)
     assert all(b >= a for a, b in out)
 
@@ -135,7 +136,7 @@ def test_multilayer_ghost_matches_bruteforce(layers):
         np.testing.assert_array_equal(gd, g.octants.keys().astype(np.float64))
         return True
 
-    assert all(spmd_run(3, prog))
+    assert all(spmd(3, prog))
 
 
 def test_multilayer_ghost_serial_empty():

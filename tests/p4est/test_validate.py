@@ -12,7 +12,8 @@ from repro.p4est import (
     validate_forest,
 )
 from repro.p4est.balance import balance
-from repro.parallel import SerialComm, spmd_run
+from repro.parallel import SerialComm
+from tests.parallel.helpers import run as spmd
 
 
 def make_forest(comm, level=2, seed=7, prob=0.3):
@@ -39,7 +40,7 @@ def test_parallel_valid_forest():
         validate_forest(comm, f, ghost=g)
         return forest_is_valid(comm, f, ghost=g)
 
-    assert spmd_run(4, prog) == [True] * 4
+    assert spmd(4, prog) == [True] * 4
 
 
 def test_dropped_octant_detected():
@@ -56,7 +57,7 @@ def test_dropped_octant_detected():
         except ForestInvariantError as e:
             return ok, e.failed_rank, str(e), victim
 
-    results = spmd_run(4, prog)
+    results = spmd(4, prog)
     assert all(r == results[0] for r in results)  # identical on every rank
     ok, failed_rank, message, victim = results[0]
     assert ok is False
@@ -76,7 +77,7 @@ def test_unsorted_local_octants_detected():
         except ForestInvariantError as e:
             return e.failed_rank
 
-    results = spmd_run(3, prog)
+    results = spmd(3, prog)
     assert results == [1] * 3
 
 
@@ -115,7 +116,7 @@ def test_corrupted_ghost_owner_detected():
         ok = forest_is_valid(comm, f, ghost=g)
         return ok
 
-    results = spmd_run(4, prog)
+    results = spmd(4, prog)
     assert results == [False] * 4
 
 
@@ -134,7 +135,7 @@ def test_fake_ghost_octant_detected():
             g.octants = Octants(octs.dim, octs.tree, octs.x, octs.y, octs.z, lvl)
         return forest_is_valid(comm, f, ghost=g)
 
-    results = spmd_run(4, prog)
+    results = spmd(4, prog)
     assert results == [False] * 4
 
 
@@ -153,7 +154,7 @@ def test_validate_after_each_amr_phase():
         checks.append(forest_is_valid(comm, f, ghost=g))
         return checks
 
-    assert spmd_run(4, prog) == [[True] * 4] * 4
+    assert spmd(4, prog) == [[True] * 4] * 4
 
 
 def test_adapt_and_rebalance_validate_knob():
@@ -166,7 +167,7 @@ def test_adapt_and_rebalance_validate_knob():
         result, _ = adapt_and_rebalance(f, refine, validate=True)
         return result.elements_after
 
-    vals = spmd_run(2, prog)
+    vals = spmd(2, prog)
     assert vals[0] == vals[1] > 0
 
 
@@ -183,7 +184,7 @@ def test_corrupt_level_detected_without_crash():
             validate_forest(comm, f)
         return ok, ei.value.failed_rank, str(ei.value)
 
-    results = spmd_run(3, prog)
+    results = spmd(3, prog)
     assert all(r == results[0] for r in results)
     ok, failed_rank, message = results[0]
     assert ok is False

@@ -12,23 +12,22 @@ from repro.parallel import (
     SerialComm,
     SpmdError,
     payload_nbytes,
-    spmd_run,
 )
-from repro.parallel.machine import spmd_run_detailed
 from repro.parallel.ops import LAND, LOR, PROD, identity_for
+from tests.parallel.helpers import run, run_report
 
 SIZES = [1, 2, 3, 5, 8]
 
 
 @pytest.mark.parametrize("size", SIZES)
 def test_rank_and_size(size):
-    out = spmd_run(size, lambda c: (c.rank, c.size))
+    out = run(size, lambda c: (c.rank, c.size))
     assert out == [(r, size) for r in range(size)]
 
 
 @pytest.mark.parametrize("size", SIZES)
 def test_barrier_completes(size):
-    assert spmd_run(size, lambda c: (c.barrier(), c.rank)[1]) == list(range(size))
+    assert run(size, lambda c: (c.barrier(), c.rank)[1]) == list(range(size))
 
 
 @pytest.mark.parametrize("size", SIZES)
@@ -39,7 +38,7 @@ def test_bcast(size, root):
     def prog(c):
         return c.bcast({"v": c.rank * 10} if c.rank == root else None, root=root)
 
-    assert spmd_run(size, prog) == [{"v": root * 10}] * size
+    assert run(size, prog) == [{"v": root * 10}] * size
 
 
 @pytest.mark.parametrize("size", SIZES)
@@ -52,12 +51,12 @@ def test_gather_scatter_roundtrip(size):
             assert gathered is None
         return c.scatter([v + 1 for v in gathered] if c.rank == 0 else None, root=0)
 
-    assert spmd_run(size, prog) == [r**2 + 1 for r in range(size)]
+    assert run(size, prog) == [r**2 + 1 for r in range(size)]
 
 
 @pytest.mark.parametrize("size", SIZES)
 def test_allgather(size):
-    out = spmd_run(size, lambda c: c.allgather(c.rank + 1))
+    out = run(size, lambda c: c.allgather(c.rank + 1))
     for result in out:
         assert result == [r + 1 for r in range(size)]
 
@@ -72,7 +71,7 @@ def test_allreduce_sum_min_max(size):
         )
 
     expect = (size * (size - 1) // 2, 0, size - 1)
-    assert spmd_run(size, prog) == [expect] * size
+    assert run(size, prog) == [expect] * size
 
 
 @pytest.mark.parametrize("size", SIZES)
@@ -81,7 +80,7 @@ def test_allreduce_numpy_elementwise(size):
         v = np.array([c.rank, -c.rank, 1.0])
         return c.allreduce(v, SUM)
 
-    for result in spmd_run(size, prog):
+    for result in run(size, prog):
         np.testing.assert_allclose(
             result, [size * (size - 1) / 2, -size * (size - 1) / 2, size]
         )
@@ -92,7 +91,7 @@ def test_allreduce_tuple(size):
     def prog(c):
         return c.allreduce((1, c.rank), SUM)
 
-    assert spmd_run(size, prog) == [(size, size * (size - 1) // 2)] * size
+    assert run(size, prog) == [(size, size * (size - 1) // 2)] * size
 
 
 @pytest.mark.parametrize("size", SIZES)
@@ -100,7 +99,7 @@ def test_exscan_and_scan(size):
     def prog(c):
         return c.exscan(c.rank + 1, SUM), c.scan(c.rank + 1, SUM)
 
-    out = spmd_run(size, prog)
+    out = run(size, prog)
     for r, (ex, inc) in enumerate(out):
         assert ex == r * (r + 1) // 2
         assert inc == (r + 1) * (r + 2) // 2
@@ -113,7 +112,7 @@ def test_alltoall(size):
         assert received == [src * 100 + c.rank for src in range(size)]
         return True
 
-    assert all(spmd_run(size, prog))
+    assert all(run(size, prog))
 
 
 @pytest.mark.parametrize("size", SIZES)
@@ -125,7 +124,7 @@ def test_exchange_ring(size):
         assert inbox == {left: ("hi", left)}
         return True
 
-    assert all(spmd_run(size, prog))
+    assert all(run(size, prog))
 
 
 @pytest.mark.parametrize("size", SIZES)
@@ -140,12 +139,12 @@ def test_exchange_sparse_and_self(size):
             assert inbox[0] == "zero-to-last"
         return sorted(inbox)
 
-    out = spmd_run(size, prog)
+    out = run(size, prog)
     assert out[0] == [0]
 
 
 def test_exchange_empty_outbox():
-    out = spmd_run(4, lambda c: c.exchange({}))
+    out = run(4, lambda c: c.exchange({}))
     assert out == [{}] * 4
 
 
@@ -158,12 +157,12 @@ def test_exception_propagates_and_unblocks():
         return c.rank
 
     with pytest.raises((ValueError, SpmdError)):
-        spmd_run(4, prog)
+        run(4, prog)
 
 
 def test_exchange_bad_destination():
     with pytest.raises((ValueError, SpmdError)):
-        spmd_run(2, lambda c: c.exchange({5: "x"}))
+        run(2, lambda c: c.exchange({5: "x"}))
 
 
 def test_stats_metering():
@@ -172,7 +171,7 @@ def test_stats_metering():
         c.exchange({(c.rank + 1) % c.size: b"abcd"})
         return None
 
-    report = spmd_run_detailed(4, prog)
+    report = run_report(4, prog)
     for outcome in report.outcomes:
         assert outcome.stats.ops["allgather"].calls == 1
         assert outcome.stats.ops["allgather"].bytes_sent == 80
@@ -188,7 +187,7 @@ def test_compute_seconds_nonnegative():
         c.barrier()
         return x
 
-    report = spmd_run_detailed(3, prog)
+    report = run_report(3, prog)
     assert all(o.compute_seconds >= 0.0 for o in report.outcomes)
 
 
@@ -246,7 +245,7 @@ def test_exscan_min_identity(size):
     def prog(c):
         return c.exscan(c.rank, MIN)
 
-    out = spmd_run(size, prog)
+    out = run(size, prog)
     assert out[0] >= 2**60  # identity: "infinity"
     assert out[1:] == [0] * (size - 1)
 

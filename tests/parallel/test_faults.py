@@ -9,8 +9,8 @@ from repro.parallel import (
     FaultyComm,
     InjectedFailure,
     SpmdError,
-    spmd_run,
 )
+from tests.parallel.helpers import run
 from repro.parallel.faults import (
     CORRUPT,
     CRASH,
@@ -63,7 +63,7 @@ def test_crash_aborts_run_and_names_rank():
     # Deterministic across repeated runs: always rank 1, chained cause.
     for _ in range(3):
         with pytest.raises(SpmdError) as exc_info:
-            spmd_run(3, prog)
+            run(3, prog)
         assert exc_info.value.failed_rank == 1
         assert isinstance(exc_info.value.__cause__, InjectedFailure)
 
@@ -80,7 +80,7 @@ def test_crash_counts_calls_per_rank():
         return seen
 
     with pytest.raises(SpmdError) as exc_info:
-        spmd_run(2, prog)
+        run(2, prog)
     assert exc_info.value.failed_rank == 0
 
 
@@ -90,8 +90,8 @@ def test_corruption_is_deterministic_and_detected():
     def prog(comm):
         return FaultyComm(comm, plan).allreduce(float(10 + comm.rank), SUM)
 
-    clean = spmd_run(2, lambda c: c.allreduce(float(10 + c.rank), SUM))
-    runs = [spmd_run(2, prog) for _ in range(3)]
+    clean = run(2, lambda c: c.allreduce(float(10 + c.rank), SUM))
+    runs = [run(2, prog) for _ in range(3)]
     assert runs[0] != clean  # the corruption changed the reduction
     assert runs[0] == runs[1] == runs[2]  # ... identically every time
 
@@ -105,7 +105,7 @@ def test_corrupted_array_collective_fails_with_true_cause():
         return FaultyComm(comm, plan).allreduce(np.ones(8), SUM)
 
     with pytest.raises(SpmdError) as exc_info:
-        spmd_run(3, prog)
+        run(3, prog)
     assert exc_info.value.failed_rank is not None
     assert exc_info.value.__cause__ is not None
 
@@ -117,7 +117,7 @@ def test_delay_preserves_results():
         faulty = FaultyComm(comm, plan)
         return faulty.allreduce(comm.rank, SUM) + faulty.allreduce(1, SUM)
 
-    assert spmd_run(3, prog) == spmd_run(3, lambda c: c.allreduce(c.rank, SUM) + c.allreduce(1, SUM))
+    assert run(3, prog) == run(3, lambda c: c.allreduce(c.rank, SUM) + c.allreduce(1, SUM))
 
 
 def test_faultycomm_transparent_without_faults():
@@ -141,7 +141,7 @@ def test_faultycomm_transparent_without_faults():
         assert faulty.calls == 9
         return out
 
-    out = spmd_run(3, prog)
+    out = run(3, prog)
     assert out[1]["bcast"] == 0
     assert out[2]["allgather"] == [0, 1, 2]
     assert out[1]["scatter"] == 1
@@ -155,7 +155,7 @@ def test_faultycomm_shares_stats_with_inner():
         faulty.allreduce(1, SUM)
         return comm.stats.ops["allreduce"].calls
 
-    assert spmd_run(2, prog) == [1, 1]
+    assert run(2, prog) == [1, 1]
 
 
 def test_corrupt_payload_kinds():
@@ -233,7 +233,7 @@ def test_fault_plan_json_behaves_identically():
         return comm.rank
 
     with pytest.raises(SpmdError) as a:
-        spmd_run(2, prog, plan)
+        run(2, prog, plan)
     with pytest.raises(SpmdError) as b:
-        spmd_run(2, prog, wire)
+        run(2, prog, wire)
     assert a.value.failed_rank == b.value.failed_rank == 1

@@ -1,0 +1,144 @@
+"""Process-backend specifics: spawn, real SIGKILL, shm hygiene.
+
+Everything here exercises behaviour only OS processes can have — workers
+that genuinely die (``SIGKILL``), payloads crossing a pickle boundary,
+the ``spawn`` start method, and ``/dev/shm`` segment accounting.  The
+behaviour shared with the thread backend is covered by the common suite
+(run with ``REPRO_TEST_BACKEND=process``) and by
+``test_backend_parity.py``.
+"""
+
+import glob
+import json
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    CheckpointStore,
+    CollectiveMismatchError,
+    HangWatchdog,
+    Machine,
+    RunConfig,
+    Sanitize,
+    SpmdError,
+    Watchdog,
+)
+
+
+def _pconfig(size, **kwargs):
+    kwargs.setdefault("start_method", "fork")
+    return RunConfig(size=size, backend="process", **kwargs)
+
+
+def _shm_segments():
+    return set(glob.glob("/dev/shm/repro-*"))
+
+
+# Spawn start method ---------------------------------------------------------
+
+
+def _sum_ranks(comm):
+    """Module-level so it survives the spawn pickle round-trip."""
+    return comm.allreduce(1)
+
+
+def test_spawn_start_method_smoke():
+    cfg = RunConfig(size=2, backend="process", start_method="spawn", timeout=120.0)
+    assert Machine(cfg).run(_sum_ranks).values == [2, 2]
+
+
+# Worker death ---------------------------------------------------------------
+
+
+def test_dead_worker_is_named_in_the_error():
+    def prog(comm):
+        comm.barrier()
+        if comm.rank == 1:
+            os.kill(os.getpid(), signal.SIGKILL)
+        time.sleep(0.2)
+        return comm.allreduce(1)
+
+    with pytest.raises(SpmdError) as ei:
+        Machine(_pconfig(3, timeout=30.0)).run(prog)
+    assert ei.value.failed_rank == 1
+    assert "died mid-run" in str(ei.value.__cause__)
+
+
+def test_recovers_from_sigkilled_worker(tmp_path):
+    wd = HangWatchdog(timeout=10.0, artifact_dir=str(tmp_path))
+
+    def prog(comm, store):
+        first = comm.bcast(store.load() is None, root=0)
+        store.save("attempted" if comm.rank == 0 else None)
+        total = 0
+        for i in range(5):
+            total += comm.allreduce(1)
+            if first and i == 2 and comm.rank == 2:
+                os.kill(os.getpid(), signal.SIGKILL)
+        return total
+
+    cfg = _pconfig(3, recover=True, max_retries=2, layers=[Watchdog(wd)])
+    result = Machine(cfg).run(prog)
+    assert result.values == [15, 15, 15]
+    assert result.recovery.recoveries == 1
+    assert result.recovery.ranks_lost == [2]
+    assert len(result.recovery.artifacts) == 1
+    with open(result.recovery.artifacts[0]) as f:
+        assert json.load(f)["reason"] == "spmd-error"
+
+
+# Cross-process layers -------------------------------------------------------
+
+
+def test_sanitizer_catches_divergence_across_processes():
+    def prog(comm):
+        if comm.rank == 1:
+            comm.allreduce(np.zeros(4))
+        else:
+            comm.allreduce(np.zeros(5))
+        return "unreachable"
+
+    cfg = _pconfig(2, layers=[Sanitize()], timeout=30.0)
+    with pytest.raises(SpmdError) as ei:
+        Machine(cfg).run(prog)
+    assert isinstance(ei.value.__cause__, CollectiveMismatchError)
+
+
+# Shared-memory hygiene ------------------------------------------------------
+
+
+def test_shm_roundtrip_and_no_leaked_segments():
+    before = _shm_segments()
+
+    def prog(comm):
+        arr = np.full(16384, float(comm.rank))
+        rows = comm.allgather(arr)
+        for r, row in enumerate(rows):
+            assert row.shape == (16384,) and float(row[0]) == float(r)
+        return float(sum(r.sum() for r in rows))
+
+    cfg = _pconfig(3, shm_threshold_bytes=1024)
+    machine = Machine(cfg)
+    for _ in range(2):
+        assert machine.run(prog).values == [3 * 16384.0] * 3
+    assert _shm_segments() == before
+
+
+def test_shm_segments_freed_after_worker_death():
+    before = _shm_segments()
+
+    def prog(comm):
+        arr = np.zeros(16384) + comm.rank
+        comm.allgather(arr)
+        if comm.rank == 0:
+            os.kill(os.getpid(), signal.SIGKILL)
+        comm.allgather(arr)
+        return True
+
+    with pytest.raises(SpmdError):
+        Machine(_pconfig(2, shm_threshold_bytes=1024, timeout=30.0)).run(prog)
+    assert _shm_segments() == before

@@ -6,12 +6,11 @@ from repro.parallel import (
     SUM,
     CheckpointStore,
     FaultPlan,
+    Faults,
     FaultyComm,
     SpmdError,
-    spmd_run,
-    spmd_run_resilient,
 )
-from repro.parallel.machine import spmd_run_detailed
+from tests.parallel.helpers import run, run_recovering, run_report
 
 
 # Failure-path hardening -----------------------------------------------------
@@ -25,7 +24,7 @@ def test_failure_names_rank_and_chains_cause():
         return comm.rank
 
     with pytest.raises(SpmdError) as exc_info:
-        spmd_run(4, prog)
+        run(4, prog)
     assert exc_info.value.failed_rank == 2
     assert isinstance(exc_info.value.__cause__, ValueError)
     assert "rank 2" in str(exc_info.value)
@@ -40,7 +39,7 @@ def test_concurrent_failures_report_lowest_rank_deterministically():
 
     for _ in range(20):
         with pytest.raises(SpmdError) as exc_info:
-            spmd_run(4, prog)
+            run(4, prog)
         assert exc_info.value.failed_rank == 1
 
 
@@ -55,13 +54,13 @@ def test_mid_collective_failure_unblocks_all_peers():
         return comm.rank
 
     with pytest.raises(SpmdError) as exc_info:
-        spmd_run(5, prog)
+        run(5, prog)
     assert exc_info.value.failed_rank == 0
 
 
 def test_exchange_out_of_range_aborts_cleanly():
     with pytest.raises((ValueError, SpmdError)) as exc_info:
-        spmd_run(2, lambda c: c.exchange({5: "x"}))
+        run(2, lambda c: c.exchange({5: "x"}))
     if isinstance(exc_info.value, SpmdError):
         assert isinstance(exc_info.value.__cause__, ValueError)
 
@@ -74,7 +73,7 @@ def test_combine_failure_surfaces_true_cause():
         return comm.allreduce(value, SUM)
 
     with pytest.raises(SpmdError) as exc_info:
-        spmd_run(3, prog)
+        run(3, prog)
     assert exc_info.value.failed_rank is not None
     cause = exc_info.value.__cause__
     assert isinstance(cause, ValueError)
@@ -96,7 +95,7 @@ def test_checkpoint_store_roundtrip_and_none_noop():
     assert store.octants == 0  # not a forest checkpoint
 
 
-# spmd_run_resilient ---------------------------------------------------------
+# Recovering runs (recover=True) ---------------------------------------------
 
 
 def _counting_work(comm, store, crash_plan=None, until=9):
@@ -114,8 +113,8 @@ def _counting_work(comm, store, crash_plan=None, until=9):
 
 
 def test_resilient_run_without_failures():
-    res = spmd_run_resilient(3, _counting_work)
-    clean = spmd_run(3, lambda c: _counting_work(c, CheckpointStore()))
+    res = run_recovering(3, _counting_work)
+    clean = run(3, lambda c: _counting_work(c, CheckpointStore()))
     assert res.values == clean
     assert res.recovery.attempts == 1
     assert res.recovery.recoveries == 0
@@ -125,13 +124,13 @@ def test_resilient_run_without_failures():
 
 def test_resilient_run_recovers_from_checkpoint():
     plan = FaultPlan.crash(rank=2, at_call=7)
-    res = spmd_run_resilient(
+    res = run_recovering(
         4,
         _counting_work,
         max_retries=2,
-        comm_wrapper=lambda c, a: FaultyComm(c, plan) if a == 0 else c,
+        layers=[Faults(wrapper=lambda c, a: FaultyComm(c, plan) if a == 0 else c)],
     )
-    clean = spmd_run(4, lambda c: _counting_work(c, CheckpointStore()))
+    clean = run(4, lambda c: _counting_work(c, CheckpointStore()))
     assert res.values == clean
     rec = res.recovery
     assert rec.attempts == 2
@@ -146,19 +145,19 @@ def test_resilient_run_recovers_from_checkpoint():
 def test_resilient_run_is_deterministic():
     plan = FaultPlan.crash(rank=1, at_call=5)
     wrapper = lambda c, a: FaultyComm(c, plan) if a == 0 else c  # noqa: E731
-    a = spmd_run_resilient(3, _counting_work, comm_wrapper=wrapper)
-    b = spmd_run_resilient(3, _counting_work, comm_wrapper=wrapper)
+    a = run_recovering(3, _counting_work, layers=[Faults(wrapper=wrapper)])
+    b = run_recovering(3, _counting_work, layers=[Faults(wrapper=wrapper)])
     assert a.values == b.values
     assert a.recovery.ranks_lost == b.recovery.ranks_lost
 
 
 def test_resilient_run_shrinks_rank_count():
     plan = FaultPlan.crash(rank=3, at_call=4)
-    res = spmd_run_resilient(
+    res = run_recovering(
         4,
         _counting_work,
         shrink_on_failure=True,
-        comm_wrapper=lambda c, a: FaultyComm(c, plan) if a == 0 else c,
+        layers=[Faults(wrapper=lambda c, a: FaultyComm(c, plan) if a == 0 else c)],
     )
     assert res.recovery.initial_size == 4
     assert res.recovery.final_size == 3
@@ -172,11 +171,11 @@ def test_resilient_run_exhausts_retries():
     # A fault that fires on every attempt keeps killing the run.
     plan = FaultPlan.crash(rank=0, at_call=1)
     with pytest.raises(SpmdError) as exc_info:
-        spmd_run_resilient(
+        run_recovering(
             2,
             _counting_work,
             max_retries=2,
-            comm_wrapper=lambda c, a: FaultyComm(c, plan),
+            layers=[Faults(wrapper=lambda c, a: FaultyComm(c, plan))],
         )
     assert exc_info.value.failed_rank == 0
 
@@ -185,10 +184,10 @@ def test_resilient_report_feeds_perf_model():
     from repro.perf import JAGUAR_XT5, comm_cost_from_run
 
     plan = FaultPlan.crash(rank=1, at_call=6)
-    res = spmd_run_resilient(
+    res = run_recovering(
         3,
         _counting_work,
-        comm_wrapper=lambda c, a: FaultyComm(c, plan) if a == 0 else c,
+        layers=[Faults(wrapper=lambda c, a: FaultyComm(c, plan) if a == 0 else c)],
     )
     with_recovery = comm_cost_from_run(res.report, recovery=res.recovery)
     without = comm_cost_from_run(res.report)
@@ -207,7 +206,7 @@ def test_merged_stats_uses_commstats_merge():
         comm.allgather(comm.rank)
         return None
 
-    report = spmd_run_detailed(3, prog)
+    report = run_report(3, prog)
     merged = report.merged_stats()
     assert merged.ops["allreduce"].calls == 3
     assert merged.ops["allgather"].calls == 3

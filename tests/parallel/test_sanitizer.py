@@ -7,9 +7,10 @@ from repro.parallel import (
     MAX,
     SUM,
     CollectiveMismatchError,
+    Sanitize,
     SpmdError,
-    spmd_run,
 )
+from tests.parallel.helpers import run
 from repro.parallel.sanitizer import (
     CallSignature,
     SanitizerState,
@@ -51,7 +52,7 @@ def test_matching_program_passes():
         comm.bcast("payload", root=1)
         return x, len(rows)
 
-    assert spmd_run(4, prog, sanitize=True) == [(6, 4)] * 4
+    assert run(4, prog, layers=[Sanitize()]) == [(6, 4)] * 4
 
 
 def test_mismatched_op_kind_detected():
@@ -62,7 +63,7 @@ def test_mismatched_op_kind_detected():
             comm.allreduce(1, SUM)
 
     with pytest.raises(SpmdError) as ei:
-        spmd_run(3, prog, sanitize=True)
+        run(3, prog, layers=[Sanitize()])
     assert ei.value.failed_rank in (0, 1)
     cause = ei.value.__cause__
     assert isinstance(cause, CollectiveMismatchError)
@@ -76,7 +77,7 @@ def test_mismatched_root_detected():
         comm.bcast("x", root=0 if comm.rank != 2 else 1)
 
     with pytest.raises(SpmdError) as ei:
-        spmd_run(3, prog, sanitize=True)
+        run(3, prog, layers=[Sanitize()])
     cause = ei.value.__cause__
     assert isinstance(cause, CollectiveMismatchError)
     assert "root=0" in str(cause) and "root=1" in str(cause)
@@ -87,7 +88,7 @@ def test_mismatched_reduce_op_detected():
         comm.allreduce(comm.rank, MAX if comm.rank == 3 else SUM)
 
     with pytest.raises(SpmdError) as ei:
-        spmd_run(4, prog, sanitize=True)
+        run(4, prog, layers=[Sanitize()])
     cause = ei.value.__cause__
     assert isinstance(cause, CollectiveMismatchError)
     assert "op=SUM" in str(cause) and "op=MAX" in str(cause)
@@ -101,7 +102,7 @@ def test_mismatched_payload_structure_detected():
             comm.allreduce(np.zeros(5), SUM)
 
     with pytest.raises(SpmdError) as ei:
-        spmd_run(2, prog, sanitize=True)
+        run(2, prog, layers=[Sanitize()])
     assert isinstance(ei.value.__cause__, CollectiveMismatchError)
 
 
@@ -110,7 +111,7 @@ def test_payload_values_not_compared():
     def prog(comm):
         return float(comm.allreduce(np.full(3, float(comm.rank)), SUM).sum())
 
-    assert spmd_run(3, prog, sanitize=True) == [9.0] * 3
+    assert run(3, prog, layers=[Sanitize()]) == [9.0] * 3
 
 
 def test_gather_payloads_may_differ():
@@ -119,7 +120,7 @@ def test_gather_payloads_may_differ():
     def prog(comm):
         return comm.allgather(np.zeros(comm.rank + 1))
 
-    vals = spmd_run(3, prog, sanitize=True)
+    vals = run(3, prog, layers=[Sanitize()])
     assert [len(v) for v in vals[0]] == [1, 2, 3]
 
 
@@ -133,7 +134,7 @@ def test_detection_is_deterministic_across_repeats():
 
     for _ in range(5):
         with pytest.raises(SpmdError) as ei:
-            spmd_run(4, prog, sanitize=True)
+            run(4, prog, layers=[Sanitize()])
         cause = ei.value.__cause__
         assert isinstance(cause, CollectiveMismatchError)
         assert "call #1" in str(cause)

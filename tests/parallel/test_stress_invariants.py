@@ -5,7 +5,7 @@ Each case drives a random but fully deterministic sequence of AMR phases
 asserts :func:`repro.p4est.validate.forest_is_valid` after every single
 phase — the distributed analogue of p4est's ``p4est_is_valid`` sprinkled
 through its own test programs.  A second group replays the sequence under
-an injected crash via :func:`spmd_run_resilient` and requires recovery
+an injected crash via a recovering run and requires recovery
 plus a valid final forest.
 
 Phase choices come from one shared-seed generator (identical on every
@@ -21,7 +21,8 @@ from repro.p4est import Forest, build_ghost, builders, forest_is_valid
 from repro.p4est.balance import balance
 from repro.p4est.checkpoint import restore as forest_restore
 from repro.p4est.checkpoint import save as forest_save
-from repro.parallel import FaultPlan, FaultyComm, HangWatchdog, spmd_run, spmd_run_resilient
+from repro.parallel import FaultPlan, Faults, FaultyComm, HangWatchdog, Sanitize, Watchdog
+from tests.parallel.helpers import run, run_recovering
 
 SIZES = (1, 3, 8)
 STEPS = 6
@@ -72,7 +73,7 @@ def run_phases(comm, seed, steps=STEPS, level=2, check=True):
 @pytest.mark.parametrize("size", SIZES)
 @pytest.mark.parametrize("seed", [0, 1, 2])
 def test_invariants_hold_after_every_phase(size, seed):
-    results = spmd_run(size, run_phases, seed)
+    results = run(size, run_phases, seed)
     assert all(r == results[0] for r in results)
     assert results[0][0] > 0
 
@@ -83,8 +84,8 @@ def test_result_independent_of_rank_count(size):
     # phase choices are shared-seed, masks are (seed, rank, step)-local,
     # but with one rank owning everything the P=1 run fixes the reference
     # only for itself; here we only require internal determinism.
-    a = spmd_run(size, run_phases, 42)
-    b = spmd_run(size, run_phases, 42)
+    a = run(size, run_phases, 42)
+    b = run(size, run_phases, 42)
     assert a == b
 
 
@@ -130,8 +131,8 @@ def test_invariants_hold_through_crash_recovery(size):
         assert forest_is_valid(comm, forest, ghost=ghost)
         return forest.global_count
 
-    result = spmd_run_resilient(
-        size, prog, comm_wrapper=wrapper, max_retries=2
+    result = run_recovering(
+        size, prog, max_retries=2, layers=[Faults(wrapper=wrapper)]
     )
     assert result.recovery.recoveries >= 1
     assert all(v == result.values[0] for v in result.values)
@@ -142,7 +143,7 @@ def test_stress_with_sanitizer_and_watchdog(tmp_path):
     # The full correctness layer on a healthy stress run must not change
     # the outcome (and must not dump any artifact).
     wd = HangWatchdog(timeout=60.0, artifact_dir=str(tmp_path))
-    plain = spmd_run(3, run_phases, 5)
-    guarded = spmd_run(3, run_phases, 5, sanitize=True, watchdog=wd)
+    plain = run(3, run_phases, 5)
+    guarded = run(3, run_phases, 5, layers=[Sanitize(), Watchdog(wd)])
     assert plain == guarded
     assert wd.last_artifact is None

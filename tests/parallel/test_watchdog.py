@@ -7,15 +7,13 @@ import pytest
 
 from repro.parallel import (
     SUM,
-    FaultPlan,
-    FaultyComm,
     HangError,
     HangWatchdog,
     SpmdError,
-    spmd_run,
-    spmd_run_resilient,
+    Trace,
+    Watchdog,
 )
-from repro.parallel.faults import DELAY, Fault
+from tests.parallel.helpers import run, run_recovering
 
 
 def make_watchdog(tmp_path, timeout=0.5, history=32):
@@ -31,7 +29,7 @@ def test_healthy_run_unchanged(tmp_path):
         comm.barrier()
         return comm.allreduce(comm.rank, SUM)
 
-    assert spmd_run(4, prog, watchdog=wd) == [6] * 4
+    assert run(4, prog, layers=[Watchdog(wd)]) == [6] * 4
     assert wd.last_artifact is None
 
 
@@ -46,7 +44,7 @@ def test_early_exit_rank_diagnosed(tmp_path):
         return "ok"
 
     with pytest.raises(SpmdError) as ei:
-        spmd_run(3, prog, watchdog=wd)
+        run(3, prog, layers=[Watchdog(wd)])
     err = ei.value
     assert err.failed_rank == 2
     assert "rank 2" in str(err)
@@ -67,7 +65,7 @@ def test_flight_recorder_artifact_contents(tmp_path):
         comm.barrier()
 
     with pytest.raises(SpmdError):
-        spmd_run(3, prog, watchdog=wd)
+        run(3, prog, layers=[Watchdog(wd)])
     assert wd.last_artifact is not None
     with open(wd.last_artifact) as f:
         dump = json.load(f)
@@ -92,7 +90,7 @@ def test_wedged_compute_rank_diagnosed(tmp_path):
         comm.barrier()
 
     with pytest.raises(SpmdError) as ei:
-        spmd_run(3, prog, watchdog=wd)
+        run(3, prog, layers=[Watchdog(wd)])
     assert ei.value.failed_rank == 1
     assert "outside comm" in str(ei.value)
 
@@ -104,7 +102,7 @@ def test_timeout_without_watchdog_still_aborts():
         comm.barrier()
 
     with pytest.raises(SpmdError) as ei:
-        spmd_run(2, prog, timeout=0.3)
+        run(2, prog, timeout=0.3)
     assert isinstance(ei.value.__cause__, HangError)
 
 
@@ -116,7 +114,7 @@ def test_ring_buffer_is_bounded(tmp_path):
             comm.barrier()
         return comm.rank
 
-    assert spmd_run(2, prog, watchdog=wd) == [0, 1]
+    assert run(2, prog, layers=[Watchdog(wd)]) == [0, 1]
     # Force a dump to inspect recorder state after a healthy run.
     path = wd.dump("inspect")
     with open(path) as f:
@@ -138,7 +136,7 @@ def test_phase_labels_recorded_when_traced(tmp_path):
         comm.barrier()
 
     with pytest.raises(SpmdError):
-        spmd_run(2, prog, watchdog=wd, trace=True)
+        run(2, prog, layers=[Watchdog(wd), Trace()])
     with open(wd.last_artifact) as f:
         dump = json.load(f)
     assert dump["ranks"][0]["records"][0]["phase"] == "Balance"
@@ -146,23 +144,21 @@ def test_phase_labels_recorded_when_traced(tmp_path):
 
 def test_resilient_recovers_from_hang(tmp_path):
     wd = make_watchdog(tmp_path, timeout=0.4)
-    # A DELAY fault longer than the timeout wedges rank 1 at its third
-    # comm call on attempt 0 only; the watchdog converts the hang into an
-    # attributable fault and the retry succeeds.
-    plan = FaultPlan([Fault(DELAY, 1, 2, seconds=2.0)])
-
-    def wrapper(comm, attempt):
-        return FaultyComm(comm, plan) if attempt == 0 else comm
 
     def prog(comm, store):
+        # Rank 1 wedges outside comm on the first attempt only (keyed off
+        # the store); the watchdog converts the hang into an attributable
+        # fault and the retry succeeds.
+        first = comm.bcast(store.load() is None, root=0)
+        store.save("attempted" if comm.rank == 0 else None)
         total = 0
-        for _ in range(5):
+        for i in range(5):
             total = comm.allreduce(1, SUM)
+            if first and i == 2 and comm.rank == 1:
+                time.sleep(2.5)
         return total
 
-    result = spmd_run_resilient(
-        3, prog, comm_wrapper=wrapper, watchdog=wd, max_retries=2
-    )
+    result = run_recovering(3, prog, max_retries=2, layers=[Watchdog(wd)])
     assert result.values == [3, 3, 3]
     assert result.recovery.recoveries == 1
     assert result.recovery.ranks_lost == [1]
@@ -181,7 +177,7 @@ def test_hang_detection_deterministic(tmp_path):
             comm.allgather(comm.rank)
 
         with pytest.raises(SpmdError) as ei:
-            spmd_run(4, prog, watchdog=wd)
+            run(4, prog, layers=[Watchdog(wd)])
         assert ei.value.failed_rank == 3
 
 

@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.parallel import spmd_run
-from repro.parallel.machine import spmd_run_detailed
+from tests.parallel.helpers import run_report
 from repro.perf.machine import JAGUAR_XT5, LONGHORN_GPU, MachineModel
 from repro.perf.model import (
     CommCost,
@@ -52,7 +51,7 @@ def test_comm_cost_from_real_stats():
         comm.exscan(1)
         return None
 
-    report = spmd_run_detailed(4, prog)
+    report = run_report(4, prog)
     cost = comm_cost_from_stats(report.outcomes[0].stats, rounds_hint=1)
     assert cost.allreduces == 2  # allreduce + exscan
     assert cost.allgathers == 1

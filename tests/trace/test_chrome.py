@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.parallel.machine import spmd_run_detailed
+from repro.parallel import Trace
+from tests.parallel.helpers import run_report
 from repro.trace.export import chrome_trace, dump_chrome_trace, reports_from_chrome
 from repro.trace.profile import RunProfile
 from repro.trace.tracer import Tracer
@@ -23,7 +24,7 @@ def _traced_reports():
             comm.barrier()
         return None
 
-    return spmd_run_detailed(3, prog, trace=True).trace_reports
+    return run_report(3, prog, layers=[Trace()]).trace_reports
 
 
 def test_chrome_trace_structure():

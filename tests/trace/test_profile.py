@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.parallel import SerialComm
-from repro.parallel.machine import spmd_run_detailed
+from tests.parallel.helpers import run_report
 from repro.parallel.stats import CommStats
 from repro.perf.machine import JAGUAR_XT5
 from repro.trace.comm import TracingComm
@@ -103,7 +103,7 @@ def test_gather_profile_collective():
                 tcomm.allreduce(1.0)
         return gather_profile(tcomm, tracer)
 
-    rep = spmd_run_detailed(4, prog)
+    rep = run_report(4, prog)
     profiles = rep.values
     assert profiles[0] is not None
     assert all(p is None for p in profiles[1:])

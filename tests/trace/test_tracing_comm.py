@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.parallel import SerialComm
-from repro.parallel.machine import spmd_run, spmd_run_detailed, spmd_run_resilient
+from repro.parallel import SerialComm, Trace
 from repro.parallel.ops import SUM
+from tests.parallel.helpers import run, run_recovering, run_report
 from repro.trace.comm import TracingComm
 from repro.trace.tracer import Tracer
 
@@ -69,7 +69,7 @@ def test_spmd_traced_bytes_match_comm_stats():
             comm.allreduce(float(comm.rank))
         return comm.rank
 
-    rep = spmd_run_detailed(4, prog, trace=True)
+    rep = run_report(4, prog, layers=[Trace()])
     assert rep.values == [0, 1, 2, 3]
     for outcome in rep.outcomes:
         tr = outcome.trace
@@ -88,15 +88,15 @@ def test_spmd_traced_bytes_match_comm_stats():
 
 
 def test_spmd_untraced_has_no_trace():
-    rep = spmd_run_detailed(2, lambda comm: comm.rank)
+    rep = run_report(2, lambda comm: comm.rank)
     assert all(o.trace is None for o in rep.outcomes)
     assert rep.trace_reports == []
-    with pytest.raises(ValueError, match="trace=True"):
+    with pytest.raises(ValueError, match="Trace"):
         rep.profile()
 
 
-def test_spmd_run_trace_kwarg_passthrough():
-    vals = spmd_run(2, lambda comm: comm.allreduce(1), trace=True)
+def test_run_with_trace_layer_returns_plain_values():
+    vals = run(2, lambda comm: comm.allreduce(1), layers=[Trace()])
     assert vals == [2, 2]
 
 
@@ -108,7 +108,7 @@ def test_spmd_profile_merges_all_ranks():
             comm.allreduce(comm.rank)
         return None
 
-    rep = spmd_run_detailed(3, prog, trace=True)
+    rep = run_report(3, prog, layers=[Trace()])
     prof = rep.profile()
     assert prof.nranks == 3
     (w,) = prof.phases
@@ -125,7 +125,7 @@ def test_resilient_traced_run():
             comm.barrier()
         return comm.rank
 
-    res = spmd_run_resilient(2, prog, trace=True)
+    res = run_recovering(2, prog, layers=[Trace()])
     assert res.values == [0, 1]
     prof = res.report.profile()
     assert prof.phase("Work").ranks == 2
@@ -139,7 +139,7 @@ def test_traced_spmd_epochs_are_shared():
             comm.barrier()
         return None
 
-    rep = spmd_run_detailed(4, prog, trace=True)
+    rep = run_report(4, prog, layers=[Trace()])
     starts = [r.events[0].start for r in rep.trace_reports]
     # Same epoch on every rank: span starts land within the run, not at
     # wildly different absolute offsets.

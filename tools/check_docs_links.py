@@ -1,7 +1,7 @@
 """Check relative links and heading anchors in the repo's Markdown docs.
 
-Scans ``README.md`` and ``docs/*.md`` (plus any extra paths given on the
-command line) for Markdown links.  For every relative link it verifies
+Scans every top-level ``*.md`` and ``docs/*.md`` (plus any extra paths
+given on the command line) for Markdown links.  For every relative link it verifies
 that the target file exists, and when the link carries a ``#fragment``
 that the target file contains a heading whose GitHub-style slug matches.
 External links (``http(s)://``, ``mailto:``) are ignored.
@@ -106,11 +106,8 @@ def check_file(path: Path, root: Path) -> List[str]:
 
 
 def check_repo(root: Path, extra: List[Path] = ()) -> List[str]:
-    """Check README.md + docs/*.md under ``root`` (plus ``extra`` files)."""
-    targets = []
-    readme = root / "README.md"
-    if readme.exists():
-        targets.append(readme)
+    """Check top-level *.md + docs/*.md under ``root`` (+ ``extra``)."""
+    targets = sorted(root.glob("*.md"))
     docs = root / "docs"
     if docs.is_dir():
         targets.extend(sorted(docs.glob("*.md")))
@@ -128,8 +125,10 @@ def main(argv: List[str]) -> int:
     problems = check_repo(root, extra)
     for p in problems:
         print(p)
-    checked = ["README.md"] + sorted(
-        str(p.relative_to(root)) for p in (root / "docs").glob("*.md")
+    checked = sorted(
+        str(p.relative_to(root))
+        for pat in ("*.md", "docs/*.md")
+        for p in root.glob(pat)
     )
     print(f"checked {len(checked)} file(s), {len(problems)} problem(s)")
     return 1 if problems else 0
