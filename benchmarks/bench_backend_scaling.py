@@ -18,7 +18,7 @@ import time
 
 from benchmarks._util import emit
 from repro.apps.advection.driver import AdvectionConfig, AdvectionRun
-from repro.parallel import CheckpointStore, Machine, RunConfig
+from repro.parallel import Machine, MemoryCheckpointStore, RunConfig
 from repro.perf.model import format_table
 
 SIZES = [1, 2, 4, 8]
@@ -28,7 +28,7 @@ CONFIG = AdvectionConfig(degree=2, base_level=2, max_level=3, adapt_every=4)
 
 
 def _advect(comm):
-    run = AdvectionRun.from_store(comm, CheckpointStore(), CONFIG)
+    run = AdvectionRun.from_store(comm, MemoryCheckpointStore(), CONFIG)
     run.run(NSTEPS)
     return run.l2_error(), run.global_elements()
 

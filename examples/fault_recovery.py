@@ -14,7 +14,7 @@ Run:  python examples/fault_recovery.py
 
 from repro.apps.advection.driver import AdvectionConfig, AdvectionRun
 from repro.parallel import (
-    CheckpointStore,
+    MemoryCheckpointStore,
     FaultPlan,
     Faults,
     FaultyComm,
@@ -45,7 +45,7 @@ def main():
 
     print(f"fault-free reference run ({RANKS} ranks, {NSTEPS} steps):")
     reference = Machine(RunConfig(size=RANKS)).run(
-        lambda c: advect(c, CheckpointStore())
+        lambda c: advect(c, MemoryCheckpointStore())
     )
     l2_ref, mass_ref, elems_ref = reference.values[0]
     print(f"  elements {elems_ref}, L2 error {l2_ref:.6f}, mass {mass_ref:.6f}")

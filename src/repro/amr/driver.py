@@ -19,7 +19,7 @@ from repro.mangll.transfer import transfer_nodal_fields
 from repro.p4est import checkpoint as forest_checkpoint
 from repro.p4est.balance import balance
 from repro.p4est.forest import Forest
-from repro.parallel.machine import CheckpointStore
+from repro.parallel.machine import CheckpointStore, MemoryCheckpointStore
 
 
 @dataclass
@@ -46,7 +46,7 @@ class CheckpointPolicy:
     what makes recovering runs (``RunConfig(recover=True)``) possible.
     """
 
-    store: CheckpointStore = field(default_factory=CheckpointStore)
+    store: CheckpointStore = field(default_factory=MemoryCheckpointStore)
     every: int = 1
     root: int = 0
     cycles: int = 0

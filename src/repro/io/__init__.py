@@ -1,8 +1,20 @@
-"""Output: legacy-VTK meshes/fields, 2D SVG forest drawings, and
-npz forest checkpoints."""
+"""Output: legacy-VTK meshes/fields, 2D SVG forest drawings, npz forest
+checkpoints, and the durable generation checkpoint store."""
 
 from repro.io.vtk import write_vtk
 from repro.io.svg import draw_forest_svg
-from repro.io.checkpoint import read_checkpoint, write_checkpoint
+from repro.io.checkpoint import (
+    CheckpointCorruptError,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.io.store import DiskCheckpointStore
 
-__all__ = ["write_vtk", "draw_forest_svg", "read_checkpoint", "write_checkpoint"]
+__all__ = [
+    "write_vtk",
+    "draw_forest_svg",
+    "read_checkpoint",
+    "write_checkpoint",
+    "CheckpointCorruptError",
+    "DiskCheckpointStore",
+]

@@ -1,0 +1,286 @@
+"""Durable, crash-consistent checkpoint store (generation directories).
+
+:class:`DiskCheckpointStore` is the on-disk implementation of the
+:class:`~repro.parallel.run.CheckpointStore` contract used by recovering
+runs (``RunConfig(store=DiskCheckpointStore(path))``).  Every
+:meth:`~DiskCheckpointStore.save` commits one *generation* — a directory
+``gen-NNNNNN/`` holding the payload plus a small ``meta.json`` — with
+the classic crash-consistency recipe: stage into a same-filesystem temp
+directory, fsync every file and the staged directory, publish with one
+atomic ``os.replace``, then fsync the store root.  A crash at any byte
+leaves either the previous set of complete generations or the new one —
+never a half generation that a later run could read.
+
+Integrity on the read side is end-to-end: forest checkpoints go through
+:func:`repro.io.checkpoint.read_checkpoint` (per-array CRC32s), generic
+payloads through a CRC32-framed pickle container.  :meth:`load` walks
+generations newest-first and *falls back* across corrupt ones (bit rot,
+truncation, torn pre-fsync leftovers), raising the typed
+:class:`~repro.io.checkpoint.CheckpointCorruptError` only when every
+existing generation fails verification — silently wrong data is never
+returned.  Retention is bounded (``keep`` newest generations, GC'd after
+each commit) and transient ``OSError`` during a commit is retried with
+exponential backoff before surfacing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+import threading
+import time
+import zlib
+from typing import Any, Callable, List, Optional, Tuple, Union
+
+from repro.io.checkpoint import (
+    CheckpointCorruptError,
+    fsync_dir,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.p4est.checkpoint import ForestCheckpoint
+from repro.parallel.run import CheckpointStore
+
+_GEN_PREFIX = "gen-"
+_TMP_PREFIX = ".tmp-"
+#: Framing magic for CRC32-verified pickle payloads.
+_PICKLE_MAGIC = b"RPCK1\n"
+
+
+def _fsync_file(path: str) -> None:
+    """fsync one file by path (data must be on the platter before rename)."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _write_pickle_payload(path: str, payload: Any) -> None:
+    """Write ``payload`` as magic + CRC32 + length + pickle bytes."""
+    blob = pickle.dumps(payload, pickle.HIGHEST_PROTOCOL)
+    crc = zlib.crc32(blob) & 0xFFFFFFFF
+    with open(path, "wb") as f:
+        f.write(_PICKLE_MAGIC)
+        f.write(crc.to_bytes(4, "big"))
+        f.write(len(blob).to_bytes(8, "big"))
+        f.write(blob)
+        f.flush()
+        os.fsync(f.fileno())
+
+
+def _read_pickle_payload(path: str) -> Any:
+    """Read and verify a payload written by :func:`_write_pickle_payload`."""
+    try:
+        with open(path, "rb") as f:
+            raw = f.read()
+    except OSError as exc:
+        raise CheckpointCorruptError(f"{path}: unreadable ({exc!r})") from exc
+    head = len(_PICKLE_MAGIC) + 12
+    if len(raw) < head or not raw.startswith(_PICKLE_MAGIC):
+        raise CheckpointCorruptError(f"{path}: missing or torn payload framing")
+    crc = int.from_bytes(raw[len(_PICKLE_MAGIC): len(_PICKLE_MAGIC) + 4], "big")
+    length = int.from_bytes(raw[len(_PICKLE_MAGIC) + 4: head], "big")
+    blob = raw[head:]
+    if len(blob) != length:
+        raise CheckpointCorruptError(
+            f"{path}: truncated payload ({len(blob)} of {length} bytes)"
+        )
+    if (zlib.crc32(blob) & 0xFFFFFFFF) != crc:
+        raise CheckpointCorruptError(f"{path}: payload CRC32 mismatch")
+    try:
+        return pickle.loads(blob)
+    except Exception as exc:  # noqa: BLE001 - CRC passed, so this is our bug/bitrot
+        raise CheckpointCorruptError(f"{path}: undecodable payload ({exc!r})") from exc
+
+
+class DiskCheckpointStore(CheckpointStore):
+    """Crash-consistent generation store under one root directory.
+
+    ``keep`` bounds retention (oldest generations beyond it are removed
+    after each successful commit); ``retries`` / ``backoff`` govern the
+    exponential-backoff retry on transient ``OSError`` during a commit.
+    The store is reusable across runs and driver processes: a fresh
+    instance over an existing root resumes from the newest intact
+    generation on disk.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        keep: int = 4,
+        retries: int = 3,
+        backoff: float = 0.05,
+        _sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        """Create (or adopt) the store rooted at ``root``."""
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.root = os.fspath(root)
+        self.keep = keep
+        self.retries = retries
+        self.backoff = backoff
+        self._sleep = _sleep
+        self._lock = threading.Lock()
+        self.saves = 0  # committed generations over this instance's lifetime
+        self.io_retries = 0  # transient OSErrors retried during commits
+        self.corrupt_generations_skipped = 0  # fallbacks taken by load()
+        os.makedirs(self.root, exist_ok=True)
+
+    # Directory layout -------------------------------------------------------
+
+    def _generations(self) -> List[Tuple[int, str]]:
+        """Committed generations as ``(number, dirname)``, oldest first."""
+        out = []
+        try:
+            names = os.listdir(self.root)
+        except FileNotFoundError:
+            return []
+        for name in names:
+            if not name.startswith(_GEN_PREFIX):
+                continue
+            try:
+                num = int(name[len(_GEN_PREFIX):])
+            except ValueError:
+                continue
+            if os.path.isdir(os.path.join(self.root, name)):
+                out.append((num, name))
+        out.sort()
+        return out
+
+    def generations(self) -> List[str]:
+        """Names of the committed generations on disk, oldest first."""
+        return [name for _, name in self._generations()]
+
+    # Commit path ------------------------------------------------------------
+
+    def save(self, payload: Any) -> None:
+        """Commit ``payload`` as a new generation (``None`` is a no-op).
+
+        Transient ``OSError`` is retried with exponential backoff; a
+        persistent one propagates after ``retries`` extra attempts (the
+        caller's recovery loop then proceeds on the previous generation).
+        """
+        if payload is None:
+            return
+        with self._lock:
+            delay = self.backoff
+            for attempt in range(self.retries + 1):
+                try:
+                    self._commit(payload)
+                    break
+                except OSError:
+                    if attempt >= self.retries:
+                        raise
+                    self.io_retries += 1
+                    self._sleep(delay)
+                    delay *= 2
+            self.saves += 1
+            self._collect_garbage()
+
+    def _commit(self, payload: Any) -> None:
+        """Stage, fsync, and atomically publish one generation."""
+        gens = self._generations()
+        num = gens[-1][0] + 1 if gens else 1
+        final = os.path.join(self.root, f"{_GEN_PREFIX}{num:06d}")
+        tmp = os.path.join(self.root, f"{_TMP_PREFIX}{_GEN_PREFIX}{num:06d}-{os.getpid()}")
+        shutil.rmtree(tmp, ignore_errors=True)
+        os.makedirs(tmp)
+        try:
+            if isinstance(payload, ForestCheckpoint):
+                meta = {"kind": "forest", "octants": payload.global_octants}
+                write_checkpoint(os.path.join(tmp, "forest.npz"), payload)
+            else:
+                meta = {"kind": "pickle", "octants": 0}
+                _write_pickle_payload(os.path.join(tmp, "payload.pkl"), payload)
+            meta_path = os.path.join(tmp, "meta.json")
+            with open(meta_path, "w") as f:
+                json.dump(meta, f)
+                f.flush()
+                os.fsync(f.fileno())
+            fsync_dir(tmp)
+            os.replace(tmp, final)
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        fsync_dir(self.root)
+
+    def _collect_garbage(self) -> None:
+        """Drop generations beyond ``keep`` and stale staging directories."""
+        gens = self._generations()
+        for _, name in gens[: max(0, len(gens) - self.keep)]:
+            shutil.rmtree(os.path.join(self.root, name), ignore_errors=True)
+        try:
+            names = os.listdir(self.root)
+        except FileNotFoundError:
+            return
+        for name in names:
+            if name.startswith(_TMP_PREFIX):
+                shutil.rmtree(os.path.join(self.root, name), ignore_errors=True)
+
+    # Read path --------------------------------------------------------------
+
+    def _read_generation(self, name: str) -> Any:
+        """Read and verify one generation; raises on any integrity failure."""
+        gen_dir = os.path.join(self.root, name)
+        meta_path = os.path.join(gen_dir, "meta.json")
+        try:
+            with open(meta_path) as f:
+                meta = json.load(f)
+        except (OSError, ValueError) as exc:
+            raise CheckpointCorruptError(
+                f"{gen_dir}: missing or undecodable meta.json ({exc!r})"
+            ) from exc
+        kind = meta.get("kind")
+        if kind == "forest":
+            try:
+                return read_checkpoint(os.path.join(gen_dir, "forest.npz"))
+            except FileNotFoundError as exc:
+                raise CheckpointCorruptError(
+                    f"{gen_dir}: forest payload missing"
+                ) from exc
+        if kind == "pickle":
+            return _read_pickle_payload(os.path.join(gen_dir, "payload.pkl"))
+        raise CheckpointCorruptError(f"{gen_dir}: unknown payload kind {kind!r}")
+
+    def load(self) -> Any:
+        """Newest intact checkpoint, falling back across corrupt generations.
+
+        Returns ``None`` when no generation exists.  Raises
+        :class:`~repro.io.checkpoint.CheckpointCorruptError` (chaining
+        the newest generation's failure) only when *every* generation on
+        disk fails verification — corruption is loud, never silent.
+        """
+        with self._lock:
+            gens = self._generations()
+            first_error: Optional[Exception] = None
+            for _, name in reversed(gens):
+                try:
+                    return self._read_generation(name)
+                except (CheckpointCorruptError, ValueError) as exc:
+                    self.corrupt_generations_skipped += 1
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise CheckpointCorruptError(
+                    f"checkpoint store {self.root}: all {len(gens)} generations "
+                    "failed verification"
+                ) from first_error
+            return None
+
+    @property
+    def octants(self) -> int:
+        """Octant count recorded with the newest intact generation."""
+        with self._lock:
+            for _, name in reversed(self._generations()):
+                meta_path = os.path.join(self.root, name, "meta.json")
+                try:
+                    with open(meta_path) as f:
+                        return int(json.load(f).get("octants", 0))
+                except (OSError, ValueError, TypeError):
+                    continue
+            return 0

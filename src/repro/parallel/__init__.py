@@ -52,6 +52,7 @@ from repro.parallel.process_backend import ProcessBackend, ProcessComm
 from repro.parallel.run import (
     CheckpointStore,
     Machine,
+    MemoryCheckpointStore,
     RecoveryReport,
     RunConfig,
     RunResult,
@@ -77,6 +78,7 @@ __all__ = [
     "SpmdReport",
     "RankOutcome",
     "CheckpointStore",
+    "MemoryCheckpointStore",
     "RecoveryReport",
     # Layers
     "CommLayer",

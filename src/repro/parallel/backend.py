@@ -323,6 +323,8 @@ class AttemptRequest:
     argument after the communicator.  ``timeout`` arms every blocking
     collective wait; ``None`` falls back to the watchdog layer's timeout
     when one is configured, else waits indefinitely.
+    ``max_replacements`` is this attempt's budget of in-place worker
+    respawns (process backend; other backends ignore it).
     """
 
     size: int
@@ -333,6 +335,7 @@ class AttemptRequest:
     attempt: int = 0
     timeout: Optional[float] = None
     store: Any = None
+    max_replacements: int = 0
 
     def __post_init__(self) -> None:
         """Validate the rank count against the machine-wide cap."""
@@ -349,6 +352,12 @@ class AttemptResult:
     primary ``failure`` (plus ``failed_rank``), whatever traffic the
     doomed ranks performed (``lost_stats``), and the flight-recorder
     ``artifact`` when a watchdog dumped one.
+
+    Either shape may additionally record *in-place replacements* (process
+    backend with a ``max_replacements`` budget): workers that died and
+    were respawned without tearing the attempt down.  A successful
+    attempt with replacements still fills every outcome; its
+    ``lost_stats`` then carries the traffic rolled back during recovery.
     """
 
     outcomes: List[Optional[RankOutcome]]
@@ -357,6 +366,11 @@ class AttemptResult:
     failure: Optional[BaseException] = None
     artifact: Optional[str] = None
     lost_stats: CommStats = field(default_factory=CommStats)
+    replacements: int = 0
+    replaced_ranks: List[int] = field(default_factory=list)
+    replacement_seconds: float = 0.0
+    replacement_artifacts: List[str] = field(default_factory=list)
+    replacement_failures: List[str] = field(default_factory=list)
 
     @property
     def failed(self) -> bool:

@@ -38,8 +38,9 @@ CRASH = "crash"
 CORRUPT = "corrupt"
 TRUNCATE = "truncate"
 DELAY = "delay"
+DIE = "die"
 
-_KINDS = (CRASH, CORRUPT, TRUNCATE, DELAY)
+_KINDS = (CRASH, CORRUPT, TRUNCATE, DELAY, DIE)
 
 
 class InjectedFailure(RuntimeError):
@@ -51,7 +52,12 @@ class Fault:
     """One scheduled fault on ``rank`` at its ``at_call``-th comm operation.
 
     ``kind`` is one of :data:`CRASH`, :data:`CORRUPT`, :data:`TRUNCATE`,
-    :data:`DELAY`; ``seconds`` applies to delays only.
+    :data:`DELAY`, :data:`DIE`; ``seconds`` applies to delays only.
+    :data:`DIE` is the hard variant of :data:`CRASH`: inside a
+    process-backend worker it SIGKILLs the whole process (the parent sees
+    a dropped connection, exactly like real node loss); on the thread
+    backend — where killing the process would take the driver down too —
+    it degrades to an :class:`InjectedFailure`.
     """
 
     kind: str
@@ -87,6 +93,11 @@ class FaultPlan:
     def crash(cls, rank: int, at_call: int, seed: int = 0) -> "FaultPlan":
         """The most common plan: one rank dies at its Nth collective."""
         return cls([Fault(CRASH, rank, at_call)], seed=seed)
+
+    @classmethod
+    def die(cls, rank: int, at_call: int, seed: int = 0) -> "FaultPlan":
+        """Hard process death (SIGKILL) at one rank's Nth collective."""
+        return cls([Fault(DIE, rank, at_call)], seed=seed)
 
     @classmethod
     def seeded(
@@ -282,6 +293,20 @@ class FaultyComm(Comm):
             self.injected.append(fault)
             if fault.kind == DELAY:
                 time.sleep(fault.seconds)
+            elif fault.kind == DIE:
+                import multiprocessing
+
+                if multiprocessing.current_process().name.startswith("spmd-rank"):
+                    import os
+                    import signal
+
+                    os.kill(os.getpid(), signal.SIGKILL)
+                # Thread backend: a real SIGKILL would take the driver
+                # down too, so degrade to the soft crash.
+                raise InjectedFailure(
+                    f"injected death on rank {self.rank} at call {call} "
+                    "(degraded to a soft crash outside the process backend)"
+                )
             elif fault.kind == CRASH:
                 raise InjectedFailure(
                     f"injected crash on rank {self.rank} at call {call}"
@@ -297,32 +322,42 @@ class FaultyComm(Comm):
     # Collectives: count, inject, delegate ---------------------------------
 
     def barrier(self) -> None:
+        """Fault-injected :meth:`Comm.barrier`."""
         self._step(None)
         self.inner.barrier()
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Fault-injected :meth:`Comm.bcast`."""
         return self.inner.bcast(self._step(obj), root=root)
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Fault-injected :meth:`Comm.gather`."""
         return self.inner.gather(self._step(obj), root=root)
 
     def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
+        """Fault-injected :meth:`Comm.scatter`."""
         return self.inner.scatter(self._step(objs), root=root)
 
     def allgather(self, obj: Any) -> List[Any]:
+        """Fault-injected :meth:`Comm.allgather`."""
         return self.inner.allgather(self._step(obj))
 
     def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Fault-injected :meth:`Comm.allreduce`."""
         return self.inner.allreduce(self._step(value), op)
 
     def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Fault-injected :meth:`Comm.exscan`."""
         return self.inner.exscan(self._step(value), op)
 
     def scan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Fault-injected :meth:`Comm.scan`."""
         return self.inner.scan(self._step(value), op)
 
     def alltoall(self, objs: List[Any]) -> List[Any]:
+        """Fault-injected :meth:`Comm.alltoall`."""
         return self.inner.alltoall(self._step(objs))
 
     def exchange(self, outbox: Dict[int, Any]) -> Dict[int, Any]:
+        """Fault-injected :meth:`Comm.exchange`."""
         return self.inner.exchange(self._step(outbox))

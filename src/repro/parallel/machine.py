@@ -54,6 +54,7 @@ from repro.parallel.layers import (
 )
 from repro.parallel.run import (
     CheckpointStore,
+    MemoryCheckpointStore,
     Machine,
     RecoveryReport,
     RunConfig,

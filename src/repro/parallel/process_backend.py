@@ -27,6 +27,21 @@ cascades never mask the cause — with one genuinely new power: a worker
 that *dies* (SIGKILL included) is detected as a dropped connection and
 attributed as that rank's failure, which is what lets resilient runs
 recover from real process loss, not just simulated faults.
+
+With an ``AttemptRequest.max_replacements`` budget the router goes one
+step further: instead of aborting the attempt it performs a *warm
+replacement*.  The dead rank is respawned as a fresh process while every
+surviving worker receives a ``rollback`` message — delivered by the next
+``_recv`` as a :class:`_RollbackSignal` — unwinds its program, reports
+its rolled-back traffic with an ``rb-ack``, and re-enters the rank
+program in place (reloading from the checkpoint store proxy).  The
+router discards everything a survivor sent before its ack (pipe FIFO
+makes all of it provably stale), resets the round protocol, sanitizer
+table, and watchdog heartbeats, and bumps the per-worker attempt index
+so attempt-0-only fault wrappers do not re-fire.  Replacement therefore
+never tears the machine down; only an exhausted budget (or a respawn
+that keeps failing) falls back to the classic abort → shrink/retry path.
+See ``docs/BACKENDS.md`` for the full protocol.
 """
 
 from __future__ import annotations
@@ -62,6 +77,65 @@ from repro.parallel.watchdog import HangError, WatchdogComm
 from repro.trace.tracer import current_phase_path
 
 
+class _RollbackSignal(BaseException):
+    """Worker-internal unwind for an in-place rollback (never user-visible).
+
+    Raised out of :meth:`ProcessComm._recv` when the router announces a
+    warm replacement; carries the router's absolute rollback generation
+    (echoed back in the ack, so acks from earlier generations are never
+    mistaken for the current one — replacement workers included).
+    Derives from ``BaseException`` so rank programs catching
+    ``Exception`` cannot swallow it.
+    """
+
+    def __init__(self, gen: int) -> None:
+        """Record the rollback generation being entered."""
+        super().__init__(gen)
+        self.gen = gen
+
+
+def _dump_exc_chain(exc: BaseException) -> List[Tuple[str, Any]]:
+    """Serialize ``exc`` and its ``__cause__`` chain for the pipe.
+
+    Default pickling silently drops ``__cause__`` (only
+    :class:`~repro.parallel.backend.SpmdError` ships it via
+    ``__reduce__``), so the chain travels as an explicit list — one
+    ``("p", pickle)`` or ``("r", repr)`` entry per link — and the parent
+    relinks it.  Post-mortems then see the true root cause without
+    re-reading the flight recorder.
+    """
+    entries: List[Tuple[str, Any]] = []
+    cur: Optional[BaseException] = exc
+    seen: Set[int] = set()
+    while cur is not None and id(cur) not in seen:
+        seen.add(id(cur))
+        try:
+            entries.append(("p", pickle.dumps(cur)))
+        except Exception:  # noqa: BLE001 - unpicklable program error
+            entries.append(("r", f"{type(cur).__name__}: {cur}"))
+        cur = cur.__cause__
+    return entries
+
+
+def _load_exc_chain(rank: int, entries: List[Tuple[str, Any]]) -> BaseException:
+    """Rebuild a worker's exception chain serialized by :func:`_dump_exc_chain`."""
+    excs: List[BaseException] = []
+    for kind, payload in entries:
+        if kind == "p":
+            try:
+                excs.append(pickle.loads(payload))
+                continue
+            except Exception:  # noqa: BLE001 - undecodable on this side too
+                payload = "(undecodable exception)"
+        excs.append(RuntimeError(f"rank {rank} raised: {payload}"))
+    if not excs:
+        return RuntimeError(f"rank {rank} raised (unreported exception)")
+    for parent, cause in zip(excs, excs[1:]):
+        if parent.__cause__ is None:
+            parent.__cause__ = cause
+    return excs[0]
+
+
 class ProcessComm(MeteredComm):
     """Worker-side communicator: lock-step pipe rounds + shared memory.
 
@@ -94,10 +168,14 @@ class ProcessComm(MeteredComm):
         An ``abort`` carries the failed rank and (for hangs) the
         diagnosis message; it raises the same cascaded
         :class:`~repro.parallel.backend.SpmdError` the thread backend's
-        broken barrier produces.
+        broken barrier produces.  A ``rollback`` (warm replacement in
+        progress) raises :class:`_RollbackSignal`, unwinding the program
+        so :func:`_worker_main` can acknowledge and re-enter it.
         """
         msg = self._conn.recv()
         tag = msg[0]
+        if tag == "rollback":
+            raise _RollbackSignal(msg[1])
         if tag == "abort":
             self.saw_abort = True
             failed, hang_msg = msg[1], msg[2]
@@ -237,6 +315,7 @@ def _worker_main(
     kwargs: dict,
     layers: tuple,
     attempt: int,
+    spawn_gen: int,
     has_store: bool,
     epoch: float,
     tracing: bool,
@@ -245,66 +324,86 @@ def _worker_main(
 
     Module-level (not a closure) so the ``spawn`` start method can import
     it.  Reports exactly one of ``done`` (value + metering + trace) or
-    ``err`` (pickled exception + the stats lost with it); a cascade from
-    a received ``abort`` reports nothing — the parent already knows.
-    """
-    comm = ProcessComm(rank, size, conn, shm_threshold)
-    watchdog = (
-        _WatchdogProxy(comm) if find_layer(layers, "watchdog") is not None else None
-    )
-    tracer = None
-    if tracing:
-        from repro.trace.tracer import Tracer
+    ``err`` (exception chain + the stats lost with it); a cascade from a
+    received ``abort`` reports nothing — the parent already knows.
 
-        tracer = Tracer(rank, epoch=epoch)
-    ctx = LayerContext(
-        rank=rank,
-        size=size,
-        attempt=attempt,
-        sanitizer_state=(
-            _SanitizerProxy(comm) if find_layer(layers, "sanitize") is not None else None
-        ),
-        watchdog=watchdog,
-        tracer=tracer,
-    )
-    facade = wrap_comm(comm, layers, ctx)
-    fn_args = (_StoreProxy(comm),) + tuple(args) if has_store else tuple(args)
-    comm._mark = time.thread_time()
+    A ``rollback`` (warm replacement of a dead peer) unwinds the program
+    mid-flight via :class:`_RollbackSignal`: the worker acknowledges with
+    its rolled-back stats, rebuilds a fresh communicator and layer stack
+    with the attempt index advanced to ``attempt + generation`` (so
+    attempt-keyed fault wrappers do not re-fire and all ranks — original
+    or replacement — agree on one logical attempt number), and re-enters
+    ``fn``, which resumes from the checkpoint store like any recovered
+    attempt.  ``spawn_gen`` seeds the generation for replacement workers
+    spawned mid-attempt.
+    """
+    gen = spawn_gen
     try:
-        try:
-            if tracer is not None:
-                with tracer.activate():
-                    value = fn(facade, *fn_args, **kwargs)
-            else:
-                value = fn(facade, *fn_args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 - reported to the parent
-            if not comm.saw_abort:
-                try:
-                    if watchdog is not None:
-                        watchdog.finished(rank, errored=True)
-                    try:
-                        blob = ("p", pickle.dumps(exc))
-                    except Exception:  # noqa: BLE001 - unpicklable program error
-                        blob = ("r", repr(exc))
-                    comm._send(("err", blob, comm.stats))
-                except (OSError, BrokenPipeError):
-                    pass
-            return
-        if watchdog is not None:
-            watchdog.finished(rank)
-        comm._begin()
-        try:
-            comm._send(
-                (
-                    "done",
-                    value,
-                    comm.stats,
-                    comm.compute_seconds,
-                    tracer.report() if tracer is not None else None,
-                )
+        while True:
+            comm = ProcessComm(rank, size, conn, shm_threshold)
+            watchdog = (
+                _WatchdogProxy(comm)
+                if find_layer(layers, "watchdog") is not None
+                else None
             )
-        except (OSError, BrokenPipeError):
-            pass  # parent tore the attempt down first
+            tracer = None
+            if tracing:
+                from repro.trace.tracer import Tracer
+
+                tracer = Tracer(rank, epoch=epoch)
+            ctx = LayerContext(
+                rank=rank,
+                size=size,
+                attempt=attempt + gen,
+                sanitizer_state=(
+                    _SanitizerProxy(comm)
+                    if find_layer(layers, "sanitize") is not None
+                    else None
+                ),
+                watchdog=watchdog,
+                tracer=tracer,
+            )
+            facade = wrap_comm(comm, layers, ctx)
+            fn_args = (_StoreProxy(comm),) + tuple(args) if has_store else tuple(args)
+            comm._mark = time.thread_time()
+            try:
+                if tracer is not None:
+                    with tracer.activate():
+                        value = fn(facade, *fn_args, **kwargs)
+                else:
+                    value = fn(facade, *fn_args, **kwargs)
+            except _RollbackSignal as rb:
+                gen = rb.gen
+                try:
+                    comm._send(("rb-ack", gen, comm.stats))
+                except (OSError, BrokenPipeError):
+                    return
+                continue  # re-enter the program as rollback generation ``gen``
+            except BaseException as exc:  # noqa: BLE001 - reported to the parent
+                if not comm.saw_abort:
+                    try:
+                        if watchdog is not None:
+                            watchdog.finished(rank, errored=True)
+                        comm._send(("err", _dump_exc_chain(exc), comm.stats))
+                    except (OSError, BrokenPipeError):
+                        pass
+                return
+            if watchdog is not None:
+                watchdog.finished(rank)
+            comm._begin()
+            try:
+                comm._send(
+                    (
+                        "done",
+                        value,
+                        comm.stats,
+                        comm.compute_seconds,
+                        tracer.report() if tracer is not None else None,
+                    )
+                )
+            except (OSError, BrokenPipeError):
+                pass  # parent tore the attempt down first
+            return
     finally:
         try:
             conn.close()
@@ -348,6 +447,21 @@ class _Router:
         self.cur_round_names: Set[str] = set()
         self.conns: List[Any] = []
         self.alive: Dict[Any, int] = {}  # conn -> rank, removed on EOF
+        # Warm-replacement state (active when request.max_replacements > 0).
+        self.rollback_gen = 0  # how many in-place rollbacks this attempt took
+        self.awaiting_ack: Set[int] = set()  # survivors yet to ack the rollback
+        self.replacements = 0
+        self.replaced_ranks: List[int] = []
+        self.replacement_seconds = 0.0
+        self.replacement_artifacts: List[str] = []
+        self.replacement_failures: List[str] = []
+        self.rollback_t0: Optional[float] = None
+        # Rounds in flight when a rollback struck: survivors may still be
+        # attaching, so these are only unlinked once every ack is in.
+        self.stale_round_names: Set[str] = set()
+        self.procs: List[Any] = []
+        self._ctx: Any = None
+        self._epoch = 0.0
 
     # Failure bookkeeping (mirrors _Shared.abort) ---------------------------
 
@@ -381,8 +495,18 @@ class _Router:
     # Message handling -------------------------------------------------------
 
     def dispatch(self, rank: int, conn: Any, msg: Tuple[Any, ...]) -> None:
-        """Handle one worker message."""
+        """Handle one worker message.
+
+        During a rollback, everything a surviving worker sent *before*
+        its ``rb-ack`` is provably stale (pipe FIFO: the ack is the first
+        message of the new generation) and is dropped unanswered.
+        """
         tag = msg[0]
+        if tag == "rb-ack":
+            self.on_rb_ack(rank, msg[1], msg[2])
+            return
+        if rank in self.awaiting_ack:
+            return  # pre-rollback traffic from a survivor; provably stale
         if tag == "put":
             self.on_put(rank, msg[1], msg[2])
         elif tag == "san":
@@ -404,14 +528,7 @@ class _Router:
             self.outcomes[rank] = RankOutcome(msg[1], msg[2], msg[3], trace=msg[4])
             self.completed.add(rank)
         elif tag == "err":
-            kind, payload = msg[1]
-            if kind == "p":
-                try:
-                    exc = pickle.loads(payload)
-                except Exception:  # noqa: BLE001 - unpicklable on this side too
-                    exc = RuntimeError(f"rank {rank} raised (undecodable exception)")
-            else:
-                exc = RuntimeError(f"rank {rank} raised: {payload}")
+            exc = _load_exc_chain(rank, msg[1])
             self.err_stats.merge(msg[2])
             self.record_failure(rank, exc)
             self.abort_all()
@@ -487,26 +604,164 @@ class _Router:
             self.watchdog.finished(rank, errored=msg[2])
 
     def on_death(self, rank: int) -> None:
-        """A worker's pipe dropped: benign after completion/abort, else fatal."""
+        """A worker's pipe dropped: benign after completion/abort, else fatal.
+
+        With replacement budget remaining the death triggers a warm
+        replacement instead of an abort; an exhausted budget falls back
+        to the classic abort (and, above, the shrink/retry loop).
+        """
         if rank in self.completed or self.aborted:
             return
+        cause = RuntimeError(
+            f"worker process for rank {rank} died mid-run "
+            "(connection lost; killed or crashed)"
+        )
+        if self.replacements < self.request.max_replacements:
+            self.initiate_rollback(rank, cause)
+            return
+        self.record_failure(rank, cause)
+        self.abort_all()
+
+    # Warm replacement -------------------------------------------------------
+
+    def initiate_rollback(self, dead_rank: int, cause: BaseException) -> None:
+        """Respawn ``dead_rank`` in place and roll every survivor back.
+
+        Survivors get a ``rollback`` message and are quarantined in
+        ``awaiting_ack`` (their in-flight traffic is stale); round,
+        sanitizer, and watchdog state is reset for the new generation;
+        ranks that already completed are respawned too (their processes
+        exited after ``done``).  The shared-memory names of the
+        interrupted rounds are parked until every ack is in — a survivor
+        may still be attaching to them.
+        """
+        now = time.perf_counter()
+        self.rollback_gen += 1
+        self.replacements += 1
+        self.replaced_ranks.append(dead_rank)
+        self.replacement_failures.append(
+            f"rank {dead_rank}: {cause!r} "
+            f"(replaced in place, rollback generation {self.rollback_gen})"
+        )
+        if self.rollback_t0 is None:
+            self.rollback_t0 = now
+        if self.watchdog is not None:
+            # Dump the pre-reset heartbeat table: the replacement event's
+            # own flight-recorder artifact.
+            self.replacement_artifacts.append(
+                self.watchdog.dump_replacement([dead_rank], self.rollback_gen)
+            )
+        respawn = {dead_rank} | set(self.completed)
+        for conn, rank in list(self.alive.items()):
+            if rank in respawn:
+                # Completed ranks' processes exited after "done"; drop the
+                # stale pipe so their EOF can never be misattributed.
+                del self.alive[conn]
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
+            try:
+                conn.send(("rollback", self.rollback_gen))
+                self.awaiting_ack.add(rank)
+            except (OSError, BrokenPipeError):
+                del self.alive[conn]
+                self.awaiting_ack.discard(rank)
+                respawn.add(rank)  # also dead; fold into this rollback
+                self.replaced_ranks.append(rank)
+        # Park the interrupted rounds' segments; unlink once all acks are
+        # in (only then is no survivor still attaching by name).
+        self.stale_round_names |= self.prev_round_names | self.cur_round_names
+        self.prev_round_names = set()
+        self.cur_round_names = set()
+        # Fresh generation: reset round, outcome, and observability state.
+        self.round_idx = 0
+        self.slots = [None] * self.size
+        self.contributed.clear()
+        self.completed.clear()
+        self.outcomes = [None] * self.size
+        self.open_rec.clear()
+        if self.san_state is not None:
+            self.san_state = SanitizerState(self.size)
+        if self.watchdog is not None:
+            self.watchdog.attach(self.size)
+        self.last_progress = time.perf_counter()
+        for rank in sorted(respawn):
+            if not self._respawn(rank):
+                return
+        if not self.awaiting_ack:
+            self.finish_rollback()
+
+    def on_rb_ack(self, rank: int, gen: int, stats: CommStats) -> None:
+        """Consume one survivor's rollback acknowledgement.
+
+        ``gen`` is the survivor's rollback count; an ack from an earlier
+        generation (nested rollbacks) keeps the rank quarantined until
+        its count catches up with the router's.
+        """
+        self.err_stats.merge(stats)  # the rolled-back traffic is lost work
+        if gen != self.rollback_gen:
+            return
+        self.awaiting_ack.discard(rank)
+        self.last_progress = time.perf_counter()
+        if not self.awaiting_ack:
+            self.finish_rollback()
+
+    def finish_rollback(self) -> None:
+        """All survivors acked: free parked segments, close the recovery clock."""
+        for name in self.stale_round_names:
+            unlink_by_name(name)
+        self.stale_round_names.clear()
+        if self.rollback_t0 is not None:
+            self.replacement_seconds += time.perf_counter() - self.rollback_t0
+            self.rollback_t0 = None
+
+    def _respawn(self, rank: int) -> bool:
+        """Spawn a replacement worker, retrying transient failures with backoff.
+
+        Persistent spawn failure records the failure and aborts the
+        attempt — the recovery loop above then falls back to shrink/retry.
+        """
+        delay = 0.05
+        last: Optional[BaseException] = None
+        for _ in range(3):
+            try:
+                self._spawn(rank)
+                return True
+            except OSError as exc:
+                last = exc
+                time.sleep(delay)
+                delay *= 2
         self.record_failure(
             rank,
             RuntimeError(
-                f"worker process for rank {rank} died mid-run "
-                "(connection lost; killed or crashed)"
+                f"failed to respawn a replacement worker for rank {rank}: {last!r}"
             ),
         )
         self.abort_all()
+        return False
 
     def check_hang(self) -> None:
         """Detect a stalled round and attribute it like the thread backend."""
         if (
             self.aborted
             or self.timeout is None
-            or not self.contributed
+            or not (self.contributed or self.awaiting_ack)
             or time.perf_counter() - self.last_progress <= self.timeout
         ):
+            return
+        if self.awaiting_ack:
+            rank = min(self.awaiting_ack)
+            self.record_failure(
+                rank,
+                HangError(
+                    f"rank {rank} never acknowledged the in-place rollback "
+                    f"within {self.timeout}s",
+                    rank=rank,
+                ),
+            )
+            self.abort_all()
             return
         if self.watchdog is not None:
             reporter = min(self.contributed)
@@ -525,41 +780,51 @@ class _Router:
 
     # Main loop --------------------------------------------------------------
 
+    def _spawn(self, rank: int) -> None:
+        """Start one worker process for ``rank`` and register its pipe.
+
+        Replacement workers are seeded with the current rollback
+        generation, so their logical attempt index matches the
+        survivors' — the whole machine agrees on one attempt number.
+        """
+        req = self.request
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                rank,
+                self.size,
+                self.backend.shm_threshold_bytes,
+                req.fn,
+                tuple(req.args),
+                dict(req.kwargs),
+                tuple(req.layers),
+                req.attempt,
+                self.rollback_gen,
+                req.store is not None,
+                self._epoch,
+                self.tracing,
+            ),
+            name=f"spmd-rank-{rank}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self.conns.append(parent_conn)
+        self.alive[parent_conn] = rank
+        self.procs.append(proc)
+
     def run(self) -> AttemptResult:
         """Spawn the workers, route until the attempt resolves, account."""
-        req = self.request
-        ctx = multiprocessing.get_context(self.backend.start_method)
+        self._ctx = multiprocessing.get_context(self.backend.start_method)
         if self.watchdog is not None:
             self.watchdog.attach(self.size)
-        epoch = time.perf_counter()  # valid across processes: CLOCK_MONOTONIC
-        procs = []
+        # Epoch is valid across processes: CLOCK_MONOTONIC.
+        self._epoch = time.perf_counter()
         t0 = time.perf_counter()
         for rank in range(self.size):
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(
-                    child_conn,
-                    rank,
-                    self.size,
-                    self.backend.shm_threshold_bytes,
-                    req.fn,
-                    tuple(req.args),
-                    dict(req.kwargs),
-                    tuple(req.layers),
-                    req.attempt,
-                    req.store is not None,
-                    epoch,
-                    self.tracing,
-                ),
-                name=f"spmd-rank-{rank}",
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            self.conns.append(parent_conn)
-            self.alive[parent_conn] = rank
-            procs.append(proc)
+            self._spawn(rank)
 
         grace = (self.timeout + 1.0) if self.timeout is not None else 5.0
         while self.alive and len(self.completed) < self.size:
@@ -582,9 +847,9 @@ class _Router:
                 self.dispatch(rank, conn, msg)
 
         deadline = time.perf_counter() + grace
-        for proc in procs:
+        for proc in self.procs:
             proc.join(max(0.0, deadline - time.perf_counter()))
-        for proc in procs:
+        for proc in self.procs:
             if proc.is_alive():
                 proc.terminate()
                 proc.join(1.0)
@@ -592,14 +857,19 @@ class _Router:
                 proc.kill()
                 proc.join(1.0)
         wall_seconds = time.perf_counter() - t0
+        if self.rollback_t0 is not None:
+            # A rollback was still in flight when the attempt resolved.
+            self.replacement_seconds += time.perf_counter() - self.rollback_t0
+            self.rollback_t0 = None
         for conn in self.conns:
             try:
                 conn.close()
             except OSError:
                 pass
-        # Sweep the not-yet-freed rounds (the run's last round, plus any
-        # partial round a dead or aborted worker left behind).
-        for name in self.prev_round_names | self.cur_round_names:
+        # Sweep the not-yet-freed rounds (the run's last round, any partial
+        # round a dead or aborted worker left behind, and rounds parked by
+        # an unfinished rollback).
+        for name in self.prev_round_names | self.cur_round_names | self.stale_round_names:
             unlink_by_name(name)
 
         failed_rank = self.failed_rank
@@ -612,6 +882,10 @@ class _Router:
             for outcome in self.outcomes:
                 if outcome is not None:
                     lost.merge(outcome.stats)
+        elif self.replacements:
+            # The attempt succeeded, but the rolled-back generations'
+            # traffic (reported with each rb-ack) was still thrown away.
+            lost.merge(self.err_stats)
         return AttemptResult(
             self.outcomes,
             wall_seconds,
@@ -619,6 +893,11 @@ class _Router:
             failure=self.failures.get(failed_rank) if failed_rank is not None else None,
             artifact=artifact,
             lost_stats=lost,
+            replacements=self.replacements,
+            replaced_ranks=list(self.replaced_ranks),
+            replacement_seconds=self.replacement_seconds,
+            replacement_artifacts=list(self.replacement_artifacts),
+            replacement_failures=list(self.replacement_failures),
         )
 
 

@@ -32,6 +32,7 @@ simulated faults.
 from __future__ import annotations
 
 import threading
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -47,15 +48,40 @@ from repro.parallel.layers import CommLayer, normalize_layers
 from repro.parallel.stats import CommStats
 
 
-class CheckpointStore:
-    """In-memory checkpoint slot surviving across restart attempts.
+class CheckpointStore(ABC):
+    """A checkpoint slot surviving across restart attempts.
 
     Rank programs call :meth:`save` (typically only the gather root passes
     a non-``None`` payload) and :meth:`load` to resume.  The store lives in
     the driver, outside the rank threads or processes, so it survives a
     failed attempt; under the process backend workers talk to it through
     a proxy and payloads must be picklable.
+
+    Implementations: :class:`MemoryCheckpointStore` (volatile, free) and
+    :class:`~repro.io.store.DiskCheckpointStore` (durable generation
+    directories with crash-consistent commits and integrity fallback).
     """
+
+    @abstractmethod
+    def save(self, payload: Any) -> None:
+        """Record ``payload`` as the latest checkpoint (``None`` is a no-op)."""
+
+    @abstractmethod
+    def load(self) -> Any:
+        """Latest checkpoint payload, or ``None`` if nothing was saved."""
+
+    @property
+    def octants(self) -> int:
+        """Global octant count of the stored checkpoint (0 if not a forest)."""
+        try:
+            payload = self.load()
+        except Exception:  # noqa: BLE001 - accounting must never mask recovery
+            return 0
+        return int(getattr(payload, "global_octants", 0) or 0)
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """In-memory checkpoint slot: survives attempts, not the process."""
 
     def __init__(self) -> None:
         """Create an empty store."""
@@ -83,6 +109,21 @@ class CheckpointStore:
             return int(getattr(self._payload, "global_octants", 0) or 0)
 
 
+def _failure_description(rank: Optional[int], exc: Optional[BaseException]) -> str:
+    """One line naming a failed rank and its full exception chain."""
+    who = f"rank {rank}" if rank is not None else "unattributed rank"
+    if exc is None:
+        return f"{who}: unknown failure"
+    parts = [repr(exc)]
+    seen = {id(exc)}
+    cause = exc.__cause__
+    while cause is not None and id(cause) not in seen:
+        parts.append(repr(cause))
+        seen.add(id(cause))
+        cause = cause.__cause__
+    return f"{who}: " + " <- ".join(parts)
+
+
 @dataclass
 class RecoveryReport:
     """Structured accounting of a recovering (``recover=True``) run."""
@@ -97,19 +138,35 @@ class RecoveryReport:
     wall_seconds_lost: float = 0.0  # wall time of the failed attempts
     lost_stats: CommStats = field(default_factory=CommStats)
     artifacts: List[str] = field(default_factory=list)  # flight-recorder dumps
+    replacements: int = 0  # dead workers respawned in place (no teardown)
+    replaced_ranks: List[int] = field(default_factory=list)
+    replacement_seconds: float = 0.0  # total time-to-recover of replacements
+    shrinks: int = 0  # retries that dropped a rank
+    full_retries: int = 0  # retries at the same rank count
+    failures: List[str] = field(default_factory=list)  # per-event descriptions
 
     def summary(self) -> str:
         """One-line human-readable account of the recovery history."""
         ranks = ",".join(str(r) for r in self.ranks_lost) or "-"
-        return (
-            f"attempts {self.attempts} (recoveries {self.recoveries}), "
-            f"ranks lost [{ranks}], size {self.initial_size}->{self.final_size}, "
+        text = (
+            f"attempts {self.attempts} (recoveries {self.recoveries}: "
+            f"{self.shrinks} shrink, {self.full_retries} retry; "
+            f"{self.replacements} in-place replacements"
+        )
+        if self.replacements:
+            text += f" in {self.replacement_seconds:.3f}s"
+        text += (
+            f"), ranks lost [{ranks}], "
+            f"size {self.initial_size}->{self.final_size}, "
             f"checkpoints used {self.checkpoints_used}, "
             f"octants repartitioned {self.octants_repartitioned}, "
             f"wall lost {self.wall_seconds_lost:.3f}s, "
             f"lost messages {self.lost_stats.total_messages}, "
             f"lost bytes {self.lost_stats.total_bytes}"
         )
+        if self.failures:
+            text += f"; last failure: {self.failures[-1]}"
+        return text
 
 
 @dataclass
@@ -138,6 +195,18 @@ class RunConfig:
         failed attempts are retried from the last checkpoint, dropping
         one rank per failure when ``shrink_on_failure`` is set (never
         below ``min_size``).
+    ``store``
+        The run's default :class:`CheckpointStore` (an explicit
+        ``Machine.run(..., store=)`` argument wins).  ``None`` means a
+        fresh :class:`MemoryCheckpointStore` per recovering run; pass a
+        :class:`~repro.io.store.DiskCheckpointStore` for durability
+        across driver crashes.
+    ``max_replacements``
+        Process backend only: how many dead workers one attempt may
+        respawn *in place* (surviving workers roll back to the last
+        checkpoint without teardown) before falling back to the
+        shrink/retry path.  0 (the default) disables warm replacement;
+        the thread backend ignores it.  See ``docs/BACKENDS.md``.
     ``start_method`` / ``shm_threshold_bytes``
         Process-backend tuning: the :mod:`multiprocessing` start method
         (``"spawn"`` is the portable default; ``"fork"`` is much faster
@@ -154,6 +223,8 @@ class RunConfig:
     max_retries: int = 3
     shrink_on_failure: bool = False
     min_size: int = 1
+    store: Optional[CheckpointStore] = None
+    max_replacements: int = 0
     start_method: str = "spawn"
     shm_threshold_bytes: int = 1 << 16
 
@@ -168,6 +239,13 @@ class RunConfig:
         self.layers = normalize_layers(self.layers)
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.max_replacements < 0:
+            raise ValueError("max_replacements must be >= 0")
+        if self.store is not None and not (
+            callable(getattr(self.store, "save", None))
+            and callable(getattr(self.store, "load", None))
+        ):
+            raise TypeError("store must provide save(payload) and load()")
         if not 1 <= self.min_size <= self.size:
             raise ValueError("min_size must be in [1, size]")
         if self.timeout is not None and self.timeout <= 0:
@@ -234,6 +312,8 @@ class Machine:
         :class:`RecoveryReport`.
         """
         cfg = self.config
+        if store is None:
+            store = cfg.store
         if cfg.recover:
             return self._run_recovering(fn, args, kwargs, store)
         request = AttemptRequest(
@@ -244,12 +324,35 @@ class Machine:
             layers=cfg.layers,
             timeout=cfg.timeout,
             store=store,
+            max_replacements=cfg.max_replacements,
         )
         result = self._backend.run_attempt(request)
         if result.failed:
             result.raise_failure()
         report = result.report()
-        return RunResult(report.values, report, None)
+        recovery = None
+        if result.replacements:
+            # A plain run that silently replaced dead workers still
+            # surfaces the fact: the caller gets an accounting report.
+            recovery = RecoveryReport(initial_size=cfg.size, final_size=cfg.size)
+            self._merge_replacements(recovery, result)
+        return RunResult(report.values, report, recovery)
+
+    @staticmethod
+    def _merge_replacements(recovery: RecoveryReport, result: Any) -> None:
+        """Fold one attempt's in-place replacement accounting into the report."""
+        if not result.replacements:
+            return
+        recovery.replacements += result.replacements
+        recovery.replaced_ranks.extend(result.replaced_ranks)
+        recovery.ranks_lost.extend(result.replaced_ranks)
+        recovery.replacement_seconds += result.replacement_seconds
+        recovery.artifacts.extend(result.replacement_artifacts)
+        recovery.failures.extend(result.replacement_failures)
+        if not result.failed:
+            # Rolled-back traffic of the surviving workers is lost work
+            # even though the attempt ultimately succeeded.
+            recovery.lost_stats.merge(result.lost_stats)
 
     def _run_recovering(
         self,
@@ -261,7 +364,7 @@ class Machine:
         """The checkpoint/shrink/retry loop shared by every backend."""
         cfg = self.config
         if store is None:
-            store = CheckpointStore()
+            store = MemoryCheckpointStore()
         recovery = RecoveryReport(initial_size=cfg.size, final_size=cfg.size)
         cur_size = cfg.size
         attempt_idx = 0
@@ -275,8 +378,10 @@ class Machine:
                 attempt=attempt_idx,
                 timeout=cfg.timeout,
                 store=store,
+                max_replacements=cfg.max_replacements,
             )
             result = self._backend.run_attempt(request)
+            self._merge_replacements(recovery, result)
             if not result.failed:
                 recovery.final_size = cur_size
                 report = result.report()
@@ -285,6 +390,9 @@ class Machine:
             recovery.recoveries += 1
             recovery.wall_seconds_lost += result.wall_seconds
             recovery.lost_stats.merge(result.lost_stats)
+            recovery.failures.append(
+                _failure_description(result.failed_rank, result.failure)
+            )
             if result.artifact is not None:
                 recovery.artifacts.append(result.artifact)
             if result.failed_rank is not None:
@@ -292,10 +400,17 @@ class Machine:
             if attempt_idx >= cfg.max_retries:
                 recovery.attempts = attempt_idx + 1
                 result.raise_failure()
-            if store.load() is not None:
+            try:
+                has_checkpoint = store.load() is not None
+            except Exception:  # noqa: BLE001 - a corrupt store must not wedge retry
+                has_checkpoint = False
+            if has_checkpoint:
                 recovery.checkpoints_used += 1
                 recovery.octants_repartitioned += store.octants
             if cfg.shrink_on_failure and cur_size > cfg.min_size:
                 cur_size -= 1
+                recovery.shrinks += 1
+            else:
+                recovery.full_retries += 1
             attempt_idx += 1
             recovery.attempts = attempt_idx + 1

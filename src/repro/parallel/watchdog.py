@@ -320,6 +320,20 @@ class HangWatchdog:
                 return self._attempt_artifact
         return self.dump(reason)
 
+    def dump_replacement(self, dead_ranks: List[int], generation: int) -> str:
+        """Dump the pre-rollback heartbeat table for a warm replacement.
+
+        Called by the process backend's router *before* it resets the
+        per-rank state for the new rollback generation, so the artifact
+        shows exactly where every rank was when the dead worker was
+        detected.  Unlike :meth:`dump_for_failure` this always writes a
+        fresh artifact — each replacement event gets its own dump.
+        """
+        return self.dump(
+            "replacement",
+            extra={"dead_ranks": list(dead_ranks), "rollback_generation": generation},
+        )
+
     # Timeout hook (called by the machine's barrier wait) -------------------
 
     def on_timeout(self, reporter_rank: int, shared: Any) -> None:

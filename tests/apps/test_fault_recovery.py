@@ -11,7 +11,7 @@ import pytest
 
 from repro.apps.advection.driver import AdvectionConfig, AdvectionRun
 from repro.parallel import (
-    CheckpointStore,
+    MemoryCheckpointStore,
     FaultPlan,
     Faults,
     FaultyComm,
@@ -47,7 +47,7 @@ def _advect(comm, store):
 def fault_free():
     """Reference run, also measuring the per-rank collective call count."""
     out = spmd(
-        P, lambda c: _advect(FaultyComm(c, FaultPlan([])), CheckpointStore())
+        P, lambda c: _advect(FaultyComm(c, FaultPlan([])), MemoryCheckpointStore())
     )
     return out[0]
 
@@ -85,7 +85,7 @@ def test_advection_checkpoint_restores_across_rank_counts():
     cfg = _config()
 
     def first_leg(comm):
-        store = CheckpointStore()
+        store = MemoryCheckpointStore()
         run = AdvectionRun(comm, cfg, store=store)
         run.run(cfg.adapt_every)
         return store.load(), run.global_elements(), round(run.mass(), 12)

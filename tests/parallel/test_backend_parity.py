@@ -14,7 +14,7 @@ coverage is in ``test_process_backend.py``.
 import numpy as np
 import pytest
 
-from repro.parallel import CheckpointStore, Machine, RunConfig, SpmdError, Trace
+from repro.parallel import Machine, MemoryCheckpointStore, RunConfig, SpmdError, Trace
 from tests.parallel.test_stress_invariants import run_phases
 
 pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
@@ -88,7 +88,7 @@ def test_advection_step_parity_with_phase_attribution():
     )
 
     def advect(comm):
-        run = AdvectionRun.from_store(comm, CheckpointStore(), config)
+        run = AdvectionRun.from_store(comm, MemoryCheckpointStore(), config)
         run.run(3)
         return run.l2_error(), run.mass(), run.global_elements()
 

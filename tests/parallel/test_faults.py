@@ -237,3 +237,25 @@ def test_fault_plan_json_behaves_identically():
     with pytest.raises(SpmdError) as b:
         run(2, prog, wire)
     assert a.value.failed_rank == b.value.failed_rank == 1
+
+
+def test_die_degrades_to_soft_crash_outside_process_backend():
+    # On the thread backend a real SIGKILL would take the driver down, so
+    # the die fault must degrade to an InjectedFailure (still attributed).
+    from repro.parallel import Machine, RunConfig
+    from repro.parallel.faults import DIE
+
+    plan = FaultPlan.die(rank=0, at_call=1)
+    assert plan.faults[0].kind == DIE
+
+    def prog(comm):
+        faulty = FaultyComm(comm, plan)
+        faulty.barrier()
+        faulty.barrier()
+        return True
+
+    with pytest.raises(SpmdError) as ei:
+        Machine(RunConfig(size=2, backend="thread")).run(prog)
+    assert ei.value.failed_rank == 0
+    assert isinstance(ei.value.__cause__, InjectedFailure)
+    assert "degraded" in str(ei.value.__cause__)

@@ -18,10 +18,13 @@ import numpy as np
 import pytest
 
 from repro.parallel import (
-    CheckpointStore,
     CollectiveMismatchError,
+    FaultPlan,
+    Faults,
+    FaultyComm,
     HangWatchdog,
     Machine,
+    MemoryCheckpointStore,
     RunConfig,
     Sanitize,
     SpmdError,
@@ -142,3 +145,163 @@ def test_shm_segments_freed_after_worker_death():
     with pytest.raises(SpmdError):
         Machine(_pconfig(2, shm_threshold_bytes=1024, timeout=30.0)).run(prog)
     assert _shm_segments() == before
+
+
+# Warm rank replacement ------------------------------------------------------
+
+
+def _ckpt_program(comm, store):
+    """Checkpointed loop every replacement test replays (bit-exact target)."""
+    ck = store.load()
+    start = ck["i"] if ck else 0
+    total = ck["acc"] if ck else 0
+    for i in range(start, 6):
+        total += comm.allreduce(i + comm.rank)
+        if comm.rank == 0:
+            store.save({"i": i + 1, "acc": total})
+    return total
+
+
+def _baseline_values():
+    return Machine(RunConfig(size=2, backend="thread")).run(
+        _ckpt_program, store=MemoryCheckpointStore()
+    ).values
+
+
+def _die_on_attempt(schedule):
+    """Kill ``schedule[attempt]`` = (rank, at_call) once per generation."""
+
+    def wrapper(comm, attempt):
+        if attempt in schedule:
+            rank, at_call = schedule[attempt]
+            return FaultyComm(comm, FaultPlan.die(rank, at_call))
+        return comm
+
+    return wrapper
+
+
+def test_warm_replacement_recovers_in_place(tmp_path):
+    before = _shm_segments()
+    wd = HangWatchdog(timeout=20.0, artifact_dir=str(tmp_path))
+    cfg = _pconfig(
+        2,
+        max_replacements=2,
+        timeout=20.0,
+        layers=[Faults(wrapper=_die_on_attempt({0: (1, 3)})), Sanitize(), Watchdog(wd)],
+    )
+    res = Machine(cfg).run(_ckpt_program, store=MemoryCheckpointStore())
+    assert res.values == _baseline_values()
+    rec = res.recovery
+    assert rec is not None
+    assert rec.replacements == 1 and rec.recoveries == 0
+    assert rec.replaced_ranks == [1]
+    assert rec.final_size == rec.initial_size == 2
+    assert rec.replacement_seconds > 0
+    assert "replaced in place" in rec.summary()
+    assert _shm_segments() == before
+    # The watchdog dumped a flight-recorder artifact for the replacement.
+    dumps = [a for a in rec.artifacts if os.path.exists(a)]
+    assert dumps
+    payload = json.load(open(dumps[0]))
+    assert payload["reason"] == "replacement"
+    assert payload["dead_ranks"] == [1]
+    assert payload["rollback_generation"] == 1
+
+
+def test_nested_rollbacks_within_one_attempt():
+    # Rank 1 dies in generation 0; its replacement machine then loses
+    # rank 0 in generation 1.  Both are replaced in place, no teardown.
+    cfg = _pconfig(
+        2,
+        max_replacements=2,
+        timeout=20.0,
+        layers=[
+            Faults(wrapper=_die_on_attempt({0: (1, 3), 1: (0, 1)})),
+            Sanitize(),
+            Watchdog(timeout=20.0),
+        ],
+    )
+    res = Machine(cfg).run(_ckpt_program, store=MemoryCheckpointStore())
+    assert res.values == _baseline_values()
+    assert res.recovery.replacements == 2
+    assert sorted(res.recovery.replaced_ranks) == [0, 1]
+    assert res.recovery.recoveries == 0
+
+
+def test_death_without_budget_falls_back_to_recover_loop():
+    cfg = _pconfig(
+        2,
+        recover=True,
+        max_retries=2,
+        timeout=20.0,
+        layers=[Faults(wrapper=_die_on_attempt({0: (1, 2)})), Watchdog(timeout=20.0)],
+    )
+    res = Machine(cfg).run(_ckpt_program)
+    assert res.values == _baseline_values()
+    rec = res.recovery
+    assert rec.replacements == 0
+    assert rec.recoveries == 1 and rec.full_retries == 1
+    assert rec.ranks_lost == [1]
+
+
+def test_replacement_budget_exhaustion_falls_back():
+    # Budget of 1 per attempt: the first death is replaced, the second
+    # aborts the attempt; the recover loop retries, and the retry (a
+    # fresh attempt with a fresh budget) replaces its own death again.
+    cfg = _pconfig(
+        2,
+        recover=True,
+        max_retries=2,
+        max_replacements=1,
+        timeout=20.0,
+        layers=[
+            Faults(wrapper=_die_on_attempt({0: (1, 3), 1: (0, 1)})),
+            Watchdog(timeout=20.0),
+        ],
+    )
+    res = Machine(cfg).run(_ckpt_program, store=MemoryCheckpointStore())
+    assert res.values == _baseline_values()
+    assert res.recovery.replacements == 2
+    assert res.recovery.recoveries == 1
+
+
+def test_replacement_shm_hygiene_with_large_payloads():
+    before = _shm_segments()
+
+    def prog(comm, store):
+        first = comm.bcast(store.load() is None, root=0)
+        if comm.rank == 0:
+            store.save("started")
+        arr = np.full(16384, float(comm.rank))
+        for i in range(4):
+            rows = comm.allgather(arr)  # shm-backed at this threshold
+            if first and i == 2 and comm.rank == 1:
+                os.kill(os.getpid(), signal.SIGKILL)
+        return float(sum(r.sum() for r in rows))
+
+    cfg = _pconfig(
+        2, max_replacements=1, shm_threshold_bytes=1024, timeout=20.0
+    )
+    res = Machine(cfg).run(prog, store=MemoryCheckpointStore())
+    assert res.values == [16384.0, 16384.0]
+    assert res.recovery.replacements == 1
+    assert _shm_segments() == before
+
+
+def test_cause_chain_survives_the_process_boundary():
+    def prog(comm):
+        comm.barrier()
+        if comm.rank == 1:
+            try:
+                raise KeyError("inner detail")
+            except KeyError as exc:
+                raise ValueError("outer failure") from exc
+        comm.barrier()
+        return True
+
+    with pytest.raises(SpmdError) as ei:
+        Machine(_pconfig(2, timeout=30.0)).run(prog)
+    assert ei.value.failed_rank == 1
+    cause = ei.value.__cause__
+    assert isinstance(cause, ValueError) and "outer failure" in str(cause)
+    assert isinstance(cause.__cause__, KeyError)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.parallel import (
     SUM,
-    CheckpointStore,
+    MemoryCheckpointStore,
     FaultPlan,
     Faults,
     FaultyComm,
@@ -84,7 +84,7 @@ def test_combine_failure_surfaces_true_cause():
 
 
 def test_checkpoint_store_roundtrip_and_none_noop():
-    store = CheckpointStore()
+    store = MemoryCheckpointStore()
     assert store.load() is None
     store.save(None)
     assert store.saves == 0
@@ -114,7 +114,7 @@ def _counting_work(comm, store, crash_plan=None, until=9):
 
 def test_resilient_run_without_failures():
     res = run_recovering(3, _counting_work)
-    clean = run(3, lambda c: _counting_work(c, CheckpointStore()))
+    clean = run(3, lambda c: _counting_work(c, MemoryCheckpointStore()))
     assert res.values == clean
     assert res.recovery.attempts == 1
     assert res.recovery.recoveries == 0
@@ -130,7 +130,7 @@ def test_resilient_run_recovers_from_checkpoint():
         max_retries=2,
         layers=[Faults(wrapper=lambda c, a: FaultyComm(c, plan) if a == 0 else c)],
     )
-    clean = run(4, lambda c: _counting_work(c, CheckpointStore()))
+    clean = run(4, lambda c: _counting_work(c, MemoryCheckpointStore()))
     assert res.values == clean
     rec = res.recovery
     assert rec.attempts == 2
@@ -215,3 +215,43 @@ def test_merged_stats_uses_commstats_merge():
     twice = type(solo)().merge(solo).merge(solo)
     assert twice.ops["allreduce"].calls == 2 * solo.ops["allreduce"].calls
     assert twice.total_bytes == 2 * solo.total_bytes
+
+
+def test_summary_names_the_failed_rank_and_cause():
+    plan = FaultPlan.crash(rank=1, at_call=3)
+
+    def _work(comm, store):
+        total = store.load() or 0
+        for i in range(5):
+            total += comm.allreduce(1, SUM)
+            if comm.rank == 0:
+                store.save(total)
+        return total
+
+    res = run_recovering(
+        2,
+        _work,
+        max_retries=2,
+        layers=[Faults(wrapper=lambda c, a: FaultyComm(c, plan) if a == 0 else c)],
+    )
+    rec = res.recovery
+    assert rec.failures, "every recovery event must leave a failure description"
+    assert "rank 1" in rec.failures[-1]
+    assert "InjectedFailure" in rec.failures[-1]
+    assert "last failure: rank 1" in rec.summary()
+
+
+def test_failure_description_includes_cause_chain():
+    from repro.parallel.run import _failure_description
+
+    try:
+        try:
+            raise KeyError("root cause")
+        except KeyError as inner:
+            raise ValueError("wrapper") from inner
+    except ValueError as exc:
+        text = _failure_description(1, exc)
+    assert text.startswith("rank 1: ")
+    assert "ValueError('wrapper')" in text
+    assert " <- " in text and "KeyError('root cause')" in text
+    assert _failure_description(None, None) == "unattributed rank: unknown failure"

@@ -4,7 +4,7 @@ import pytest
 
 from repro.parallel import (
     MAX_RANKS,
-    CheckpointStore,
+    MemoryCheckpointStore,
     FaultPlan,
     FaultyComm,
     Machine,
@@ -76,7 +76,7 @@ def test_machine_forwards_args_and_kwargs():
 
 
 def test_machine_explicit_store_without_recover():
-    store = CheckpointStore()
+    store = MemoryCheckpointStore()
 
     def prog(comm, st):
         st.save({"from": comm.rank} if comm.rank == 0 else None)

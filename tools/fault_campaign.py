@@ -1,0 +1,458 @@
+"""Fault-injection campaign: prove the machine recovers from every site.
+
+A two-pass harness over a seeded AMR scenario (build a brick forest,
+then refine / balance / partition cycles with per-cycle checkpoints):
+
+1. **Recording pass** — the scenario runs fault-free on the thread
+   backend under a recording communicator that enumerates every
+   collective call site ``(rank, call index, op, phase)`` and collects
+   the *golden trace*: the forest checksum and checkpoint wire hash
+   after every cycle, plus the final state.
+2. **Campaign pass** — for every requested backend and fault kind
+   (``crash``, ``die``, ``corrupt``, ``truncate``, ``delay``), a
+   scenario is launched per enumerated site with exactly one fault
+   injected there on attempt 0, under the full observability stack
+   (sanitizer + watchdog) and the self-healing policy
+   (``recover=True``; on the process backend also a warm-replacement
+   budget, so ``die`` faults exercise in-place respawn).
+
+Every scenario must end in one of the acceptable terminal states:
+
+* **bit-exact recovery** — the run completes and the final forest
+  checksum, element count, and level histogram equal the fault-free
+  baseline (the scenario re-validates forest invariants every cycle);
+* **typed, rank-attributed error** — the run raises
+  :class:`~repro.parallel.backend.SpmdError` naming the failed rank.
+
+Anything else — a silently wrong final state, an untyped escape, a
+stranded ``/dev/shm`` segment, a recovery without a flight-recorder
+artifact — fails the campaign.  The full matrix is written as a JSON
+report.
+
+Usage::
+
+    PYTHONPATH=src python tools/fault_campaign.py \
+        --backends thread,process --ranks 2 --budget 40 \
+        --out fault_campaign.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.p4est.balance import balance
+from repro.p4est.builders import brick_2d
+from repro.p4est.checkpoint import restore
+from repro.p4est.checkpoint import save as p4save
+from repro.p4est.forest import Forest, octants_to_wire
+from repro.parallel import (
+    FaultPlan,
+    Faults,
+    FaultyComm,
+    Machine,
+    MemoryCheckpointStore,
+    RunConfig,
+    Sanitize,
+    SpmdError,
+    Watchdog,
+)
+from repro.parallel.comm import Comm
+from repro.parallel.faults import CORRUPT, CRASH, DELAY, DIE, TRUNCATE, Fault
+from repro.parallel.ops import SUM, ReduceOp
+from repro.trace.tracer import current_phase_path
+
+CYCLES = 2
+MAX_LEVEL = 3
+TIMEOUT = 15.0
+
+
+class CorruptionDetected(RuntimeError):
+    """Typed in-run detection of a corrupted collective or checkpoint."""
+
+    def __init__(self, rank: int, where: str) -> None:
+        """Attribute the detection to ``rank`` at checkpoint ``where``."""
+        super().__init__(f"rank {rank}: corruption detected at {where}")
+        self.rank = rank
+        self.where = where
+
+
+# The seeded scenario ---------------------------------------------------------
+
+
+def _wire_hash(wire: np.ndarray) -> str:
+    """Content hash of a checkpoint's global wire array."""
+    return hashlib.blake2b(
+        np.ascontiguousarray(wire).tobytes(), digest_size=16
+    ).hexdigest()
+
+
+def _refine_mask(forest: Forest, cycle: int) -> np.ndarray:
+    """Deterministic, partition-independent refinement marks for ``cycle``."""
+    wire = octants_to_wire(forest.local)
+    if not len(wire):
+        return np.zeros(0, dtype=bool)
+    key = wire[:, 0] * 7 + (wire[:, 1] >> 4) + wire[:, 2] + 3 * cycle
+    return (key % 3) == 0
+
+
+def scenario(comm: Comm, store: Any, golden: Optional[Dict[str, list]] = None):
+    """The seeded rank program: adapt cycles with guarded checkpoints.
+
+    With ``golden=None`` the program records the golden trace (fault-free
+    recording pass).  Otherwise every cycle's forest checksum — and, on
+    the gather root, the committed checkpoint's wire hash — is compared
+    against the golden trace; any deviation raises the typed
+    :class:`CorruptionDetected`, turning silent corruption into a
+    recoverable, rank-attributed failure.
+    """
+    recording = golden is None
+    trace: Dict[str, list] = {"csum": [], "wire": [], "levels": []}
+    conn = brick_2d(2, 1)
+    ck = store.load()
+    if ck is not None:
+        forest, _, meta = restore(conn, comm, ck)
+        start = int(meta["cycle"])
+    else:
+        forest = Forest.new(conn, comm, level=1)
+        start = 0
+    for cycle in range(start, CYCLES):
+        forest.refine(mask=_refine_mask(forest, cycle), maxlevel=MAX_LEVEL)
+        balance(forest)
+        forest.partition()
+        forest.validate()
+        csum = forest.checksum()
+        if recording:
+            trace["csum"].append(csum)
+        elif csum != golden["csum"][cycle]:
+            raise CorruptionDetected(comm.rank, f"cycle {cycle} forest checksum")
+        ckpt = p4save(forest, meta={"cycle": cycle + 1})
+        if ckpt is not None:  # the gather root guards what gets committed
+            wh = _wire_hash(ckpt.wire)
+            if recording:
+                trace["wire"].append(wh)
+            elif wh != golden["wire"][cycle]:
+                raise CorruptionDetected(
+                    comm.rank, f"cycle {cycle} checkpoint wire hash"
+                )
+        store.save(ckpt)
+    forest.validate()
+    # The final read-out collectives are fault sites too: verify them
+    # against the golden trace so a corrupted diagnostic can never be
+    # reported as a clean result.
+    final_csum = forest.checksum()
+    if not recording and final_csum != golden["csum"][-1]:
+        raise CorruptionDetected(comm.rank, "final forest checksum")
+    levels = tuple(int(x) for x in forest.levels_histogram())
+    if recording:
+        trace["levels"] = list(levels)
+    elif list(levels) != list(golden["levels"]):
+        raise CorruptionDetected(comm.rank, "final level histogram")
+    final = {
+        "checksum": final_csum,
+        "elements": forest.global_count,
+        "levels": levels,
+    }
+    return {"final": final, "trace": trace if recording else None}
+
+
+# Recording pass --------------------------------------------------------------
+
+
+class _RecordingComm(Comm):
+    """A :class:`Comm` decorator that enumerates this rank's call sites."""
+
+    def __init__(self, inner: Comm, recorder: "RecordingWrapper") -> None:
+        self.inner = inner
+        self.recorder = recorder
+        self.rank = inner.rank
+        self.size = inner.size
+        self.stats = inner.stats
+        self.calls = 0
+
+    def _note(self, op: str) -> None:
+        self.recorder.note(self.rank, self.calls, op, current_phase_path())
+        self.calls += 1
+
+    def barrier(self) -> None:
+        """Recorded :meth:`Comm.barrier`."""
+        self._note("barrier")
+        self.inner.barrier()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Recorded :meth:`Comm.bcast`."""
+        self._note("bcast")
+        return self.inner.bcast(obj, root=root)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        """Recorded :meth:`Comm.gather`."""
+        self._note("gather")
+        return self.inner.gather(obj, root=root)
+
+    def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
+        """Recorded :meth:`Comm.scatter`."""
+        self._note("scatter")
+        return self.inner.scatter(objs, root=root)
+
+    def allgather(self, obj: Any) -> List[Any]:
+        """Recorded :meth:`Comm.allgather`."""
+        self._note("allgather")
+        return self.inner.allgather(obj)
+
+    def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Recorded :meth:`Comm.allreduce`."""
+        self._note("allreduce")
+        return self.inner.allreduce(value, op)
+
+    def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Recorded :meth:`Comm.exscan`."""
+        self._note("exscan")
+        return self.inner.exscan(value, op)
+
+    def scan(self, value: Any, op: ReduceOp = SUM) -> Any:
+        """Recorded :meth:`Comm.scan`."""
+        self._note("scan")
+        return self.inner.scan(value, op)
+
+    def alltoall(self, objs: List[Any]) -> List[Any]:
+        """Recorded :meth:`Comm.alltoall`."""
+        self._note("alltoall")
+        return self.inner.alltoall(objs)
+
+    def exchange(self, outbox: Dict[int, Any]) -> Dict[int, Any]:
+        """Recorded :meth:`Comm.exchange`."""
+        self._note("exchange")
+        return self.inner.exchange(outbox)
+
+
+class RecordingWrapper:
+    """``Faults(wrapper=...)`` hook collecting every rank's call sites."""
+
+    def __init__(self) -> None:
+        """Create an empty, thread-safe site log."""
+        self._lock = threading.Lock()
+        self.records: List[Tuple[int, int, str, str]] = []
+
+    def __call__(self, comm: Comm, attempt: int) -> Comm:
+        """Wrap one rank's communicator for recording."""
+        return _RecordingComm(comm, self)
+
+    def note(self, rank: int, call: int, op: str, phase: str) -> None:
+        """Log one call site."""
+        with self._lock:
+            self.records.append((rank, call, op, phase))
+
+
+class AttemptZeroFaults:
+    """``Faults(wrapper=...)`` hook injecting a plan on attempt 0 only.
+
+    Module-level (picklable) so process-backend workers can carry it;
+    retries and post-replacement re-entries run fault-free, which keeps
+    every restore path clean.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        """Bind the fault plan to inject."""
+        self.plan = plan
+
+    def __call__(self, comm: Comm, attempt: int) -> Comm:
+        """Fault-wrap attempt 0; later attempts get the bare comm."""
+        return FaultyComm(comm, self.plan) if attempt == 0 else comm
+
+
+def record_sites(ranks: int) -> Tuple[Dict[str, Any], Dict[Tuple[int, int], Dict]]:
+    """Fault-free recording pass: golden trace, baseline, and site map."""
+    recorder = RecordingWrapper()
+    machine = Machine(
+        RunConfig(size=ranks, backend="thread", layers=[Faults(wrapper=recorder)])
+    )
+    res = machine.run(scenario, None, store=MemoryCheckpointStore())
+    out = res.values[0]
+    sites = {
+        (rank, call): {"op": op, "phase": phase}
+        for rank, call, op, phase in recorder.records
+    }
+    return {"golden": out["trace"], "baseline": out["final"]}, sites
+
+
+# Campaign pass ---------------------------------------------------------------
+
+
+def _shm_listing() -> set:
+    """Names currently present in ``/dev/shm`` (empty off Linux)."""
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:
+        return set()
+
+
+def run_scenario(
+    backend: str,
+    ranks: int,
+    fault: Fault,
+    golden: Dict[str, list],
+    baseline: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Launch one faulted scenario and classify its terminal state."""
+    watchdog = Watchdog(timeout=TIMEOUT)
+    cfg_kwargs: Dict[str, Any] = {}
+    if backend == "process":
+        cfg_kwargs["start_method"] = "fork"
+        cfg_kwargs["max_replacements"] = 2
+    cfg = RunConfig(
+        size=ranks,
+        backend=backend,
+        recover=True,
+        max_retries=3,
+        timeout=TIMEOUT,
+        layers=[
+            Faults(wrapper=AttemptZeroFaults(FaultPlan([fault]))),
+            Sanitize(),
+            watchdog,
+        ],
+        **cfg_kwargs,
+    )
+    shm_before = _shm_listing()
+    row: Dict[str, Any] = {
+        "backend": backend,
+        "kind": fault.kind,
+        "rank": fault.rank,
+        "call": fault.at_call,
+    }
+    t0 = time.perf_counter()
+    try:
+        res = Machine(cfg).run(scenario, golden, store=MemoryCheckpointStore())
+    except SpmdError as exc:
+        row["outcome"] = "typed-error"
+        row["error"] = repr(exc)
+        row["failed_rank"] = exc.failed_rank
+        if exc.failed_rank is None:
+            row["outcome"] = "unattributed-error"
+    except Exception as exc:  # noqa: BLE001 - anything untyped fails the campaign
+        row["outcome"] = "untyped-error"
+        row["error"] = repr(exc)
+    else:
+        final = res.values[0]["final"]
+        rec = res.recovery
+        row["recoveries"] = rec.recoveries if rec else 0
+        row["replacements"] = rec.replacements if rec else 0
+        row["bit_exact"] = final == baseline
+        if not row["bit_exact"]:
+            row["outcome"] = "silent-corruption"
+            row["error"] = f"final state {final} != baseline {baseline}"
+        elif rec and (rec.recoveries or rec.replacements):
+            row["outcome"] = "recovered"
+            row["artifacts"] = len(rec.artifacts)
+            if not rec.artifacts:
+                row["outcome"] = "missing-artifact"
+        else:
+            row["outcome"] = "benign"
+    row["seconds"] = round(time.perf_counter() - t0, 3)
+    leaked = sorted(_shm_listing() - shm_before)
+    if leaked:
+        row["outcome"] = "shm-leak"
+        row["leaked"] = leaked
+    return row
+
+
+_OK_OUTCOMES = {"recovered", "benign", "typed-error"}
+
+
+def run_campaign(
+    backends: List[str],
+    ranks: int,
+    kinds: Optional[List[str]],
+    budget: int,
+    out_path: str,
+    progress: Callable[[str], None] = lambda s: print(s, flush=True),
+) -> Dict[str, Any]:
+    """Record, enumerate, inject, and report; returns the report dict."""
+    bundle, sites = record_sites(ranks)
+    golden, baseline = bundle["golden"], bundle["baseline"]
+    site_list = sorted(sites)
+    progress(
+        f"recorded {len(site_list)} collective call sites over {ranks} ranks; "
+        f"baseline {baseline}"
+    )
+    results: List[Dict[str, Any]] = []
+    for backend in backends:
+        use_kinds = kinds or (
+            [CRASH, DIE, CORRUPT, TRUNCATE, DELAY]
+            if backend == "process"
+            else [CRASH, CORRUPT, TRUNCATE, DELAY]
+        )
+        scenarios = [
+            Fault(kind, rank, call, seconds=0.002 if kind == DELAY else 0.0)
+            for kind in use_kinds
+            for rank, call in site_list
+        ]
+        if budget and len(scenarios) > budget:
+            idx = np.linspace(0, len(scenarios) - 1, budget).astype(int)
+            scenarios = [scenarios[i] for i in sorted(set(idx.tolist()))]
+        progress(f"[{backend}] running {len(scenarios)} fault scenarios")
+        for i, fault in enumerate(scenarios):
+            row = run_scenario(backend, ranks, fault, golden, baseline)
+            row["op"] = sites[(fault.rank, fault.at_call)]["op"]
+            row["phase"] = sites[(fault.rank, fault.at_call)]["phase"]
+            results.append(row)
+            if row["outcome"] not in _OK_OUTCOMES:
+                progress(f"[{backend}] FAIL {row}")
+            elif (i + 1) % 20 == 0:
+                progress(f"[{backend}] {i + 1}/{len(scenarios)} done")
+    counts: Dict[str, int] = {}
+    for row in results:
+        counts[row["outcome"]] = counts.get(row["outcome"], 0) + 1
+    ok = all(row["outcome"] in _OK_OUTCOMES for row in results)
+    report = {
+        "ranks": ranks,
+        "backends": backends,
+        "cycles": CYCLES,
+        "sites": len(site_list),
+        "baseline": {k: str(v) for k, v in baseline.items()},
+        "scenarios": len(results),
+        "outcomes": counts,
+        "pass": ok,
+        "results": results,
+    }
+    with open(out_path, "w") as f:
+        json.dump(report, f, indent=1)
+    progress(f"campaign {'PASS' if ok else 'FAIL'}: {counts} -> {out_path}")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; exit status 1 on any unacceptable terminal state."""
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--backends", default="thread,process")
+    ap.add_argument("--ranks", type=int, default=2)
+    ap.add_argument(
+        "--kinds", default=None, help="comma list; default depends on backend"
+    )
+    ap.add_argument(
+        "--budget",
+        type=int,
+        default=48,
+        help="max scenarios per backend (0 = exhaustive)",
+    )
+    ap.add_argument("--out", default="fault_campaign.json")
+    args = ap.parse_args(argv)
+    report = run_campaign(
+        [b.strip() for b in args.backends.split(",") if b.strip()],
+        args.ranks,
+        [k.strip() for k in args.kinds.split(",")] if args.kinds else None,
+        args.budget,
+        args.out,
+    )
+    return 0 if report["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
