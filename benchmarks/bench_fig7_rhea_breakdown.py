@@ -63,6 +63,7 @@ def lab_config():
 
 def test_fig7_rhea_breakdown_table(benchmark):
     tracer = Tracer(0)
+    # spmdlint: ignore[SPMD006] -- single-rank trace harness: the bench owns the Tracer so it can activate/report around the workload.
     comm = TracingComm(SerialComm(), tracer)
 
     def workload():

@@ -56,6 +56,7 @@ class DieOnce:
 
     def __call__(self, comm, attempt):
         if attempt == 0:
+            # spmdlint: ignore[SPMD006] -- Faults(wrapper=) idiom: this callable IS the fault layer, invoked per attempt by the machine.
             return FaultyComm(comm, FaultPlan.die(1, DIE_AT_STEP))
         return comm
 

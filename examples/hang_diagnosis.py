@@ -1,3 +1,4 @@
+# spmdlint: exempt=SPMD001 -- deliberately divergent demo programs: triggering the sanitizer and watchdog is the point of this example.
 """Diagnosing mismatched collectives and hangs with the correctness layer.
 
 Two deliberately broken SPMD programs, each caught with a readable

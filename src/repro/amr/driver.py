@@ -19,6 +19,7 @@ from repro.mangll.transfer import transfer_nodal_fields
 from repro.p4est import checkpoint as forest_checkpoint
 from repro.p4est.balance import balance
 from repro.p4est.forest import Forest
+from repro.parallel.collectives import collective
 from repro.parallel.machine import CheckpointStore, MemoryCheckpointStore
 
 
@@ -55,6 +56,7 @@ class CheckpointPolicy:
         """Whether the next :meth:`after_adapt` call will checkpoint."""
         return self.every > 0 and (self.cycles + 1) % self.every == 0
 
+    @collective("method", "after_adapt")
     def after_adapt(
         self,
         forest: Forest,
@@ -70,6 +72,7 @@ class CheckpointPolicy:
         return True
 
 
+@collective("function", "adapt_and_rebalance")
 def adapt_and_rebalance(
     forest: Forest,
     refine_mask: np.ndarray,
@@ -152,7 +155,9 @@ def adapt_and_rebalance(
     ]
 
     weights = weights_fn(forest) if weights_fn is not None else None
-    if new_fields:
+    # Branch on the caller-supplied field list (uniform across ranks),
+    # not on the derived per-rank arrays.
+    if fields:
         moved, new_fields = forest.partition(weights=weights, carry=new_fields)
     else:
         moved = forest.partition(weights=weights)
@@ -178,6 +183,7 @@ def adapt_and_rebalance(
     return result, list(new_fields)
 
 
+@collective("function", "mark_fixed_fraction")
 def mark_fixed_fraction(
     indicator: np.ndarray,
     comm,

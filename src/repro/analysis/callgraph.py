@@ -1,0 +1,134 @@
+"""Per-module call graph and function summaries for the taint pass.
+
+The taint analysis is intraprocedural per function but consults
+*summaries* of the functions a call site can resolve to, computed to a
+fixpoint over each module:
+
+* ``performs_collective`` — the function (transitively) executes a
+  collective, so calling it *is* a collective call site for the
+  control-dependence rules.
+* ``intrinsic_taint`` — taint of the return value even when every
+  argument is clean (e.g. a helper that returns ``comm.rank``).
+* ``propagates`` — whether argument taint may flow to the return value
+  (assumed true; pure sinks could opt out later).
+
+Resolution is name-based and deliberately modest: module-level
+functions and ``self.method`` calls within the analyzed module resolve
+to their definitions; imported names resolve through the module's
+import table to dotted paths, which is how registry-listed collective
+functions (``repro.p4est.balance.balance`` et al.) are recognized even
+under aliasing.  Unresolvable calls conservatively propagate argument
+taint but are not treated as collective.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = ["FunctionInfo", "Summary", "ModuleIndex", "build_module_index", "dotted_path"]
+
+
+@dataclass
+class Summary:
+    """Fixpoint summary of one function's externally visible behavior."""
+
+    performs_collective: bool = False
+    #: name of the first collective the function reaches (for messages).
+    collective_via: str = ""
+    intrinsic_taint: FrozenSet[str] = frozenset()
+    propagates: bool = True
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed function: its AST, identity, and summary slot."""
+
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    qualname: str
+    class_name: Optional[str] = None
+    summary: Summary = field(default_factory=Summary)
+
+
+class ModuleIndex:
+    """Import table plus function registry for one module."""
+
+    def __init__(self, path: str) -> None:
+        """Create an empty index for the module at ``path``."""
+        self.path = path
+        #: local name -> dotted path ("np" -> "numpy", "balance" ->
+        #: "repro.p4est.balance.balance").
+        self.imports: Dict[str, str] = {}
+        #: resolvable callee key -> FunctionInfo.  Keys are bare names
+        #: for module-level functions and "ClassName.method" for methods.
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: class names defined in this module.
+        self.classes: List[str] = []
+
+    def resolve_name(self, name: str) -> str:
+        """Dotted path for a bare name, falling back to the name itself."""
+        return self.imports.get(name, name)
+
+
+def dotted_path(node: ast.AST, index: Optional[ModuleIndex] = None) -> Optional[str]:
+    """Render an expression as a dotted path, resolving the root import.
+
+    ``balance`` imported from ``repro.p4est.balance`` renders as
+    ``repro.p4est.balance.balance``; ``np.random.rand`` renders as
+    ``numpy.random.rand``.  Returns ``None`` for non-name expressions
+    (calls, subscripts) anywhere in the chain.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = index.resolve_name(node.id) if index is not None else node.id
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def _record_import(index: ModuleIndex, node: ast.AST) -> None:
+    """Add one import statement to the module's import table."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            index.imports[local] = target
+    elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+        for alias in node.names:
+            local = alias.asname or alias.name
+            index.imports[local] = f"{node.module}.{alias.name}"
+
+
+def build_module_index(tree: ast.Module, path: str) -> ModuleIndex:
+    """Collect imports, classes, and function definitions of a module.
+
+    Functions nested inside other functions are registered under their
+    bare name too (last definition wins) — good enough for the
+    closure-heavy rank-program idiom of the examples and benchmarks.
+    """
+    index = ModuleIndex(path)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            _record_import(index, node)
+
+    def visit(body: List[ast.stmt], class_name: Optional[str], prefix: str) -> None:
+        """Register the defs of one body under their qualified names."""
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{node.name}"
+                info = FunctionInfo(node, qual, class_name=class_name)
+                if class_name is not None:
+                    index.functions[f"{class_name}.{node.name}"] = info
+                    index.functions.setdefault(node.name, info)
+                else:
+                    index.functions[node.name] = info
+                visit(node.body, None, f"{qual}.<locals>.")
+            elif isinstance(node, ast.ClassDef):
+                index.classes.append(node.name)
+                visit(node.body, node.name, f"{prefix}{node.name}.")
+    visit(tree.body, None, "")
+    return index

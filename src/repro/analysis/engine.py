@@ -1,0 +1,247 @@
+"""The ``spmdlint`` driver: files in, findings out.
+
+Per module the engine parses the source, builds the import/function
+index, iterates function summaries to a fixpoint (so helpers that
+communicate are themselves collective call sites), then replays the
+taint pass over every function and the module top level, collecting
+findings.
+
+Two suppression channels exist, both requiring a written reason:
+
+* **pragmas** in the source itself —
+  ``# spmdlint: ignore[SPMD003] -- reason`` trailing the flagged line
+  or standalone on the line above it, or
+  ``# spmdlint: exempt=SPMD001,SPMD002 -- reason`` near the top of a
+  file (``exempt=ALL`` for everything).  Pragmas are for code whose
+  *role* makes the rule inapplicable (e.g. a deliberately divergent
+  example, or the transport layer beneath the SPMD model).
+* the **baseline** file (see :mod:`repro.analysis.report`) — for
+  reviewed findings awaiting a fix.
+
+Suppressed findings stay in the report, marked, so nothing silently
+disappears.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import (
+    FunctionInfo,
+    ModuleIndex,
+    Summary,
+    build_module_index,
+)
+from repro.analysis.registry import DEFAULT_REGISTRY, LintRegistry
+from repro.analysis.report import Finding
+from repro.analysis.taint import FunctionTaint
+
+__all__ = ["lint_source", "lint_file", "lint_paths", "iter_python_files"]
+
+_PRAGMA = re.compile(
+    r"#\s*spmdlint:\s*(?P<verb>ignore|exempt)"
+    r"(?:[=\[]\s*(?P<rules>[A-Z0-9,\s]+?)\s*\]?)?"
+    r"(?:\s*--\s*(?P<reason>.*))?\s*$"
+)
+
+#: exempt pragmas must appear within this many leading lines.
+_EXEMPT_WINDOW = 30
+
+#: summary fixpoint rounds (call chains deeper than this are rare).
+_MAX_ROUNDS = 5
+
+
+def _parse_pragmas(
+    source: str,
+) -> Tuple[Dict[int, Tuple[Set[str], str]], Dict[str, str]]:
+    """Extract line pragmas and file exemptions from the source.
+
+    Returns ``(ignores, exemptions)`` where ``ignores`` maps a line
+    number to (rule set, reason) and ``exemptions`` maps a rule id (or
+    ``"ALL"``) to its reason.
+    """
+    ignores: Dict[int, Tuple[Set[str], str]] = {}
+    exemptions: Dict[str, str] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if "spmdlint:" not in line:
+            continue
+        m = _PRAGMA.search(line)
+        if m is None:
+            continue
+        rules = {
+            r.strip()
+            for r in (m.group("rules") or "ALL").split(",")
+            if r.strip()
+        }
+        reason = (m.group("reason") or "").strip()
+        if m.group("verb") == "ignore":
+            # A trailing pragma suppresses its own line; a standalone
+            # comment-line pragma suppresses the line below it.
+            standalone = line.lstrip().startswith("#")
+            ignores[lineno + 1 if standalone else lineno] = (rules, reason)
+        elif lineno <= _EXEMPT_WINDOW:
+            for r in rules:
+                exemptions[r] = reason
+    return ignores, exemptions
+
+
+def _apply_pragmas(
+    findings: List[Finding],
+    ignores: Dict[int, Tuple[Set[str], str]],
+    exemptions: Dict[str, str],
+) -> List[Finding]:
+    """Mark findings suppressed by pragmas."""
+    out: List[Finding] = []
+    for f in findings:
+        exempt_reason = exemptions.get(f.rule, exemptions.get("ALL"))
+        if exempt_reason is not None:
+            out.append(f.suppress("pragma", exempt_reason))
+            continue
+        hit = ignores.get(f.line)
+        if hit is not None and ("ALL" in hit[0] or f.rule in hit[0]):
+            out.append(f.suppress("pragma", hit[1]))
+            continue
+        out.append(f)
+    return out
+
+
+def _unique_functions(index: "ModuleIndex") -> List[FunctionInfo]:
+    """The distinct FunctionInfo objects of a module index."""
+    seen: Set[int] = set()
+    infos: List[FunctionInfo] = []
+    for info in index.functions.values():
+        if id(info) not in seen:
+            seen.add(id(info))
+            infos.append(info)
+    return infos
+
+
+def lint_source(
+    source: str,
+    path: str,
+    registry: LintRegistry = DEFAULT_REGISTRY,
+) -> List[Finding]:
+    """Lint one module's source text; returns findings sorted by location."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "SPMD000",
+                path,
+                exc.lineno or 1,
+                exc.offset or 0,
+                "<module>",
+                f"cannot parse: {exc.msg}",
+            )
+        ]
+    index = build_module_index(tree, path)
+    infos = _unique_functions(index)
+
+    # Summary fixpoint: helpers that communicate become collective sites.
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for info in infos:
+            ft = FunctionTaint(
+                list(info.node.body),  # type: ignore[attr-defined]
+                index=index,
+                registry=registry,
+                path=path,
+                function=info.qualname,
+                emit=lambda f: None,
+                info=info,
+                summary_mode=True,
+            )
+            ft.run()
+            new = Summary(
+                performs_collective=bool(ft.collectives),
+                collective_via=(
+                    ft.collectives[0].name if ft.collectives else ""
+                ),
+                intrinsic_taint=ft.return_taint,
+                propagates=True,
+            )
+            if new != info.summary:
+                info.summary = new
+                changed = True
+        if not changed:
+            break
+
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, int, int, str]] = set()
+
+    def emit(f: Finding) -> None:
+        """Record a finding once per (rule, line, col, message)."""
+        key = (f.rule, f.line, f.col, f.message)
+        if key not in seen:
+            seen.add(key)
+            findings.append(f)
+
+    for info in infos:
+        FunctionTaint(
+            list(info.node.body),  # type: ignore[attr-defined]
+            index=index,
+            registry=registry,
+            path=path,
+            function=info.qualname,
+            emit=emit,
+            info=info,
+        ).run()
+    FunctionTaint(
+        list(tree.body),
+        index=index,
+        registry=registry,
+        path=path,
+        function="<module>",
+        emit=emit,
+    ).run()
+
+    ignores, exemptions = _parse_pragmas(source)
+    findings = _apply_pragmas(findings, ignores, exemptions)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(
+    path: Path,
+    registry: LintRegistry = DEFAULT_REGISTRY,
+    relative_to: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint one file; paths in findings are relative to ``relative_to``."""
+    display = str(path)
+    if relative_to is not None:
+        try:
+            display = str(path.resolve().relative_to(relative_to.resolve()))
+        except ValueError:
+            display = str(path)
+    return lint_source(path.read_text(), display, registry)
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: Set[Path] = set()
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            for f in p.rglob("*.py"):
+                if not any(part.startswith(".") for part in f.parts):
+                    out.add(f)
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    registry: LintRegistry = DEFAULT_REGISTRY,
+    relative_to: Optional[Path] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths``."""
+    findings: List[Finding] = []
+    for f in iter_python_files(paths):
+        findings.extend(lint_file(f, registry, relative_to=relative_to))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

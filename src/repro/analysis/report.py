@@ -1,0 +1,187 @@
+"""Findings, baselines, and report rendering for ``spmdlint``.
+
+A :class:`Finding` is one rule violation at one call site.  Its
+:attr:`~Finding.fingerprint` deliberately excludes line numbers so a
+baseline entry survives unrelated edits to the file; it includes the
+rule, the file, the enclosing function, and the message.
+
+A :class:`Baseline` is the reviewed debt ledger: a JSON file mapping
+fingerprints to a human-written justification.  Entries without a
+justification are rejected — a baseline is a list of *reasons*, not a
+mute button — and entries that no longer match any finding are
+reported as stale so the ledger shrinks as code improves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.rules import RULES
+
+__all__ = ["Finding", "Baseline", "render_text", "render_json", "BaselineError"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    function: str
+    message: str
+    #: "" while active; "baseline" or "pragma" once suppressed.
+    suppressed: str = ""
+    #: Justification carried by the suppressing baseline entry or pragma.
+    reason: str = ""
+
+    @property
+    def severity(self) -> str:
+        """Severity of this finding's rule ("error" or "warning")."""
+        r = RULES.get(self.rule)
+        return r.severity if r is not None else "error"
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining (line numbers excluded)."""
+        raw = f"{self.rule}|{self.path}|{self.function}|{self.message}"
+        return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+    def suppress(self, how: str, reason: str) -> "Finding":
+        """A copy of this finding marked suppressed by ``how``."""
+        return Finding(
+            self.rule,
+            self.path,
+            self.line,
+            self.col,
+            self.function,
+            self.message,
+            suppressed=how,
+            reason=reason,
+        )
+
+    def render(self) -> str:
+        """One-line human-readable rendering."""
+        tag = f" [{self.suppressed}]" if self.suppressed else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: {self.rule} "
+            f"({self.severity}){tag} in {self.function}: {self.message}"
+        )
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed (bad JSON, missing justification)."""
+
+
+@dataclass
+class Baseline:
+    """The reviewed-findings ledger: fingerprint -> justification."""
+
+    entries: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load and validate a baseline JSON file.
+
+        The format is ``{"findings": [{"fingerprint": ..., "rule": ...,
+        "path": ..., "function": ..., "message": ..., "reason": ...},
+        ...]}``; only ``fingerprint`` and a non-empty ``reason`` are
+        semantically required — the rest is context for reviewers.
+        """
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        entries: Dict[str, str] = {}
+        for item in data.get("findings", []):
+            fp = item.get("fingerprint", "")
+            reason = (item.get("reason") or "").strip()
+            if not fp:
+                raise BaselineError(f"baseline entry without fingerprint: {item!r}")
+            if not reason:
+                raise BaselineError(
+                    f"baseline entry {fp} has no justification (reason=); "
+                    "every suppression must say why it is acceptable"
+                )
+            entries[fp] = reason
+        return cls(entries)
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[str]]:
+        """Suppress baselined findings; return (findings, stale fingerprints).
+
+        Returns every finding (suppressed ones are marked, not dropped)
+        plus the fingerprints of baseline entries that matched nothing —
+        stale debt that must be deleted from the ledger.
+        """
+        out: List[Finding] = []
+        used: set[str] = set()
+        for f in findings:
+            reason = self.entries.get(f.fingerprint)
+            if reason is not None and not f.suppressed:
+                used.add(f.fingerprint)
+                f = f.suppress("baseline", reason)
+            out.append(f)
+        stale = sorted(set(self.entries) - used)
+        return out, stale
+
+    @staticmethod
+    def template(findings: Iterable[Finding]) -> str:
+        """A baseline JSON skeleton for the given active findings.
+
+        Reasons are left empty on purpose: the loader rejects them until
+        a human fills each one in.
+        """
+        items = [
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "function": f.function,
+                "message": f.message,
+                "reason": "",
+            }
+            for f in findings
+            if not f.suppressed
+        ]
+        return json.dumps({"findings": items}, indent=2) + "\n"
+
+
+def render_text(
+    findings: List[Finding], stale: Optional[List[str]] = None
+) -> str:
+    """Human-readable report: active findings, then a summary line."""
+    lines = [f.render() for f in findings if not f.suppressed]
+    active = len(lines)
+    suppressed = sum(1 for f in findings if f.suppressed)
+    if stale:
+        for fp in stale:
+            lines.append(f"stale baseline entry: {fp} (matches no finding; remove it)")
+    lines.append(
+        f"spmdlint: {active} finding{'s' if active != 1 else ''}"
+        f", {suppressed} suppressed"
+        + (f", {len(stale)} stale baseline entr{'ies' if len(stale) != 1 else 'y'}" if stale else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: List[Finding], stale: Optional[List[str]] = None
+) -> str:
+    """Machine-readable report (the CI artifact)."""
+    payload = {
+        "findings": [
+            {**asdict(f), "fingerprint": f.fingerprint, "severity": f.severity}
+            for f in findings
+        ],
+        "stale_baseline": list(stale or []),
+        "active": sum(1 for f in findings if not f.suppressed),
+        "suppressed": sum(1 for f in findings if f.suppressed),
+    }
+    return json.dumps(payload, indent=2) + "\n"

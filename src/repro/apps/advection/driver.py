@@ -32,7 +32,7 @@ from repro.p4est.builders import shell
 from repro.p4est.forest import Forest
 from repro.p4est.ghost import build_ghost
 from repro.parallel.comm import Comm
-from repro.parallel.ops import MAX, SUM
+from repro.parallel.ops import MAX, MIN, SUM
 from repro.trace.tracer import PHASE_AMR, phase as trace_phase
 
 
@@ -105,8 +105,17 @@ class AdvectionRun:
             return
 
         self.forest = Forest.new(self.conn, comm, level=max(self.cfg.base_level, 1))
-        # Static initial adaptation toward the fronts at t=0.
-        for _ in range(self.cfg.max_level - self.forest.local.level.min()):
+        # Static initial adaptation toward the fronts at t=0.  The trip
+        # bound must be uniform across ranks: the *local* minimum level
+        # differs per rank after the first refine (and is undefined on
+        # empty ranks), so reduce it globally before entering the loop.
+        local_min = (
+            int(self.forest.local.level.min())
+            if self.forest.local_count
+            else self.cfg.max_level
+        )
+        global_min = int(comm.allreduce(local_min, MIN))
+        for _ in range(self.cfg.max_level - global_min):
             mask = self._refine_mask(0.0)
             if not bool(comm.allreduce(bool(mask.any()))):
                 break

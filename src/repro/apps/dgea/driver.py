@@ -226,6 +226,7 @@ class SeismicRun:
                 self.record()
         elapsed = time.perf_counter() - t0
         self.wave_seconds += elapsed
+        # spmdlint: ignore[SPMD004] -- wall-clock measurement: aggregating nondeterministic per-rank timings is the point.
         per_step = self.comm.allreduce(elapsed / max(nsteps, 1), MAX)
         return float(per_step)
 

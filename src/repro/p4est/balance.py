@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.p4est.connectivity import Connectivity
 from repro.p4est.forest import Forest, octants_from_wire, octants_to_wire
+from repro.parallel.collectives import collective
 from repro.p4est.octant import (
     Octants,
     is_ancestor_pairwise,
@@ -227,6 +228,7 @@ def _violations(leaves: Octants, constraints: Octants) -> np.ndarray:
 
 
 @traced(PHASE_BALANCE)
+@collective("function", "balance")
 def balance(forest: Forest, codim: Optional[int] = None) -> int:
     """Enforce 2:1 neighbor size relations globally (``Balance``).
 
@@ -254,6 +256,7 @@ def balance(forest: Forest, codim: Optional[int] = None) -> int:
     return rounds
 
 
+@collective("function", "is_balanced")
 def is_balanced(forest: Forest, codim: Optional[int] = None) -> bool:
     """Collectively check the 2:1 condition without modifying the forest."""
     dim = forest.dim

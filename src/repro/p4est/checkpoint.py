@@ -29,6 +29,7 @@ import numpy as np
 from repro.p4est.connectivity import Connectivity
 from repro.p4est.forest import Forest, octants_from_wire, octants_to_wire
 from repro.parallel.comm import Comm
+from repro.parallel.collectives import collective
 from repro.parallel.ops import SUM
 
 FORMAT_VERSION = 1
@@ -102,6 +103,7 @@ class ForestCheckpoint:
         return int(self.wire.nbytes) + sum(int(a.nbytes) for a in self.fields.values())
 
 
+@collective("function", "save")
 def save(
     forest: Forest,
     fields: Optional[Dict[str, np.ndarray]] = None,
@@ -144,6 +146,7 @@ def save(
     )
 
 
+@collective("function", "restore")
 def restore(
     conn: Connectivity,
     comm: Comm,

@@ -29,6 +29,7 @@ from repro.p4est.octant import (
     validate_leaf_set,
 )
 from repro.parallel.comm import Comm
+from repro.parallel.collectives import collective
 from repro.parallel.ops import LOR, SUM
 from repro.trace.tracer import PHASE_ADAPT, PHASE_PARTITION, traced
 
@@ -109,6 +110,7 @@ class Forest:
     # Construction --------------------------------------------------------------
 
     @classmethod
+    @collective("forest", "new")
     def new(cls, conn: Connectivity, comm: Comm, level: int = 0) -> "Forest":
         """Create an equi-partitioned, uniformly refined forest (``New``).
 
@@ -180,6 +182,7 @@ class Forest:
 
     # Refinement / coarsening ----------------------------------------------------------
 
+    @collective("forest", "refine")
     @traced(PHASE_ADAPT)
     def refine(
         self,
@@ -225,6 +228,7 @@ class Forest:
         self._refresh_counts()
         return nsplit
 
+    @collective("forest", "coarsen")
     @traced(PHASE_ADAPT)
     def coarsen(
         self,
@@ -327,6 +331,7 @@ class Forest:
 
     # Partition -----------------------------------------------------------------------
 
+    @collective("forest", "partition")
     @traced(PHASE_PARTITION)
     def partition(
         self,
@@ -480,6 +485,7 @@ class Forest:
 
     # Validation -----------------------------------------------------------------------
 
+    @collective("forest", "validate")
     def validate(self) -> None:
         """Collectively verify global forest invariants.
 
@@ -519,6 +525,7 @@ class Forest:
 
     # Convenience ---------------------------------------------------------------------
 
+    @collective("forest", "levels_histogram")
     def levels_histogram(self) -> np.ndarray:
         """Global octant count per level (allreduced)."""
         hist = np.zeros(self.D.maxlevel + 1, dtype=np.int64)
@@ -526,6 +533,7 @@ class Forest:
             np.add.at(hist, self.local.level.astype(np.int64), 1)
         return np.asarray(self.comm.allreduce(hist, SUM))
 
+    @collective("forest", "checksum")
     def checksum(self) -> int:
         """Partition-independent checksum of the global leaf set.
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.p4est.balance import generate_neighbor_regions
 from repro.p4est.forest import Forest, octants_from_wire, octants_to_wire
+from repro.parallel.collectives import collective
 from repro.p4est.octant import Octants, neighbor_offsets
 from repro.trace.tracer import PHASE_GHOST, traced
 
@@ -57,6 +58,7 @@ class GhostLayer:
     def __len__(self) -> int:
         return len(self.octants)
 
+    @collective("method", "exchange_octant_data")
     def exchange_octant_data(self, comm, local_data: np.ndarray) -> np.ndarray:
         """Push per-octant data to neighbors; returns per-ghost data.
 
@@ -78,6 +80,7 @@ class GhostLayer:
 
 
 @traced(PHASE_GHOST)
+@collective("function", "build_ghost")
 def build_ghost(
     forest: Forest, codim: Optional[int] = None, layers: int = 1
 ) -> GhostLayer:

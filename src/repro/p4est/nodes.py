@@ -66,6 +66,7 @@ from repro.p4est.octant import (
     searchsorted_octants,
 )
 from repro.parallel.comm import Comm
+from repro.parallel.collectives import collective
 from repro.parallel.ops import SUM
 from repro.trace.tracer import PHASE_NODES, traced
 
@@ -132,6 +133,7 @@ class LNodes:
         """Boolean mask over local nodes: owned by this rank."""
         return self.owner == self._my_rank
 
+    @collective("method", "scatter_forward")
     def scatter_forward(self, comm: Comm, values: np.ndarray) -> np.ndarray:
         """Overwrite copies of remote-owned nodes with the owners' values.
 
@@ -146,6 +148,7 @@ class LNodes:
             values[self.recv_map[r]] = payload
         return values
 
+    @collective("method", "scatter_reverse_add")
     def scatter_reverse_add(self, comm: Comm, values: np.ndarray) -> np.ndarray:
         """Accumulate copies into owners (transpose of scatter_forward).
 
@@ -220,6 +223,7 @@ def _images_of_regions(
 
 
 @traced(PHASE_NODES)
+@collective("function", "lnodes")
 def lnodes(forest: Forest, ghost: GhostLayer, degree: int) -> LNodes:
     """Construct the global cG node numbering (``Nodes``).
 

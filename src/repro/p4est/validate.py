@@ -46,6 +46,7 @@ from repro.p4est.octant import (
     searchsorted_octants,
 )
 from repro.parallel.comm import Comm
+from repro.parallel.collectives import collective
 from repro.parallel.ops import LAND, SUM
 
 
@@ -281,6 +282,7 @@ def _collect(
     return [(r, msg) for r, msgs in enumerate(rows) for msg in msgs]
 
 
+@collective("function", "forest_is_valid")
 def forest_is_valid(
     comm: Comm,
     forest: Forest,
@@ -303,6 +305,7 @@ def forest_is_valid(
     return bool(comm.allreduce(ok, LAND))
 
 
+@collective("function", "validate_forest")
 def validate_forest(
     comm: Comm,
     forest: Forest,

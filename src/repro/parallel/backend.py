@@ -53,7 +53,7 @@ class SpmdError(RuntimeError):
         super().__init__(message)
         self.failed_rank = failed_rank
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         """Pickle support: carry ``failed_rank`` and the chained cause.
 
         Exceptions lose ``__cause__`` under default pickling; ship it as
@@ -66,7 +66,7 @@ class SpmdError(RuntimeError):
             {"__cause__": self.__cause__},
         )
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: Dict[str, Any]) -> None:
         """Restore the chained cause recorded by :meth:`__reduce__`."""
         self.__cause__ = state.get("__cause__")
 

@@ -1,0 +1,237 @@
+"""The machine-readable registry of collective operations.
+
+Every algorithm in this repo depends on one invariant: *all ranks
+execute an identical collective sequence*.  Two independent tools
+enforce it — the runtime collective sanitizer
+(:mod:`repro.parallel.sanitizer`) and the static analyzer
+(:mod:`repro.analysis`) — and both must agree on what "a collective"
+is.  This module is their single source of truth.
+
+It provides:
+
+* :class:`CollectiveSpec` — one collective operation's metadata: its
+  name, the layer it belongs to (``comm`` primitive, ``forest``
+  operation, or module-level ``function``), whether its *result* is
+  uniform across ranks (uniform results launder rank-taint in the
+  static analyzer), whether the runtime sanitizer must fingerprint its
+  payload, and whether it is derived from other collectives (derived
+  operations are validated through the primitives they call, so the
+  sanitizer does not wrap them directly).
+* The registry tables ``COMM_COLLECTIVES``, ``FOREST_COLLECTIVES`` and
+  ``COLLECTIVE_FUNCTIONS`` plus name-set views of each.
+* The :func:`collective` decorator that stamps the spec onto the
+  actual methods and functions, so introspection (and the parity tests
+  in ``tests/analysis/test_registry_parity.py``) can verify that the
+  registry and the code agree.
+
+Adding a collective to the system means adding it here first; the
+parity tests fail until the registry, the sanitizer, and the marked
+surface all tell the same story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Tuple, TypeVar
+
+__all__ = [
+    "CollectiveSpec",
+    "collective",
+    "collective_spec",
+    "COMM_COLLECTIVES",
+    "FOREST_COLLECTIVES",
+    "COLLECTIVE_FUNCTIONS",
+    "COLLECTIVE_METHODS",
+    "COMM_COLLECTIVE_NAMES",
+    "FOREST_COLLECTIVE_NAMES",
+    "SANITIZED_OPS",
+    "PAYLOAD_CHECKED_OPS",
+    "UNIFORM_RESULT_OPS",
+]
+
+
+@dataclass(frozen=True)
+class CollectiveSpec:
+    """Metadata for one collective operation.
+
+    ``layer`` is ``"comm"`` for :class:`~repro.parallel.comm.Comm`
+    primitives, ``"forest"`` for collective
+    :class:`~repro.p4est.forest.Forest` methods, ``"function"`` for
+    module-level collective entry points, and ``"method"`` for
+    collective methods of auxiliary objects (ghost layers, node
+    numberings, checkpoint policies).
+
+    ``uniform_result`` records whether every rank receives the same
+    return value.  The static analyzer uses it both ways: a uniform
+    result *sanitizes* rank-taint (``allreduce`` is the canonical way
+    to turn per-rank state into a safe branch predicate), while a
+    non-uniform result (``gather``, ``scatter``, ``exchange`` inboxes)
+    *seeds* rank-taint.
+
+    ``payload_checked`` marks operations whose payload structure must
+    agree across ranks; the runtime sanitizer fingerprints those
+    payloads (elementwise reductions break on incongruent payloads,
+    while the "v" collectives legitimately carry per-rank shapes).
+
+    ``derived`` marks convenience operations implemented on top of the
+    primitives (``Comm.reduce`` runs an ``allreduce``); the sanitizer
+    validates them through the primitive they call.
+    """
+
+    name: str
+    layer: str
+    uniform_result: bool
+    payload_checked: bool = False
+    derived: bool = False
+
+
+#: Collective primitives of the ``Comm`` ABC, plus derived conveniences.
+COMM_COLLECTIVES: Tuple[CollectiveSpec, ...] = (
+    CollectiveSpec("barrier", "comm", uniform_result=True),
+    CollectiveSpec("bcast", "comm", uniform_result=True),
+    CollectiveSpec("gather", "comm", uniform_result=False),
+    CollectiveSpec("scatter", "comm", uniform_result=False),
+    CollectiveSpec("allgather", "comm", uniform_result=True),
+    CollectiveSpec("allreduce", "comm", uniform_result=True, payload_checked=True),
+    CollectiveSpec("exscan", "comm", uniform_result=False, payload_checked=True),
+    CollectiveSpec("scan", "comm", uniform_result=False, payload_checked=True),
+    CollectiveSpec("alltoall", "comm", uniform_result=False),
+    CollectiveSpec("exchange", "comm", uniform_result=False),
+    CollectiveSpec("reduce", "comm", uniform_result=False, derived=True),
+)
+
+#: Collective methods of :class:`~repro.p4est.forest.Forest`.  All of
+#: them end in (or consist of) an ``allgather``/``allreduce`` refresh of
+#: the shared partition metadata, so every rank must call them in step.
+FOREST_COLLECTIVES: Tuple[CollectiveSpec, ...] = (
+    CollectiveSpec("new", "forest", uniform_result=False),
+    CollectiveSpec("refine", "forest", uniform_result=False),
+    CollectiveSpec("coarsen", "forest", uniform_result=False),
+    CollectiveSpec("partition", "forest", uniform_result=False),
+    CollectiveSpec("validate", "forest", uniform_result=True),
+    CollectiveSpec("levels_histogram", "forest", uniform_result=True),
+    CollectiveSpec("checksum", "forest", uniform_result=True),
+)
+
+#: Module-level collective entry points, keyed by their dotted import
+#: path.  The static analyzer resolves call sites through each module's
+#: import table, so aliased imports (``from repro.p4est.balance import
+#: balance as bal``) still classify correctly.
+COLLECTIVE_FUNCTIONS: Dict[str, CollectiveSpec] = {
+    "repro.p4est.balance.balance": CollectiveSpec(
+        "balance", "function", uniform_result=True
+    ),
+    "repro.p4est.ghost.build_ghost": CollectiveSpec(
+        "build_ghost", "function", uniform_result=False
+    ),
+    "repro.p4est.nodes.lnodes": CollectiveSpec(
+        "lnodes", "function", uniform_result=False
+    ),
+    "repro.p4est.validate.validate_forest": CollectiveSpec(
+        "validate_forest", "function", uniform_result=True
+    ),
+    "repro.p4est.validate.forest_is_valid": CollectiveSpec(
+        "forest_is_valid", "function", uniform_result=True
+    ),
+    "repro.p4est.balance.is_balanced": CollectiveSpec(
+        "is_balanced", "function", uniform_result=True
+    ),
+    "repro.p4est.checkpoint.save": CollectiveSpec(
+        "save", "function", uniform_result=False
+    ),
+    "repro.p4est.checkpoint.restore": CollectiveSpec(
+        "restore", "function", uniform_result=False
+    ),
+    "repro.amr.driver.adapt_and_rebalance": CollectiveSpec(
+        "adapt_and_rebalance", "function", uniform_result=False
+    ),
+    "repro.amr.driver.mark_fixed_fraction": CollectiveSpec(
+        "mark_fixed_fraction", "function", uniform_result=False
+    ),
+}
+
+#: Collective methods of auxiliary objects, matched by method name alone
+#: (the names are unique within the codebase).
+COLLECTIVE_METHODS: Dict[str, CollectiveSpec] = {
+    "exchange_octant_data": CollectiveSpec(
+        "exchange_octant_data", "method", uniform_result=False
+    ),
+    "scatter_forward": CollectiveSpec(
+        "scatter_forward", "method", uniform_result=False
+    ),
+    "scatter_reverse_add": CollectiveSpec(
+        "scatter_reverse_add", "method", uniform_result=False
+    ),
+    "after_adapt": CollectiveSpec("after_adapt", "method", uniform_result=True),
+}
+
+# Name-set views ----------------------------------------------------------
+
+#: All Comm collective names, including derived conveniences.
+COMM_COLLECTIVE_NAMES: FrozenSet[str] = frozenset(s.name for s in COMM_COLLECTIVES)
+
+#: Comm operations the runtime sanitizer fingerprints directly (the
+#: primitives; derived operations funnel through these).
+SANITIZED_OPS: FrozenSet[str] = frozenset(
+    s.name for s in COMM_COLLECTIVES if not s.derived
+)
+
+#: Comm operations whose payload structure the sanitizer must check.
+PAYLOAD_CHECKED_OPS: FrozenSet[str] = frozenset(
+    s.name for s in COMM_COLLECTIVES if s.payload_checked
+)
+
+#: Comm operations whose result is identical on every rank.
+UNIFORM_RESULT_OPS: FrozenSet[str] = frozenset(
+    s.name for s in COMM_COLLECTIVES if s.uniform_result
+)
+
+#: Forest collective method names.
+FOREST_COLLECTIVE_NAMES: FrozenSet[str] = frozenset(
+    s.name for s in FOREST_COLLECTIVES
+)
+
+_ALL_SPECS: Dict[Tuple[str, str], CollectiveSpec] = {
+    **{("comm", s.name): s for s in COMM_COLLECTIVES},
+    **{("forest", s.name): s for s in FOREST_COLLECTIVES},
+    **{("function", s.name): s for s in COLLECTIVE_FUNCTIONS.values()},
+    **{("method", s.name): s for s in COLLECTIVE_METHODS.values()},
+}
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def collective(layer: str, name: str) -> Callable[[_F], _F]:
+    """Mark a function or method as the registered collective ``name``.
+
+    The decorated callable gains a ``__collective__`` attribute holding
+    its :class:`CollectiveSpec`.  Marking a callable the registry does
+    not know is an error — the registry is updated first, then the
+    code.
+    """
+    spec = _ALL_SPECS.get((layer, name))
+    if spec is None:
+        raise ValueError(f"no registered collective {name!r} in layer {layer!r}")
+
+    def mark(fn: _F) -> _F:
+        """Stamp ``fn`` with the resolved spec."""
+        fn.__collective__ = spec  # type: ignore[attr-defined]
+        return fn
+
+    return mark
+
+
+def collective_spec(obj: object) -> "CollectiveSpec | None":
+    """The :class:`CollectiveSpec` stamped on ``obj``, or ``None``.
+
+    Follows ``__wrapped__`` chains so tracing decorators between the
+    marker and the implementation do not hide the spec.
+    """
+    seen = 0
+    while obj is not None and seen < 8:
+        spec = getattr(obj, "__collective__", None)
+        if spec is not None:
+            return spec  # type: ignore[return-value]
+        obj = getattr(obj, "__wrapped__", None)
+        seen += 1
+    return None

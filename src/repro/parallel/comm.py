@@ -16,6 +16,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Dict, List, Optional
 
+from repro.parallel.collectives import collective
 from repro.parallel.ops import SUM, ReduceOp, identity_for, payload_nbytes
 from repro.parallel.stats import CommStats
 
@@ -28,30 +29,37 @@ class Comm(ABC):
     stats: CommStats
 
     @abstractmethod
+    @collective("comm", "barrier")
     def barrier(self) -> None:
         """Block until every rank has entered the barrier."""
 
     @abstractmethod
+    @collective("comm", "bcast")
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root``; every rank returns root's value."""
 
     @abstractmethod
+    @collective("comm", "gather")
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
         """Gather one value per rank; ``root`` returns the list, others ``None``."""
 
     @abstractmethod
+    @collective("comm", "scatter")
     def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
         """Scatter ``objs[r]`` (given at ``root``) to each rank ``r``."""
 
     @abstractmethod
+    @collective("comm", "allgather")
     def allgather(self, obj: Any) -> List[Any]:
         """Gather one value per rank and return the full list on every rank."""
 
     @abstractmethod
+    @collective("comm", "allreduce")
     def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Reduce ``value`` over all ranks with ``op``; result on every rank."""
 
     @abstractmethod
+    @collective("comm", "exscan")
     def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Exclusive prefix reduction: rank r gets op-fold of ranks 0..r-1.
 
@@ -59,15 +67,18 @@ class Comm(ABC):
         """
 
     @abstractmethod
+    @collective("comm", "scan")
     def scan(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Inclusive prefix reduction: rank r gets op-fold of ranks 0..r."""
 
     @abstractmethod
+    @collective("comm", "alltoall")
     def alltoall(self, objs: List[Any]) -> List[Any]:
         """Dense personalized exchange: send ``objs[r]`` to rank r; return
         the list of values received, indexed by source rank."""
 
     @abstractmethod
+    @collective("comm", "exchange")
     def exchange(self, outbox: Dict[int, Any]) -> Dict[int, Any]:
         """Sparse personalized exchange (the workhorse of the forest code).
 
@@ -78,6 +89,7 @@ class Comm(ABC):
 
     # Derived conveniences -------------------------------------------------
 
+    @collective("comm", "reduce")
     def reduce(self, value: Any, op: ReduceOp = SUM, root: int = 0) -> Any:
         """Reduce to ``root`` (others get ``None``); default via allreduce."""
         result = self.allreduce(value, op)

@@ -166,7 +166,7 @@ class Watchdog(CommLayer):
         monitor = ctx.watchdog if ctx.watchdog is not None else self.watchdog
         return monitor.comm_for(comm)
 
-    def __getstate__(self):
+    def __getstate__(self) -> "dict[str, Any]":
         """Pickle as configuration (the live monitor holds locks/files)."""
         wd = self.watchdog
         return {
@@ -175,7 +175,7 @@ class Watchdog(CommLayer):
             "artifact_dir": wd.artifact_dir,
         }
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: "dict[str, Any]") -> None:
         """Rebuild a fresh (unattached) monitor from the configuration."""
         self.watchdog = HangWatchdog(**state)
 

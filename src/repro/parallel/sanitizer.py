@@ -35,13 +35,16 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.parallel.collectives import PAYLOAD_CHECKED_OPS
 from repro.parallel.comm import Comm
 from repro.parallel.ops import LAND, LOR, MAX, MIN, PROD, SUM, ReduceOp
 
 #: Operations whose payload structure must agree across ranks (elementwise
 #: reductions break on incongruent payloads).  gather/allgather/exchange
-#: payloads may legitimately differ per rank (the "v" collectives).
-_PAYLOAD_CHECKED = frozenset({"allreduce", "scan", "exscan"})
+#: payloads may legitimately differ per rank (the "v" collectives).  The
+#: set lives in the collective registry
+#: (:mod:`repro.parallel.collectives`), shared with the static analyzer.
+_PAYLOAD_CHECKED = PAYLOAD_CHECKED_OPS
 
 _OP_NAMES = {
     id(SUM): "SUM",
@@ -154,7 +157,7 @@ class CollectiveMismatchError(RuntimeError):
             f"{signature} but rank {ref_rank} called {ref_signature}"
         )
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         """Pickle by field (workers relay this error across the pipe)."""
         return (
             type(self),

@@ -57,7 +57,7 @@ class ShmRef:
 
 
 @contextmanager
-def _untracked():
+def _untracked() -> Iterator[None]:
     """Suppress resource-tracker traffic while touching our segments."""
     orig_reg = resource_tracker.register
     orig_unreg = resource_tracker.unregister

@@ -37,7 +37,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.parallel.comm import Comm
 from repro.parallel.ops import SUM, ReduceOp
@@ -65,7 +65,7 @@ class HangError(RuntimeError):
         self.rank = rank
         self.artifact = artifact
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[Any, ...]:
         """Pickle with the diagnosed rank and artifact intact (for workers)."""
         return (
             type(self),
@@ -396,7 +396,7 @@ class WatchdogComm(Comm):
         self.size = inner.size
         self.stats = inner.stats
 
-    def _run(self, op: str, detail: str, call) -> Any:
+    def _run(self, op: str, detail: str, call: "Callable[[], Any]") -> Any:
         """Heartbeat-bracket one delegated blocking operation."""
         rec = self.watchdog.enter(self.rank, op, detail)
         try:

@@ -1,0 +1,39 @@
+"""Corpus: collectives control-dependent on rank-tainted branches.
+
+Includes the minimized PR-4 divergence: gating ``forest.coarsen`` on a
+rank-local mask, which deadlocked real runs until the gate became a
+global ``allreduce``.  Lines carrying an ``# expect:`` marker must be
+flagged with exactly that rule; every other line must stay clean.
+"""
+
+
+def gate_on_rank(comm):
+    if comm.rank == 0:
+        comm.barrier()  # expect: SPMD001
+    return comm.rank
+
+
+def pr4_adapt_coarsen(forest):
+    # The PR-4 bug, minimized: the coarsen gate is a *local* predicate,
+    # so ranks disagree on whether the collective runs at all.
+    mask = forest.local.level > 2
+    if mask.any():
+        forest.coarsen(mask=mask)  # expect: SPMD001
+
+
+def tainted_via_assignment(comm, payload):
+    decider = comm.rank % 2
+    chosen = decider + 1
+    if chosen > 1:
+        return comm.allreduce(payload)  # expect: SPMD001
+    return payload
+
+
+def early_exit_divergence(comm, work):
+    if comm.rank == 3:
+        return None
+    return comm.allgather(work)  # expect: SPMD001
+
+
+def ternary_gate(comm, x):
+    return comm.bcast(x) if comm.rank else x  # expect: SPMD001

@@ -1,0 +1,20 @@
+"""Corpus: collectives inside loops with rank-dependent trip counts."""
+
+
+def local_trip_count(comm, forest):
+    for _ in range(forest.local_count):
+        comm.barrier()  # expect: SPMD002
+
+
+def rank_bounded_while(comm):
+    n = comm.rank
+    while n > 0:
+        comm.allreduce(n)  # expect: SPMD002
+        n -= 1
+
+
+def local_level_bound(comm, forest):
+    # The advection setup bug, minimized: the bound is the *local*
+    # minimum level, which differs across ranks.
+    for _ in range(4 - forest.local.level.min()):
+        forest.refine(mask=None)  # expect: SPMD002

@@ -1,0 +1,21 @@
+"""Corpus: collectives inside exception-swallowing ``try`` blocks.
+
+A rank that swallows a failure mid-collective silently drops out of the
+collective sequence while its peers continue — the hang the watchdog
+exists to diagnose.
+"""
+
+
+def swallow_around_collective(comm, payload):
+    try:
+        comm.allreduce(payload)  # expect: SPMD003
+    except Exception:
+        pass
+
+
+def swallow_in_handler(comm, payload):
+    try:
+        risky = payload / payload
+    except ZeroDivisionError:
+        risky = comm.bcast(payload)  # expect: SPMD003
+    return risky

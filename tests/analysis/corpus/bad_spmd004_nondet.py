@@ -1,0 +1,29 @@
+"""Corpus: nondeterministic payloads fed into collectives."""
+
+import glob
+import os
+import time
+
+
+def pid_payload(comm):
+    return comm.allreduce(os.getpid())  # expect: SPMD004
+
+
+def time_payload(comm):
+    t0 = time.perf_counter()
+    return comm.allgather(t0)  # expect: SPMD004
+
+
+def set_order_payload(comm, items):
+    bag = set(items)
+    ordered = list(bag)
+    return comm.bcast(ordered)  # expect: SPMD004
+
+
+def listing_payload(comm, root):
+    names = os.listdir(root)
+    return comm.allgather(names)  # expect: SPMD004
+
+
+def glob_payload(comm):
+    return comm.bcast(glob.glob("*.npy"))  # expect: SPMD004

@@ -1,0 +1,11 @@
+"""Corpus: deprecated ``spmd_run*`` entry points."""
+
+from repro.parallel import spmd_run, spmd_run_detailed
+
+
+def old_entry(prog):
+    return spmd_run(4, prog)  # expect: SPMD005
+
+
+def old_detailed(prog):
+    return spmd_run_detailed(4, prog)  # expect: SPMD005

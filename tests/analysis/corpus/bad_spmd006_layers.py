@@ -1,0 +1,14 @@
+"""Corpus: hand-built layer comms bypassing the canonical stack."""
+
+from repro.parallel.sanitizer import SanitizedComm
+from repro.parallel.watchdog import WatchdogComm
+
+
+def hand_built(comm, checker):
+    return SanitizedComm(comm, checker)  # expect: SPMD006
+
+
+def wrong_order(comm, checker, monitor):
+    # Sanitize outside Watchdog inverts the canonical order.
+    inner = WatchdogComm(comm, monitor)  # expect: SPMD006
+    return SanitizedComm(inner, checker)  # expect: SPMD006

@@ -1,0 +1,15 @@
+"""Corpus: unseeded RNG inside SPMD functions."""
+
+import random
+
+import numpy as np
+
+
+def unseeded_stdlib(comm):
+    jitter = random.random()  # expect: SPMD007
+    return comm.allreduce(jitter)  # expect: SPMD004
+
+
+def unseeded_numpy(comm, n):
+    noise = np.random.rand(n)  # expect: SPMD007
+    return comm.allgather(noise)  # expect: SPMD004

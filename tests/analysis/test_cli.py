@@ -1,0 +1,137 @@
+"""CLI contract tests for ``tools/spmd_lint.py``.
+
+Exit codes are the CI interface: 0 clean, 1 active findings or stale
+baseline entries, 2 usage/baseline errors.  The baseline ledger demands
+a justification per entry and reports entries that stopped matching.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+BAD = """\
+def gate(comm):
+    if comm.rank == 0:
+        comm.barrier()
+"""
+
+GOOD = """\
+def payload(comm):
+    return comm.allreduce(comm.rank)
+"""
+
+
+@pytest.fixture()
+def cli():
+    """The ``spmd_lint`` module loaded from ``tools/``."""
+    spec = importlib.util.spec_from_file_location(
+        "spmd_lint_cli", REPO / "tools" / "spmd_lint.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_clean_tree_exits_zero(cli, tmp_path, capsys):
+    (tmp_path / "ok.py").write_text(GOOD)
+    assert cli.main([str(tmp_path), "--no-baseline"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one_and_render(cli, tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(BAD)
+    assert cli.main([str(tmp_path), "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert "SPMD001" in out and "barrier" in out
+
+
+def test_json_format_and_artifact(cli, tmp_path, capsys):
+    (tmp_path / "bad.py").write_text(BAD)
+    artifact = tmp_path / "report.json"
+    code = cli.main(
+        [str(tmp_path / "bad.py"), "--no-baseline", "--format", "json", "--out", str(artifact)]
+    )
+    assert code == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc == json.loads(artifact.read_text())
+    assert doc["active"] == 1
+    (finding,) = doc["findings"]
+    assert finding["rule"] == "SPMD001"
+    assert finding["fingerprint"]
+
+
+def test_baseline_suppresses_with_justification(cli, tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD)
+    # Build the baseline from the template, filling in the reason.
+    assert cli.main([str(bad), "--no-baseline", "--write-baseline"]) == 1
+    template = json.loads(capsys.readouterr().out)
+    for entry in template["findings"]:
+        entry["reason"] = "demo divergence kept for the test"
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(template))
+    assert cli.main([str(bad), "--baseline", str(baseline)]) == 0
+    assert "suppressed" in capsys.readouterr().out
+
+
+def test_baseline_without_reason_is_an_error(cli, tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD)
+    assert cli.main([str(bad), "--no-baseline", "--write-baseline"]) == 1
+    template = json.loads(capsys.readouterr().out)  # reasons left empty
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(template))
+    assert cli.main([str(bad), "--baseline", str(baseline)]) == 2
+
+
+def test_stale_baseline_entry_fails(cli, tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD)
+    assert cli.main([str(bad), "--no-baseline", "--write-baseline"]) == 1
+    template = json.loads(capsys.readouterr().out)
+    for entry in template["findings"]:
+        entry["reason"] = "to become stale"
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(template))
+    bad.write_text(GOOD)  # the finding disappears; the entry goes stale
+    assert cli.main([str(bad), "--baseline", str(baseline)]) == 1
+    assert "stale" in capsys.readouterr().out.lower()
+
+
+def test_fingerprint_survives_line_moves(cli, tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(BAD)
+    assert cli.main([str(bad), "--no-baseline", "--write-baseline"]) == 1
+    template = json.loads(capsys.readouterr().out)
+    for entry in template["findings"]:
+        entry["reason"] = "pinned through a line shift"
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(template))
+    bad.write_text("# a new leading comment shifts every line\n" + BAD)
+    assert cli.main([str(bad), "--baseline", str(baseline)]) == 0
+
+
+def test_unknown_rule_filter_is_usage_error(cli, tmp_path):
+    (tmp_path / "ok.py").write_text(GOOD)
+    assert cli.main([str(tmp_path), "--rules", "SPMD999"]) == 2
+
+
+def test_no_paths_is_usage_error(cli):
+    assert cli.main([]) == 2
+
+
+def test_list_rules(cli, capsys):
+    assert cli.main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rid in ("SPMD001", "SPMD007"):
+        assert rid in out
+
+
+def test_repo_default_baseline_hook(cli):
+    # The default baseline path is repo-local; when absent, runs are
+    # unsuppressed rather than erroring.
+    assert cli.DEFAULT_BASELINE.parent == REPO / "tools"

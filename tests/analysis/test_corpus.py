@@ -1,0 +1,67 @@
+"""Corpus tests: each rule fires exactly where marked, and nowhere else.
+
+Every ``bad_*.py`` corpus file annotates its intentionally broken lines
+with a trailing ``# expect: SPMDnnn`` marker; the lint findings must
+match the marker set *exactly* (same rule on the same line, no extras).
+Every ``good_*.py`` file collects known-good idioms — the laundered
+uniform variants of the bad snippets — and must produce zero findings.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_file
+
+CORPUS = Path(__file__).parent / "corpus"
+_EXPECT = re.compile(r"#\s*expect:\s*(SPMD\d{3})")
+
+
+def _expected(path):
+    """The ``{(line, rule)}`` marker set of one corpus file."""
+    out = set()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for m in _EXPECT.finditer(line):
+            out.add((lineno, m.group(1)))
+    return out
+
+
+def _found(path):
+    """The ``{(line, rule)}`` finding set the linter reports for a file."""
+    return {(f.line, f.rule) for f in lint_file(path)}
+
+
+@pytest.mark.parametrize(
+    "path", sorted(CORPUS.glob("bad_*.py")), ids=lambda p: p.stem
+)
+def test_bad_corpus_fires_exactly_where_marked(path):
+    expected = _expected(path)
+    assert expected, f"{path.name} has no # expect: markers"
+    assert _found(path) == expected
+
+
+@pytest.mark.parametrize(
+    "path", sorted(CORPUS.glob("good_*.py")), ids=lambda p: p.stem
+)
+def test_good_corpus_is_clean(path):
+    assert _found(path) == set()
+
+
+def test_corpus_covers_every_rule():
+    """Each shipped rule (except the parse sentinel) has bad coverage."""
+    from repro.analysis import RULES
+
+    covered = set()
+    for path in CORPUS.glob("bad_*.py"):
+        covered |= {rule for _, rule in _expected(path)}
+    assert covered == set(RULES) - {"SPMD000"}
+
+
+def test_pr4_repro_is_the_minimized_bug():
+    """The PR-4 divergence repro flags coarsen, and its fix is clean."""
+    findings = lint_file(CORPUS / "bad_spmd001_branch.py")
+    coarsen = [f for f in findings if "coarsen" in f.message]
+    assert len(coarsen) == 1
+    assert coarsen[0].rule == "SPMD001"
+    assert coarsen[0].function == "pr4_adapt_coarsen"

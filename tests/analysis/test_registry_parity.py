@@ -1,0 +1,111 @@
+"""Parity between the collective registry, the runtime, and the linter.
+
+The registry (:mod:`repro.parallel.collectives`) is the single source
+of truth for what counts as a collective.  These tests pin the three
+consumers to it: the ``Comm`` ABC and ``Forest`` surfaces must carry
+matching ``@collective`` stamps, the runtime sanitizer must check
+exactly the registry's comm ops, and the lint registry must mirror the
+same name sets — so a collective added to one place without the others
+fails here rather than silently drifting.
+"""
+
+import ast
+import inspect
+from pathlib import Path
+
+from repro.analysis.registry import DEFAULT_REGISTRY
+from repro.p4est.forest import Forest
+from repro.parallel.collectives import (
+    COMM_COLLECTIVE_NAMES,
+    COMM_COLLECTIVES,
+    FOREST_COLLECTIVE_NAMES,
+    FOREST_COLLECTIVES,
+    PAYLOAD_CHECKED_OPS,
+    UNIFORM_RESULT_OPS,
+    collective_spec,
+)
+from repro.parallel.comm import Comm
+
+COMM_BY_NAME = {s.name: s for s in COMM_COLLECTIVES}
+FOREST_BY_NAME = {s.name: s for s in FOREST_COLLECTIVES}
+
+SANITIZER = (
+    Path(__file__).resolve().parents[2]
+    / "src"
+    / "repro"
+    / "parallel"
+    / "sanitizer.py"
+)
+
+
+def test_comm_abc_methods_carry_registry_stamps():
+    for name, spec in COMM_BY_NAME.items():
+        method = getattr(Comm, name)
+        stamped = collective_spec(method)
+        assert stamped is spec, f"Comm.{name} missing/mismatched @collective"
+
+
+def test_every_abstract_comm_method_is_registered():
+    abstract = {
+        name
+        for name, member in inspect.getmembers(Comm)
+        if getattr(member, "__isabstractmethod__", False)
+    }
+    # rank/size are identity properties, not operations.
+    ops = {n for n in abstract if n not in {"rank", "size"}}
+    assert ops == COMM_COLLECTIVE_NAMES - {"reduce"}
+    # reduce is concrete (derived from gather+bcast) but still collective.
+    assert collective_spec(Comm.reduce) is COMM_BY_NAME["reduce"]
+    assert COMM_BY_NAME["reduce"].derived
+
+
+def test_forest_collectives_carry_registry_stamps():
+    for name, spec in FOREST_BY_NAME.items():
+        method = inspect.getattr_static(Forest, name)
+        if isinstance(method, classmethod):
+            method = method.__func__
+        stamped = collective_spec(method)
+        assert stamped is spec, f"Forest.{name} missing/mismatched @collective"
+
+
+def test_sanitizer_checks_exactly_the_registry_ops():
+    """Every ``_check("op")`` string in the sanitizer is a registry op,
+    and every registry comm op (bar the derived ``reduce``, which the
+    sanitizer sees as its gather+bcast expansion) is checked."""
+    tree = ast.parse(SANITIZER.read_text())
+    checked = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "_check"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+        ):
+            checked.add(node.args[0].value)
+    assert checked == COMM_COLLECTIVE_NAMES - {"reduce"}
+
+
+def test_sanitizer_payload_set_is_the_registry_view():
+    from repro.parallel import sanitizer
+
+    assert sanitizer._PAYLOAD_CHECKED is PAYLOAD_CHECKED_OPS
+    assert PAYLOAD_CHECKED_OPS == {
+        n for n, s in COMM_BY_NAME.items() if s.payload_checked
+    }
+
+
+def test_lint_registry_mirrors_collective_registry():
+    reg = DEFAULT_REGISTRY
+    assert reg.comm_collectives == COMM_COLLECTIVE_NAMES
+    assert reg.forest_collectives == FOREST_COLLECTIVE_NAMES
+    assert reg.uniform_comm_collectives == UNIFORM_RESULT_OPS
+    assert reg.uniform_forest_collectives == {
+        n for n, s in FOREST_BY_NAME.items() if s.uniform_result
+    }
+
+
+def test_uniform_result_ops_are_the_laundering_set():
+    # Taint laundering is sound only for ops returning identical values
+    # on every rank; pin the set so additions are deliberate.
+    assert UNIFORM_RESULT_OPS == {"barrier", "bcast", "allgather", "allreduce"}

@@ -1,0 +1,37 @@
+"""The repo's own sources must lint clean (modulo the justified ledger).
+
+This is the CI gate in test form: new rank-divergence, nondeterminism,
+or layer misuse anywhere under ``src``, ``examples``, ``benchmarks``,
+or ``tools`` fails here with the finding text, before any run hangs.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import lint_paths, render_text
+from repro.analysis.report import Baseline
+
+REPO = Path(__file__).resolve().parents[2]
+LINTED = ("src", "examples", "benchmarks", "tools")
+BASELINE = REPO / "tools" / "spmd_lint_baseline.json"
+
+
+def test_repo_lints_clean():
+    findings = lint_paths([REPO / d for d in LINTED], relative_to=REPO)
+    stale = []
+    if BASELINE.exists():
+        findings, stale = Baseline.load(BASELINE).apply(findings)
+    active = [f for f in findings if not f.suppressed]
+    assert not active, "\n" + render_text(active, stale)
+    assert not stale, f"stale baseline fingerprints: {stale}"
+
+
+def test_every_suppression_carries_a_reason():
+    findings = lint_paths([REPO / d for d in LINTED], relative_to=REPO)
+    if BASELINE.exists():
+        findings, _ = Baseline.load(BASELINE).apply(findings)
+        doc = json.loads(BASELINE.read_text())
+        assert all(e.get("reason", "").strip() for e in doc["findings"])
+    for f in findings:
+        if f.suppressed:
+            assert f.reason.strip(), f"unjustified suppression: {f.render()}"

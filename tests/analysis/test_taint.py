@@ -1,0 +1,127 @@
+"""Unit tests for the taint engine's load-bearing behaviors.
+
+The corpus tests pin *where* rules fire; these pin *why* — laundering
+through uniform collectives, interprocedural summaries, pragma
+channels, and the parse-error sentinel.
+"""
+
+from repro.analysis import lint_source
+
+
+def rules_of(source):
+    """The set of rule ids ``lint_source`` reports for a snippet."""
+    return {f.rule for f in lint_source(source, "snippet.py") if not f.suppressed}
+
+
+def test_allreduce_launders_rank_taint():
+    # The gate is reduced globally: every rank sees the same value.
+    src = (
+        "def prog(comm, flag):\n"
+        "    if comm.allreduce(flag):\n"
+        "        comm.barrier()\n"
+    )
+    assert rules_of(src) == set()
+
+
+def test_gather_does_not_launder():
+    # gather returns None off-root: still rank-dependent.
+    src = (
+        "def prog(comm, flag):\n"
+        "    if comm.gather(flag):\n"
+        "        comm.barrier()\n"
+    )
+    assert rules_of(src) == {"SPMD001"}
+
+
+def test_helper_that_communicates_is_a_collective_site():
+    src = (
+        "def helper(comm):\n"
+        "    comm.barrier()\n"
+        "def prog(comm):\n"
+        "    if comm.rank:\n"
+        "        helper(comm)\n"
+    )
+    assert rules_of(src) == {"SPMD001"}
+
+
+def test_helper_returning_rank_taints_caller():
+    src = (
+        "def who(comm):\n"
+        "    return comm.rank\n"
+        "def prog(comm):\n"
+        "    if who(comm):\n"
+        "        comm.barrier()\n"
+    )
+    assert rules_of(src) == {"SPMD001"}
+
+
+def test_tainted_raise_is_not_flagged():
+    # Uncaught exceptions abort the machine attributably; flagging the
+    # validation-guard idiom would drown the signal in false positives.
+    src = (
+        "def prog(comm, x):\n"
+        "    if comm.rank == 0:\n"
+        "        raise ValueError(x)\n"
+        "    return comm.allreduce(x)\n"
+    )
+    assert rules_of(src) == set()
+
+
+def test_sorted_strips_set_nondeterminism():
+    src = (
+        "def prog(comm, items):\n"
+        "    return comm.bcast(sorted(set(items)))\n"
+    )
+    assert rules_of(src) == set()
+
+
+def test_line_pragma_requires_matching_rule():
+    src = (
+        "def prog(comm):\n"
+        "    if comm.rank:\n"
+        "        comm.barrier()  # spmdlint: ignore[SPMD004] -- wrong rule\n"
+    )
+    # The pragma names a different rule: the finding stays active.
+    assert rules_of(src) == {"SPMD001"}
+
+
+def test_standalone_pragma_covers_next_line():
+    src = (
+        "def prog(comm):\n"
+        "    if comm.rank:\n"
+        "        # spmdlint: ignore[SPMD001] -- demo divergence\n"
+        "        comm.barrier()\n"
+    )
+    assert rules_of(src) == set()
+    # Suppressed findings stay in the report, marked.
+    findings = lint_source(src, "snippet.py")
+    assert [f.suppressed for f in findings] == ["pragma"]
+    assert findings[0].reason == "demo divergence"
+
+
+def test_file_exempt_pragma_must_be_near_the_top():
+    body = (
+        "def prog(comm):\n"
+        "    if comm.rank:\n"
+        "        comm.barrier()\n"
+    )
+    exempt = "# spmdlint: exempt=SPMD001 -- divergence demo\n"
+    assert rules_of(exempt + body) == set()
+    # Buried far below the header window the pragma is inert.
+    assert rules_of(body + "\n" * 40 + exempt) == {"SPMD001"}
+
+
+def test_parse_error_sentinel():
+    findings = lint_source("def broken(:\n", "snippet.py")
+    assert [f.rule for f in findings] == ["SPMD000"]
+
+
+def test_module_level_code_is_analyzed():
+    src = (
+        "def main(comm):\n"
+        "    if comm.rank == 0:\n"
+        "        comm.barrier()\n"
+    )
+    # Same bug at module scope (script idiom) is found too.
+    script = "comm = object()\nif True:\n    pass\n" + src
+    assert rules_of(script) == {"SPMD001"}

@@ -1,0 +1,34 @@
+"""Static type gate: ``mypy --strict`` over the typed core.
+
+The container used for routine test runs does not ship mypy, so this
+test skips when it is absent; the CI typecheck job installs it and runs
+the same configuration, making this the local mirror of that gate.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+mypy_missing = shutil.which("mypy") is None
+try:
+    import mypy  # noqa: F401
+
+    mypy_missing = False
+except ImportError:
+    pass
+
+
+@pytest.mark.skipif(mypy_missing, reason="mypy not installed")
+def test_typed_core_passes_mypy_strict():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -103,3 +103,27 @@ def test_parallel_run_matches_serial_counts(size):
 
     for out in spmd(size, prog):
         assert out == ref
+
+
+@pytest.mark.parametrize("size", [1, 3, 8])
+def test_setup_adaptation_loop_is_uniform(size):
+    """Regression: the initial-adaptation trip count must be uniform.
+
+    The setup loop bound used to be computed from the *local* minimum
+    level, which differs across ranks once partitioning is uneven (and
+    is undefined on empty ranks) — spmdlint flagged it as SPMD002.  Run
+    setup under the collective sanitizer so any rank executing a
+    different allreduce/refine sequence aborts the test.
+    """
+    from repro.parallel.layers import Sanitize
+
+    cfg = small_config()
+    serial = AdvectionRun(SerialComm(), cfg)
+    ref = (serial.forest.global_count, serial.forest.checksum())
+
+    def prog(comm):
+        run = AdvectionRun(comm, cfg)
+        return run.forest.global_count, run.forest.checksum()
+
+    for out in spmd(size, prog, layers=[Sanitize()]):
+        assert out == ref

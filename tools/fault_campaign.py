@@ -265,6 +265,7 @@ class AttemptZeroFaults:
 
     def __call__(self, comm: Comm, attempt: int) -> Comm:
         """Fault-wrap attempt 0; later attempts get the bare comm."""
+        # spmdlint: ignore[SPMD006] -- Faults(wrapper=) idiom: this callable IS the fault layer, invoked per attempt by the machine.
         return FaultyComm(comm, self.plan) if attempt == 0 else comm
 
 

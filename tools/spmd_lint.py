@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""``spmd_lint`` — the CLI for the rank-taint static analyzer.
+
+Usage::
+
+    python tools/spmd_lint.py src examples benchmarks tools
+    python tools/spmd_lint.py --format json --out spmd_lint.json src
+    python tools/spmd_lint.py --list-rules
+    python tools/spmd_lint.py --write-baseline src   # triage template
+
+Exit codes: 0 — clean (no active findings, no stale baseline entries);
+1 — active findings or stale baseline entries; 2 — usage or baseline
+format error.
+
+The baseline (default ``tools/spmd_lint_baseline.json``, loaded
+automatically when present) is the reviewed-findings ledger: every
+entry carries a mandatory human-written justification, and entries
+that no longer match a finding are reported as stale so the ledger
+only shrinks.  See the "Static analysis" section of
+``docs/CORRECTNESS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.analysis.engine import lint_paths  # noqa: E402
+from repro.analysis.report import (  # noqa: E402
+    Baseline,
+    BaselineError,
+    render_json,
+    render_text,
+)
+from repro.analysis.rules import RULES  # noqa: E402
+
+#: Loaded automatically when it exists and --baseline/--no-baseline absent.
+DEFAULT_BASELINE = _REPO_ROOT / "tools" / "spmd_lint_baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    ap = argparse.ArgumentParser(
+        prog="spmd_lint",
+        description="Static SPMD-uniformity analysis for rank programs.",
+    )
+    ap.add_argument("paths", nargs="*", help="files or directories to lint")
+    ap.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline JSON (default: {DEFAULT_BASELINE} when present)",
+    )
+    ap.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    ap.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout",
+    )
+    ap.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write a JSON report to this path (the CI artifact)",
+    )
+    ap.add_argument(
+        "--rules",
+        default="",
+        help="comma-separated rule ids to restrict to (e.g. SPMD001,SPMD004)",
+    )
+    ap.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    ap.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="print a baseline template for the active findings "
+        "(reasons left empty; fill them in) and exit 1 if any",
+    )
+    return ap
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Run the linter; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for r in RULES.values():
+            print(f"{r.id}  [{r.severity:7s}] {r.title}")
+            print(f"        {r.description}")
+        return 0
+
+    if not args.paths:
+        print("spmd_lint: no paths given (try: src examples benchmarks tools)")
+        return 2
+
+    findings = lint_paths(
+        [Path(p) for p in args.paths], relative_to=_REPO_ROOT
+    )
+    if args.rules:
+        keep = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = keep - set(RULES)
+        if unknown:
+            print(f"spmd_lint: unknown rule(s): {', '.join(sorted(unknown))}")
+            return 2
+        findings = [f for f in findings if f.rule in keep]
+
+    stale: "list[str]" = []
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline and DEFAULT_BASELINE.exists():
+        baseline_path = DEFAULT_BASELINE
+    if baseline_path is not None and not args.no_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"spmd_lint: {exc}")
+            return 2
+        findings, stale = baseline.apply(findings)
+
+    if args.write_baseline:
+        sys.stdout.write(Baseline.template(findings))
+        return 1 if any(not f.suppressed for f in findings) else 0
+
+    if args.out is not None:
+        args.out.write_text(render_json(findings, stale))
+    if args.format == "json":
+        sys.stdout.write(render_json(findings, stale))
+    else:
+        print(render_text(findings, stale))
+
+    active = sum(1 for f in findings if not f.suppressed)
+    return 1 if active or stale else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
