@@ -23,6 +23,17 @@ def emit(name: str, text: str) -> None:
     print(f"\n===== {name} =====\n{text}\n", flush=True)
 
 
+def emit_json(name: str, payload) -> None:
+    """Write a machine-readable companion artifact (CI perf gates)."""
+    import json
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+
 class PhaseTimer:
     """Accumulate wall seconds per named phase."""
 

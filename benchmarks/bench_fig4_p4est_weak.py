@@ -21,7 +21,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks._util import PhaseTimer, emit
+from benchmarks._util import PhaseTimer, emit, emit_json
 from repro.p4est.balance import balance, is_balanced
 from repro.p4est.builders import rotcubes
 from repro.p4est.forest import Forest
@@ -77,10 +77,30 @@ def run_phases(comm):
     return t, forest
 
 
+def run_phases_best(comm_factory, reps=3):
+    """Per-phase minimum over ``reps`` full runs.
+
+    A single cold pass is dominated by scheduler noise at this forest
+    size (tens of milliseconds per phase); the per-phase minimum is the
+    standard low-variance estimator and is what the CI perf gate
+    compares against its checked-in baseline.
+    """
+    best = None
+    forest = None
+    for _ in range(reps):
+        t, forest = run_phases(comm_factory())
+        if best is None:
+            best = t
+        else:
+            for k, v in t.seconds.items():
+                best.seconds[k] = min(best.seconds[k], v)
+    return best, forest
+
+
 def test_fig4_weak_scaling_table(benchmark):
     # --- lab measurement: serial rates -------------------------------------
     timers, forest = benchmark.pedantic(
-        lambda: run_phases(SerialComm()), rounds=1, iterations=1, warmup_rounds=0
+        lambda: run_phases_best(SerialComm), rounds=1, iterations=1, warmup_rounds=0
     )
     n_local = forest.local_count
     rates = {k: v / n_local for k, v in timers.seconds.items()}  # s/octant
@@ -150,6 +170,19 @@ def test_fig4_weak_scaling_table(benchmark):
         f"Normalized work (paper Fig. 4 bottom):\n{table3}\n\n"
         f"Modeled weak-scaling efficiency on Jaguar (paper: 65% Balance, "
         f"72% Nodes at 220,320 cores):\n{table1}",
+    )
+    emit_json(
+        "fig4_p4est_weak",
+        {
+            "octants": int(forest.global_count),
+            "normalized_s_per_Moct_core": {
+                alg: round(rates[alg] * 1e6, 3)
+                for alg in ("balance", "ghost", "nodes")
+            },
+            "phase_seconds": {
+                k: round(v, 5) for k, v in sorted(timers.seconds.items())
+            },
+        },
     )
 
     # Shape assertions against the paper's claims.

@@ -162,6 +162,127 @@ def test_ablation_weighted_partition(benchmark):
     assert spread_we < spread_un
 
 
+def test_benchmark_flat_kernel_primitives(benchmark):
+    """Micro-benches of the flat Morton-key primitives behind the
+    Balance/Ghost/Nodes vectorization, against their scalar/structured
+    counterparts.  Emits ``bench_results/micro_kernels.txt``."""
+    import time
+
+    from repro.p4est.balance import split_by_dest
+    from repro.p4est.bits import seg_searchsorted, sfc_key
+    from repro.p4est.nodes import _unique_rows
+    from repro.p4est.octant import neighborhood
+
+    def timed(fn, reps=5):
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    rng = np.random.default_rng(42)
+    n = 200_000
+    dim = 3
+
+    # A sorted synthetic leaf population plus random queries against it.
+    def rand_octants(count, seed):
+        r = np.random.default_rng(seed)
+        level = r.integers(2, 8, count).astype(np.int64)
+        h = np.int64(1) << (19 - level)
+        cells = (np.int64(1) << level).astype(np.float64)
+        coords = [
+            (r.random(count) * cells).astype(np.int64) * h for _ in range(3)
+        ]
+        tree = r.integers(0, 6, count).astype(np.int64)
+        return Octants(dim, tree, coords[0], coords[1], coords[2], level)
+
+    base = rand_octants(n, 0).sorted()
+    queries = rand_octants(n, 1)
+    base_keys = base.keys()
+    q_keys = queries.keys()
+
+    # 1. Neighbor-key generation: batched vs the seed's per-offset loop
+    # (both produce the concatenated neighbor array plus source indices).
+    t_nbhd = timed(lambda: neighborhood(base, 3))
+
+    def per_offset_loop():
+        from repro.p4est.octant import all_neighbor_offsets
+
+        h = base.lens()
+        parts, srcs = [], []
+        ar = np.arange(len(base), dtype=np.int64)
+        for off in all_neighbor_offsets(dim, 3):
+            parts.append(base.shifted(off[0] * h, off[1] * h, off[2] * h))
+            srcs.append(ar)
+        return np.concatenate(srcs), Octants.concat(parts)
+
+    t_nbhd_loop = timed(per_offset_loop)
+
+    # 2. Owner search: segmented primitive bisect vs structured dtype.
+    t_seg = timed(
+        lambda: seg_searchsorted(base.tree, base_keys, queries.tree, q_keys)
+    )
+    srec = np.empty(n, dtype=[("t", np.int64), ("k", np.uint64)])
+    srec["t"], srec["k"] = base.tree, base_keys
+    qrec = np.empty(n, dtype=[("t", np.int64), ("k", np.uint64)])
+    qrec["t"], qrec["k"] = queries.tree, q_keys
+    t_struct = timed(lambda: np.searchsorted(srec, qrec))
+
+    # 3. Duplicate resolution: packed-pair unique vs per-pair set loop.
+    dests = rng.integers(0, 16, n)
+    src = rng.integers(0, n, n)
+    t_split = timed(lambda: list(split_by_dest(dests, src, n)))
+
+    def set_loop():
+        sets = {}
+        for d, s in zip(dests.tolist(), src.tolist()):
+            sets.setdefault(d, set()).add(s)
+        return {d: np.array(sorted(v)) for d, v in sorted(sets.items())}
+
+    t_sets = timed(set_loop, reps=2)
+
+    # 4. Node-key dedup: column lexsort vs structured np.unique(axis=0).
+    keys4 = rng.integers(0, 1 << 20, size=(n, 4)).astype(np.int64)
+    t_rows = timed(lambda: _unique_rows(keys4))
+    t_nprows = timed(
+        lambda: np.unique(keys4, axis=0, return_inverse=True), reps=2
+    )
+
+    # 5. Raw key packing throughput.
+    t_keys = timed(lambda: sfc_key(dim, base.x, base.y, base.z, base.level))
+
+    rows = [
+        ["neighborhood (batched, 26 dirs)", f"{t_nbhd * 1e3:.1f}",
+         f"{t_nbhd_loop * 1e3:.1f}", f"{t_nbhd_loop / t_nbhd:.1f}x"],
+        ["owner searchsorted (segmented)", f"{t_seg * 1e3:.1f}",
+         f"{t_struct * 1e3:.1f}", f"{t_struct / t_seg:.1f}x"],
+        ["duplicate resolution (split_by_dest)", f"{t_split * 1e3:.1f}",
+         f"{t_sets * 1e3:.1f}", f"{t_sets / t_split:.1f}x"],
+        ["node-key dedup (_unique_rows)", f"{t_rows * 1e3:.1f}",
+         f"{t_nprows * 1e3:.1f}", f"{t_nprows / t_rows:.1f}x"],
+        ["sfc_key packing (200k octants)", f"{t_keys * 1e3:.1f}", "-", "-"],
+    ]
+    emit(
+        "micro_kernels",
+        format_table(
+            ["primitive", "vectorized ms", "reference ms", "speedup"], rows
+        ),
+    )
+    benchmark.pedantic(
+        lambda: seg_searchsorted(base.tree, base_keys, queries.tree, q_keys),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    # Regression tripwires, generous: the vectorized primitives must beat
+    # their reference formulations outright.
+    assert t_nbhd < t_nbhd_loop
+    assert t_seg < t_struct
+    assert t_split < t_sets
+    assert t_rows < t_nprows
+
+
 def test_benchmark_nodes_degree2(benchmark):
     forest = Forest.new(unit_cube(), SerialComm(), level=3)
     ghost = build_ghost(forest)

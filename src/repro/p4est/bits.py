@@ -19,6 +19,11 @@ from typing import Tuple, Union
 
 import numpy as np
 
+# np.unique checks np.ma.is_masked, lazily importing numpy.ma (~20 ms)
+# on its first call — which would otherwise land inside whichever traced
+# kernel phase happens to call unique first.  Pay it at import time.
+import numpy.ma  # noqa: F401
+
 ArrayLike = Union[int, np.ndarray]
 
 # Bit budgets: keys must pack (morton | level) into one uint64.
@@ -170,3 +175,89 @@ def key_level(key: ArrayLike) -> np.ndarray:
 def key_morton(key: ArrayLike) -> np.ndarray:
     """Extract the Morton index from a packed SFC key."""
     return _as_u64(key) >> np.uint64(LEVEL_BITS)
+
+
+# Flat key-array algorithms ---------------------------------------------------
+#
+# The hot kernels (Balance/Ghost/Nodes) run batch operations over whole
+# sorted uint64 key arrays instead of per-octant Python loops.  The
+# primitives below operate directly on packed keys so no coordinate
+# round-trips are needed on those paths.
+
+
+def key_ancestor(dim: int, key: ArrayLike, level: ArrayLike) -> np.ndarray:
+    """Packed key of each key's ancestor at the (coarser) ``level``.
+
+    Zeroes the Morton bits below the ancestor's resolution and replaces
+    the level field.  ``level`` must be <= each key's own level
+    elementwise (not checked here; the caller owns validation).
+    """
+    D = dimension(dim)
+    key = _as_u64(key)
+    lev = _as_u64(level)
+    drop = _as_u64(dim) * (_as_u64(D.maxlevel) - lev)
+    morton = (key >> np.uint64(LEVEL_BITS)) >> drop << drop
+    return (morton << np.uint64(LEVEL_BITS)) | lev
+
+
+def key_parent(dim: int, key: ArrayLike) -> np.ndarray:
+    """Packed key of each key's parent (all levels must be >= 1)."""
+    return key_ancestor(dim, key, key_level(key) - np.uint64(1))
+
+
+def key_descendant_span(dim: int, key: ArrayLike) -> Tuple[np.ndarray, np.ndarray]:
+    """Morton range ``[first, last]`` of each key's deepest descendants.
+
+    The first descendant shares the key's Morton index; the last fills
+    every interleaved bit below the key's resolution.  Together they
+    bound the half-open SFC interval covered by the octant, which is how
+    owner ranges and overlap queries are answered on flat arrays.
+    """
+    D = dimension(dim)
+    key = _as_u64(key)
+    first = key >> np.uint64(LEVEL_BITS)
+    fill = _as_u64(dim) * (_as_u64(D.maxlevel) - key_level(key))
+    last = first + ((np.uint64(1) << fill) - np.uint64(1))
+    return first, last
+
+
+def seg_searchsorted(
+    base_seg: np.ndarray,
+    base_key: np.ndarray,
+    q_seg: np.ndarray,
+    q_key: np.ndarray,
+    side: str = "left",
+) -> np.ndarray:
+    """Positions of ``(q_seg, q_key)`` in the ``(base_seg, base_key)``
+    array sorted lexicographically by (segment, key).
+
+    This is the flat-array replacement for searchsorted on a structured
+    ``(tree, key)`` dtype, which numpy handles with a per-element generic
+    comparison loop ~20x slower than a primitive-dtype bisect.  Keys are
+    bisected per base segment (tree): one ``searchsorted`` per distinct
+    query segment, each over a contiguous uint64 slice.
+    """
+    base_seg = np.asarray(base_seg)
+    base_key = np.asarray(base_key)
+    q_seg = np.asarray(q_seg)
+    q_key = np.asarray(q_key)
+    out = np.empty(len(q_seg), dtype=np.int64)
+    if len(q_seg) == 0:
+        return out
+    segs, inverse = np.unique(q_seg, return_inverse=True)
+    starts = np.searchsorted(base_seg, segs, side="left")
+    ends = np.searchsorted(base_seg, segs, side="right")
+    if len(segs) == 1:
+        # Common case (single-tree forest): one primitive bisect.
+        out[:] = starts[0] + np.searchsorted(
+            base_key[starts[0] : ends[0]], q_key, side=side
+        )
+        return out
+    order = np.argsort(inverse, kind="stable")
+    bounds = np.searchsorted(inverse[order], np.arange(len(segs) + 1))
+    for i in range(len(segs)):
+        sel = order[bounds[i] : bounds[i + 1]]
+        out[sel] = starts[i] + np.searchsorted(
+            base_key[starts[i] : ends[i]], q_key[sel], side=side
+        )
+    return out

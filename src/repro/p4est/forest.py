@@ -20,7 +20,12 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.p4est.bits import dimension, interleave
+from repro.p4est.bits import (
+    dimension,
+    interleave,
+    key_descendant_span,
+    seg_searchsorted,
+)
 from repro.p4est.connectivity import Connectivity
 from repro.p4est.octant import (
     Octant,
@@ -77,18 +82,11 @@ class PartitionMarkers:
         np.cumsum(self.counts, out=out[1:])
         return out
 
-    def _keys(self) -> np.ndarray:
-        keys = np.empty(len(self.tree), dtype=[("t", np.int64), ("k", np.uint64)])
-        keys["t"] = self.tree
-        keys["k"] = self.morton
-        return keys
-
     def owner_of_points(self, tree: np.ndarray, morton: np.ndarray) -> np.ndarray:
         """Rank owning the leaf containing each (tree, maxlevel-morton) point."""
-        q = np.empty(len(tree), dtype=[("t", np.int64), ("k", np.uint64)])
-        q["t"] = tree
-        q["k"] = morton
-        pos = np.searchsorted(self._keys(), q, side="right") - 1
+        pos = (
+            seg_searchsorted(self.tree, self.morton, tree, morton, side="right") - 1
+        )
         return np.clip(pos, 0, len(self.counts) - 1).astype(np.int64)
 
 
@@ -174,11 +172,36 @@ class Forest:
         )
 
     def owner_range(self, octs: Octants) -> Tuple[np.ndarray, np.ndarray]:
-        """Inclusive rank range owning any leaf overlapping each octant."""
-        lo = self.owner_of(octs)
-        last = octs.last_descendants()
-        hi = self.markers.owner_of_points(last.tree.astype(np.int64), last.mortons())
+        """Inclusive rank range owning any leaf overlapping each octant.
+
+        Computed on the flat key array: the SFC interval of an octant is
+        its deepest-descendant Morton span, so no descendant octant
+        arrays are materialized.
+        """
+        first, last = key_descendant_span(self.dim, octs.keys())
+        tree = octs.tree.astype(np.int64)
+        lo = self.markers.owner_of_points(tree, first)
+        hi = self.markers.owner_of_points(tree, last)
         return lo, hi
+
+    def owner_segments(self, octs: Octants) -> Tuple[np.ndarray, np.ndarray]:
+        """Flatten inclusive owner ranges into ``(dests, src_idx)`` pairs.
+
+        For each octant ``i`` with owner range ``lo[i]..hi[i]`` the result
+        contains the pairs ``(p, i)`` for every rank ``p`` in the range,
+        dest-major within each octant.  This vectorizes the former
+        per-rank ``setdefault`` accumulation loops of Ghost and Balance.
+        """
+        lo, hi = self.owner_range(octs)
+        counts = hi - lo + 1
+        total = int(counts.sum())
+        src_idx = np.repeat(np.arange(len(octs), dtype=np.int64), counts)
+        # Offset within each octant's range: global position minus the
+        # start position of the octant's run.
+        run_starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        offset = np.arange(total, dtype=np.int64) - np.repeat(run_starts, counts)
+        dests = np.repeat(lo, counts) + offset
+        return dests, src_idx
 
     # Refinement / coarsening ----------------------------------------------------------
 

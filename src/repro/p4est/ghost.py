@@ -21,10 +21,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.p4est.balance import generate_neighbor_regions
+from repro.p4est.balance import generate_neighbor_regions, split_by_dest
 from repro.p4est.forest import Forest, octants_from_wire, octants_to_wire
 from repro.parallel.collectives import collective
-from repro.p4est.octant import Octants, neighbor_offsets
+from repro.p4est.octant import Octants, neighborhood
 from repro.trace.tracer import PHASE_GHOST, traced
 
 
@@ -106,46 +106,40 @@ def build_ghost(
     leaves = forest.local
     n = len(leaves)
 
-    # For each leaf, which remote ranks own a region adjacent to it?
-    send_to: Dict[int, set] = {}
-    h = leaves.lens()
+    # For each leaf, which remote ranks own a region adjacent to it?  One
+    # batched neighbor generation over every direction; exterior regions
+    # are routed through the connectivity in indexed groups.
     regions_per_leaf: List[Tuple[np.ndarray, Octants]] = []
-    for c in range(1, codim + 1):
-        for off in neighbor_offsets(dim, c):
-            nb = leaves.shifted(off[0] * h, off[1] * h, off[2] * h)
-            inside = nb.inside_root()
-            idx_in = np.flatnonzero(inside)
-            if len(idx_in):
-                regions_per_leaf.append((idx_in, nb[idx_in]))
-            idx_out = np.flatnonzero(~inside)
-            if len(idx_out):
-                ext = nb[idx_out]
-                # _route_exterior returns transformed groups; we must track
-                # which source leaf each transformed region came from, so
-                # route per exterior group while preserving indices.
-                routed = _route_exterior_indexed(forest, ext, idx_out)
-                regions_per_leaf.extend(routed)
+    if n:
+        src_all, nb = neighborhood(leaves, codim)
+        inside = nb.inside_root()
+        if inside.any():
+            regions_per_leaf.append((src_all[inside], nb[inside]))
+        outside = ~inside
+        if outside.any():
+            regions_per_leaf.extend(
+                _route_exterior_indexed(forest, nb[outside], src_all[outside])
+            )
 
+    # Resolve the owner rank range of every region and flatten into
+    # (dest rank, source leaf) pairs; duplicate pairs collapse in one
+    # vectorized pass (the former per-rank Python set accumulation).
     mine = comm.rank
+    dest_parts: List[np.ndarray] = []
+    src_parts: List[np.ndarray] = []
     for src_idx, regions in regions_per_leaf:
         if not len(regions):
             continue
-        lo, hi = forest.owner_range(regions)
-        span = int((hi - lo).max())
-        for k in range(span + 1):
-            p_arr = lo + k
-            valid = p_arr <= hi
-            if not valid.any():
-                break
-            for p in np.unique(p_arr[valid]):
-                if p == mine:
-                    continue
-                sel = src_idx[valid & (p_arr == p)]
-                send_to.setdefault(int(p), set()).update(sel.tolist())
+        dests, ridx = forest.owner_segments(regions)
+        keep = dests != mine
+        dest_parts.append(dests[keep])
+        src_parts.append(src_idx[ridx[keep]])
 
-    mirror_map = {
-        p: np.array(sorted(idxs), dtype=np.int64) for p, idxs in send_to.items()
-    }
+    mirror_map: Dict[int, np.ndarray] = {}
+    if dest_parts:
+        all_dests = np.concatenate(dest_parts)
+        all_src = np.concatenate(src_parts)
+        mirror_map = {p: idxs for p, idxs in split_by_dest(all_dests, all_src, n)}
     outbox = {p: octants_to_wire(leaves[idx]) for p, idx in mirror_map.items()}
     inbox = comm.exchange(outbox)
 
@@ -212,24 +206,12 @@ def _build_ghost_multilayer(forest: Forest, codim: int, layers: int) -> GhostLay
             regions = regions.sorted().dedup()
         # Route regions to owners (excluding self: my own leaves are not
         # ghosts).
-        dest_parts: Dict[int, List[np.ndarray]] = {}
+        wire_out: Dict[int, np.ndarray] = {}
         if len(regions):
-            lo, hi = forest.owner_range(regions)
-            span = int((hi - lo).max())
-            for k in range(span + 1):
-                p_arr = lo + k
-                valid = p_arr <= hi
-                if not valid.any():
-                    break
-                for p in np.unique(p_arr[valid]):
-                    if p == comm.rank:
-                        continue
-                    sel = np.flatnonzero(valid & (p_arr == p))
-                    dest_parts.setdefault(int(p), []).append(sel)
-        wire_out = {
-            p: octants_to_wire(regions[np.unique(np.concatenate(parts))])
-            for p, parts in dest_parts.items()
-        }
+            dests, ridx = forest.owner_segments(regions)
+            keep = dests != comm.rank
+            for p, idxs in split_by_dest(dests[keep], ridx[keep], len(regions)):
+                wire_out[p] = octants_to_wire(regions[idxs])
         inbox = comm.exchange(wire_out)
 
         # Owners reply with local leaves overlapping the queried regions.
@@ -243,8 +225,12 @@ def _build_ghost_multilayer(forest: Forest, codim: int, layers: int) -> GhostLay
                 hi_i = searchsorted_octants(
                     mine, regs.last_descendants(), side="right"
                 )
-                for a, b in zip(lo_i, hi_i):
-                    hit[a:b] = True
+                # Mark all [lo_i, hi_i) ranges at once with a difference
+                # array instead of a per-region slice loop.
+                acc = np.zeros(len(mine) + 1, dtype=np.int64)
+                np.add.at(acc, lo_i, 1)
+                np.add.at(acc, hi_i, -1)
+                hit = np.cumsum(acc[:-1]) > 0
                 pos = np.maximum(lo_i - 1, 0)
                 anc = mine[pos]
                 contain = (lo_i > 0) & is_ancestor_pairwise(anc, regs)
@@ -298,42 +284,11 @@ def _build_ghost_multilayer(forest: Forest, codim: int, layers: int) -> GhostLay
 def _route_exterior_indexed(
     forest: Forest, ext: Octants, src_idx: np.ndarray
 ) -> List[Tuple[np.ndarray, Octants]]:
-    """Like balance's exterior routing, but keeps source-leaf indices."""
-    conn = forest.conn
-    dim = conn.dim
-    L = conn.D.root_len
-    from repro.p4est.balance import corner_index, edge_index
+    """Like balance's exterior routing, but keeps source-leaf indices.
 
-    coords = [ext.x, ext.y, ext.z]
-    patt = np.zeros(len(ext), dtype=np.int64)
-    for a in range(dim):
-        lowa = coords[a] < 0
-        higha = coords[a] >= L
-        patt += (lowa * 1 + higha * 2) * (3**a)
-    combined = ext.tree.astype(np.int64) * (3**dim) + patt
-    results: List[Tuple[np.ndarray, Octants]] = []
-    for code in np.unique(combined):
-        sel = np.flatnonzero(combined == code)
-        group = ext[sel]
-        gidx = src_idx[sel]
-        tree = int(code // (3**dim))
-        p = int(code % (3**dim))
-        digits = [(p // (3**a)) % 3 for a in range(dim)]
-        out_axes = [a for a in range(dim) if digits[a] != 0]
-        sides = {a: digits[a] - 1 for a in out_axes}
-        if len(out_axes) == 1:
-            a = out_axes[0]
-            face = 2 * a + sides[a]
-            link = conn.face_links.get((tree, face))
-            if link is not None:
-                results.append((gidx, link.transform.apply_octants(group, link.nb_tree)))
-        elif len(out_axes) == 2 and dim == 3:
-            axis = next(a for a in range(3) if a not in out_axes)
-            e = edge_index(axis, sides)
-            for elink in conn.edge_links.get((tree, e), ()):
-                results.append((gidx, elink.seed_octants(group, L)))
-        else:
-            cidx = corner_index(dim, sides)
-            for clink in conn.corner_links.get((tree, cidx), ()):
-                results.append((gidx, clink.seed_octants(group, L)))
-    return results
+    ``forest`` only needs a ``conn`` attribute (the nodes module passes a
+    minimal duck-typed carrier).
+    """
+    from repro.p4est.balance import route_exterior_indexed
+
+    return route_exterior_indexed(forest.conn, ext, src_idx)

@@ -62,7 +62,6 @@ from repro.p4est.ghost import GhostLayer
 from repro.p4est.octant import (
     Octants,
     is_ancestor_pairwise,
-    neighbor_offsets,
     searchsorted_octants,
 )
 from repro.parallel.comm import Comm
@@ -183,10 +182,9 @@ def _classify_regions(
     hi = searchsorted_octants(combined, regions.last_descendants(), side="right")
     out[hi > lo] = CONFORMING
     # A coarser (or equal) container: the leaf immediately before.
-    posr = searchsorted_octants(combined, regions, side="right")
-    cand = np.maximum(posr - 1, 0)
+    cand = np.maximum(lo - 1, 0)
     anc = combined[cand]
-    contained = (posr > 0) & is_ancestor_pairwise(anc, regions)
+    contained = (lo > 0) & is_ancestor_pairwise(anc, regions)
     strictly = contained & (anc.level < regions.level)
     out[strictly] = COARSER
     same = contained & (anc.level == regions.level)
@@ -194,17 +192,47 @@ def _classify_regions(
     return out
 
 
-def _region_config(
-    forest: Forest, combined: Octants, regions_per_image: List[Tuple[np.ndarray, Octants]], nelem: int
+def _batch_region_config(
+    conn: Connectivity,
+    combined: Octants,
+    elems: Octants,
+    offsets: List[np.ndarray],
 ) -> np.ndarray:
-    """Merge per-image classifications into one per-element config."""
-    cfg = np.full(nelem, BOUNDARY, dtype=np.int8)
-    for idx, regs in regions_per_image:
-        got = _classify_regions(combined, regs, None)
-        # COARSER wins over CONFORMING wins over BOUNDARY.
-        cur = cfg[idx]
-        cfg[idx] = np.maximum(cur, got)
-    return cfg
+    """Per-(direction, element) neighbor configuration, in one pass.
+
+    For every unit offset in ``offsets`` the same-size neighbor region of
+    every element is generated (routed through the macro links when it
+    leaves the root cube), then ALL regions of all directions are
+    classified against the combined leaf set with a single searchsorted
+    batch and merged per (direction, element) with an order-independent
+    elementwise maximum (COARSER > CONFORMING > BOUNDARY) — the former
+    per-direction, per-image classification loop issued hundreds of tiny
+    bisections per Nodes call.
+
+    Returns an ``(ndir, nelem)`` int8 config array.
+    """
+    nelem = len(elems)
+    ndir = len(offsets)
+    h = elems.lens()
+    parts: List[Octants] = []
+    tags: List[np.ndarray] = []
+    for d, off in enumerate(offsets):
+        nb = elems.shifted(off[0] * h, off[1] * h, off[2] * h)
+        inside = nb.inside_root()
+        idx_in = np.flatnonzero(inside)
+        if len(idx_in):
+            parts.append(nb[idx_in])
+            tags.append(d * nelem + idx_in)
+        idx_out = np.flatnonzero(~inside)
+        if len(idx_out):
+            for gidx, regs in _images_of_regions(conn, nb[idx_out], idx_out):
+                parts.append(regs)
+                tags.append(d * nelem + gidx)
+    cfg = np.full(ndir * nelem, BOUNDARY, dtype=np.int8)
+    if parts:
+        got = _classify_regions(combined, Octants.concat(parts), None)
+        np.maximum.at(cfg, np.concatenate(tags), got)
+    return cfg.reshape(ndir, nelem)
 
 
 def _images_of_regions(
@@ -253,21 +281,23 @@ def lnodes(forest: Forest, ghost: GhostLayer, degree: int) -> LNodes:
     h = elems.lens()
     hanging_face = np.full((nelem, nfaces), -1, dtype=np.int8)
     cid = elems.child_ids().astype(np.int64)
+    # One batched classification over every face (and edge) direction.
+    offsets: List[np.ndarray] = []
     for f in range(nfaces):
         axis, side = face_axis_side(f)
-        off = np.zeros((3,), dtype=np.int64)
+        off = np.zeros(3, dtype=np.int64)
         off[axis] = 1 if side == 1 else -1
-        nb = elems.shifted(off[0] * h, off[1] * h, off[2] * h)
-        inside = nb.inside_root()
-        images: List[Tuple[np.ndarray, Octants]] = []
-        idx_in = np.flatnonzero(inside)
-        if len(idx_in):
-            images.append((idx_in, nb[idx_in]))
-        idx_out = np.flatnonzero(~inside)
-        if len(idx_out):
-            images.extend(_images_of_regions(conn, nb[idx_out], idx_out))
-        cfg = _region_config(forest, combined, images, nelem)
-        hang = cfg == COARSER
+        offsets.append(off)
+    if dim == 3:
+        for e in range(12):
+            off = np.zeros(3, dtype=np.int64)
+            for a, s in edge_transverse_sides(e).items():
+                off[a] = 1 if s == 1 else -1
+            offsets.append(off)
+    cfg_all = _batch_region_config(conn, combined, elems, offsets)
+
+    for f in range(nfaces):
+        hang = cfg_all[f] == COARSER
         if hang.any():
             # Child position within the parent face: child-id bits on the
             # tangential axes.
@@ -282,21 +312,7 @@ def lnodes(forest: Forest, ghost: GhostLayer, degree: int) -> LNodes:
         hanging_edge = np.full((nelem, 12), -1, dtype=np.int8)
         for e in range(12):
             axis = edge_axis(e)
-            sides = edge_transverse_sides(e)
-            off = np.zeros(3, dtype=np.int64)
-            for a, s in sides.items():
-                off[a] = 1 if s == 1 else -1
-            nb = elems.shifted(off[0] * h, off[1] * h, off[2] * h)
-            inside = nb.inside_root()
-            images = []
-            idx_in = np.flatnonzero(inside)
-            if len(idx_in):
-                images.append((idx_in, nb[idx_in]))
-            idx_out = np.flatnonzero(~inside)
-            if len(idx_out):
-                images.extend(_images_of_regions(conn, nb[idx_out], idx_out))
-            cfg = _region_config(forest, combined, images, nelem)
-            hang = cfg == COARSER
+            hang = cfg_all[nfaces + e] == COARSER
             # An edge adjacent to a hanging face hangs with it.
             fa, fb = _edge_adjacent_faces(e)
             hang |= hanging_face[:, fa] >= 0
@@ -364,7 +380,7 @@ def lnodes(forest: Forest, ghost: GhostLayer, degree: int) -> LNodes:
     all_keys = _canonicalize_keys(conn, all_keys, N)
 
     # --- Unique local nodes ------------------------------------------------------------
-    uniq, inverse = np.unique(all_keys, axis=0, return_inverse=True)
+    uniq, inverse = _unique_rows(all_keys)
     element_nodes = inverse.reshape(nelem, nslots).astype(np.int64)
     nloc = len(uniq)
 
@@ -443,6 +459,28 @@ def _edge_adjacent_faces(e: int) -> Tuple[int, int]:
     sides = edge_transverse_sides(e)
     faces = tuple(2 * a + s for a, s in sorted(sides.items()))
     return faces  # type: ignore[return-value]
+
+
+def _unique_rows(arr: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``np.unique(arr, axis=0, return_inverse=True)`` via column lexsort.
+
+    Identical output (rows sorted in numeric lexicographic order, the
+    order the global numbering depends on), but sorts with one primitive
+    ``lexsort`` over the columns instead of numpy's structured-dtype
+    argsort, whose generic per-row comparisons dominated the Nodes
+    profile.
+    """
+    n = len(arr)
+    if n == 0:
+        return arr.copy(), np.empty(0, dtype=np.int64)
+    order = np.lexsort(arr.T[::-1])
+    srt = arr[order]
+    first = np.empty(n, dtype=bool)
+    first[0] = True
+    np.any(srt[1:] != srt[:-1], axis=1, out=first[1:])
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = np.cumsum(first) - 1
+    return srt[first], inverse
 
 
 def _lookup_keys(sorted_keys: np.ndarray, queries: np.ndarray) -> np.ndarray:

@@ -17,7 +17,14 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.p4est.bits import Dimension, dimension, interleave, sfc_key
+from repro.p4est.bits import (
+    LEVEL_BITS,
+    Dimension,
+    dimension,
+    interleave,
+    seg_searchsorted,
+    sfc_key,
+)
 
 
 @dataclass(frozen=True, order=False)
@@ -46,9 +53,12 @@ class Octants:
 
     The arrays are owned (never views of caller data) and kept in
     struct-of-arrays layout for cache-friendly columnar operations.
+    Exception: contiguous-slice selections (``octs[a:b]``) return views
+    for speed — treat selection results as read-only, or go through
+    :meth:`copy` before writing columns in place.
     """
 
-    __slots__ = ("dim", "D", "tree", "x", "y", "z", "level")
+    __slots__ = ("dim", "D", "tree", "x", "y", "z", "level", "_keys")
 
     def __init__(
         self,
@@ -73,8 +83,36 @@ class Octants:
         self.level = np.ascontiguousarray(level, dtype=np.int8)
         if not (len(self.x) == len(self.y) == len(self.z) == len(self.level) == n):
             raise ValueError("octant column lengths disagree")
+        self._keys: Optional[np.ndarray] = None  # lazy packed-SFC-key cache
 
     # Construction ----------------------------------------------------------
+
+    @classmethod
+    def _wrap(
+        cls,
+        dim: int,
+        tree: np.ndarray,
+        x: np.ndarray,
+        y: np.ndarray,
+        z: np.ndarray,
+        level: np.ndarray,
+        keys: Optional[np.ndarray] = None,
+    ) -> "Octants":
+        """Construct from arrays already in canonical dtype/layout.
+
+        Hot-path constructor that skips the dtype coercion and length
+        validation of ``__init__``; callers guarantee the invariants.
+        """
+        out = cls.__new__(cls)
+        out.dim = dim
+        out.D = dimension(dim)
+        out.tree = tree
+        out.x = x
+        out.y = y
+        out.z = z
+        out.level = level
+        out._keys = keys
+        return out
 
     @classmethod
     def empty(cls, dim: int) -> "Octants":
@@ -145,8 +183,16 @@ class Octants:
     def __getitem__(self, idx) -> "Octants":
         if isinstance(idx, (int, np.integer)):
             idx = slice(idx, idx + 1)
-        return Octants(
-            self.dim, self.tree[idx], self.x[idx], self.y[idx], self.z[idx], self.level[idx]
+        # Selection preserves per-octant keys; carrying the cache makes
+        # sort()/dedup()/searchsorted chains key-compute-once.
+        return Octants._wrap(
+            self.dim,
+            self.tree[idx],
+            self.x[idx],
+            self.y[idx],
+            self.z[idx],
+            self.level[idx],
+            None if self._keys is None else self._keys[idx],
         )
 
     def octant(self, i: int) -> Octant:
@@ -191,10 +237,20 @@ class Octants:
         return self.D.octant_len(self.level.astype(np.int64))
 
     def keys(self) -> np.ndarray:
-        """Packed intra-tree SFC keys (uint64)."""
-        return sfc_key(self.dim, self.x, self.y, self.z, self.level)
+        """Packed intra-tree SFC keys (uint64; computed once and cached).
+
+        The cache is safe because every constructor owns its arrays and
+        the only callers that write columns in place do so on a fresh
+        :meth:`copy` (which deliberately drops the cache) before any key
+        is requested.
+        """
+        if self._keys is None:
+            self._keys = sfc_key(self.dim, self.x, self.y, self.z, self.level)
+        return self._keys
 
     def mortons(self) -> np.ndarray:
+        if self._keys is not None:
+            return self._keys >> np.uint64(LEVEL_BITS)
         return interleave(self.dim, self.x, self.y, self.z)
 
     def sort_order(self) -> np.ndarray:
@@ -382,20 +438,83 @@ def is_ancestor_pairwise(anc: Octants, desc: Octants) -> np.ndarray:
 def searchsorted_octants(sorted_octs: Octants, queries: Octants, side: str = "left") -> np.ndarray:
     """Positions of ``queries`` in the globally sorted array ``sorted_octs``.
 
-    Comparison is the (tree, key) lexicographic total order.  Implemented
-    by packing tree and key into a comparable pair via a stable two-stage
-    searchsorted on a combined sort array.
+    Comparison is the (tree, key) lexicographic total order, bisected on
+    flat uint64 key arrays per tree segment (:func:`seg_searchsorted`) —
+    a structured ``(tree, key)`` dtype would fall back to numpy's generic
+    per-element comparison loop, which dominated the Balance/Ghost/Nodes
+    profiles before the flat-array refactor.
     """
-    # Combine (tree, key) into sortable numpy structured comparisons by
-    # sorting on a single array: since tree < 2^31 and key uses all 64 bits,
-    # build a 2-column view and use np.searchsorted on a structured dtype.
-    base = np.empty(len(sorted_octs), dtype=[("t", np.int64), ("k", np.uint64)])
-    base["t"] = sorted_octs.tree
-    base["k"] = sorted_octs.keys()
-    q = np.empty(len(queries), dtype=base.dtype)
-    q["t"] = queries.tree
-    q["k"] = queries.keys()
-    return np.searchsorted(base, q, side=side)
+    return seg_searchsorted(
+        sorted_octs.tree, sorted_octs.keys(), queries.tree, queries.keys(), side=side
+    )
+
+
+def merge_sorted_octants(a: Octants, b: Octants) -> Octants:
+    """Merge two globally sorted octant arrays into one sorted array.
+
+    Linear-gather alternative to ``Octants.concat([a, b]).sorted()``;
+    stable with ``a`` before ``b`` on equal keys.  Balance uses this to
+    splice freshly split children back into the leaf array without a
+    full lexsort each refinement sweep.
+    """
+    if not len(a):
+        return b
+    if not len(b):
+        return a
+    pos = searchsorted_octants(a, b, side="right")
+    n = len(a) + len(b)
+    take_b = np.zeros(n, dtype=bool)
+    take_b[pos + np.arange(len(b), dtype=np.int64)] = True
+    perm = np.empty(n, dtype=np.int64)
+    perm[take_b] = np.arange(len(a), n, dtype=np.int64)
+    perm[~take_b] = np.arange(len(a), dtype=np.int64)
+    keys = np.concatenate([a.keys(), b.keys()])[perm]
+    return Octants._wrap(
+        a.dim,
+        np.concatenate([a.tree, b.tree])[perm],
+        np.concatenate([a.x, b.x])[perm],
+        np.concatenate([a.y, b.y])[perm],
+        np.concatenate([a.z, b.z])[perm],
+        np.concatenate([a.level, b.level])[perm],
+        keys,
+    )
+
+
+def neighborhood(octs: Octants, codim: int) -> Tuple[np.ndarray, "Octants"]:
+    """Same-size neighbors of every octant across all directions at once.
+
+    Returns ``(src_idx, neighbors)`` where ``neighbors`` stacks, for each
+    codimension-1..codim unit offset, the shifted copy of every octant,
+    and ``src_idx[i]`` is the index of the octant ``neighbors[i]`` was
+    generated from.  One batched construction replaces the former
+    per-offset loop (26 offsets in 3D); results may lie outside the root
+    cube and are routed through the connectivity by the callers.
+    """
+    offs = all_neighbor_offsets(octs.dim, codim)
+    n, m = len(octs), len(offs)
+    h = octs.lens()
+    # Offset-major layout: block j holds offset j applied to all octants,
+    # matching the former ``for off in offsets`` generation order.  Each
+    # block is written into one preallocated column — no 2D broadcast
+    # temporaries, no per-offset Octants objects.
+    x = np.empty(m * n, dtype=np.int64)
+    y = np.empty(m * n, dtype=np.int64)
+    z = np.empty(m * n, dtype=np.int64)
+    for j in range(m):
+        sl = slice(j * n, (j + 1) * n)
+        for col, src, o in ((x, octs.x, offs[j, 0]),
+                            (y, octs.y, offs[j, 1]),
+                            (z, octs.z, offs[j, 2])):
+            if o == 0:
+                col[sl] = src
+            elif o > 0:
+                np.add(src, h, out=col[sl])
+            else:
+                np.subtract(src, h, out=col[sl])
+    tree = np.tile(octs.tree, m)
+    level = np.tile(octs.level, m)
+    src_idx = np.tile(np.arange(n, dtype=np.int64), m)
+    return src_idx, Octants._wrap(octs.dim, tree, x, y, z, level)
 
 
 def overlaps_any(sorted_octs: Octants, queries: Octants) -> np.ndarray:

@@ -1,0 +1,85 @@
+"""Gate kernel performance against a checked-in baseline.
+
+Reads the machine-readable artifact written by
+``benchmarks/bench_fig4_p4est_weak.py`` (``bench_results/fig4_p4est_weak.json``)
+and compares the normalized per-kernel costs against
+``benchmarks/perf_baseline.json``.  A gated kernel whose cost exceeds
+``baseline * max_regression_factor`` fails the check; kernels that got
+faster are reported but never fail.
+
+Usage::
+
+    python tools/check_perf_smoke.py \
+        [--result bench_results/fig4_p4est_weak.json] \
+        [--baseline benchmarks/perf_baseline.json] \
+        [--factor 1.2]
+
+The factor flag overrides the baseline file's ``max_regression_factor``
+(CI uses the file's value; the flag exists for local what-if runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_RESULT = os.path.join(REPO, "bench_results", "fig4_p4est_weak.json")
+DEFAULT_BASELINE = os.path.join(REPO, "benchmarks", "perf_baseline.json")
+
+
+def load(path: str) -> dict:
+    """Load one JSON file, exiting with a clear message if it is missing."""
+    if not os.path.exists(path):
+        print(f"perf-smoke: missing {path} (run the fig4 benchmark first)")
+        sys.exit(2)
+    with open(path) as f:
+        return json.load(f)
+
+
+def check(result: dict, baseline: dict, factor: float | None = None) -> int:
+    """Compare gated kernels; return the number of regressions."""
+    limit = factor if factor is not None else baseline["max_regression_factor"]
+    base = baseline["normalized_s_per_Moct_core"]
+    got = result["normalized_s_per_Moct_core"]
+    failures = 0
+    print(f"perf-smoke gate: fail if cost > baseline x {limit}")
+    print(f"{'kernel':>8}  {'baseline':>9}  {'measured':>9}  {'ratio':>6}  verdict")
+    for kernel in baseline["gated"]:
+        ref = base[kernel]
+        cur = got.get(kernel)
+        if cur is None:
+            print(f"{kernel:>8}  {ref:9.3f}  {'missing':>9}  {'-':>6}  FAIL")
+            failures += 1
+            continue
+        ratio = cur / ref
+        ok = ratio <= limit
+        verdict = "ok" if ok else "FAIL"
+        print(f"{kernel:>8}  {ref:9.3f}  {cur:9.3f}  {ratio:6.2f}  {verdict}")
+        if not ok:
+            failures += 1
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: 0 on success, 1 on regression, 2 on missing input."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--result", default=DEFAULT_RESULT)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--factor", type=float, default=None)
+    args = parser.parse_args(argv)
+    failures = check(load(args.result), load(args.baseline), args.factor)
+    if failures:
+        print(
+            f"perf-smoke: {failures} kernel(s) regressed; if intentional, "
+            f"regenerate benchmarks/perf_baseline.json (see its comment field)"
+        )
+        return 1
+    print("perf-smoke: all gated kernels within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
