@@ -25,6 +25,7 @@ exponential backoff before surfacing.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import pickle
@@ -45,6 +46,12 @@ from repro.parallel.run import CheckpointStore
 
 _GEN_PREFIX = "gen-"
 _TMP_PREFIX = ".tmp-"
+#: Staging directories older than this are crash leftovers, safe to GC.
+#: Younger ones may belong to a concurrent writer mid-commit.
+_STALE_TMP_SECONDS = 300.0
+#: Per-process staging counter: makes tmp names unique across concurrent
+#: same-process writers racing on one generation number.
+_TMP_SEQ = itertools.count()
 #: Framing magic for CRC32-verified pickle payloads.
 _PICKLE_MAGIC = b"RPCK1\n"
 
@@ -105,6 +112,17 @@ class DiskCheckpointStore(CheckpointStore):
     The store is reusable across runs and driver processes: a fresh
     instance over an existing root resumes from the newest intact
     generation on disk.
+
+    ``namespace`` scopes the store to a subdirectory of ``root``
+    (slash-separated segments allowed, e.g. ``"tenant-a/session-7"``).
+    Namespaces are the multi-tenant isolation boundary: stores sharing
+    one ``root`` but holding different namespaces have disjoint
+    generation sequences and disjoint retention GC — one tenant's
+    ``keep`` can never collect another tenant's checkpoints.  Two
+    *writers on the same namespace* are still crash-safe (unique staging
+    names, atomic publish; a lost commit race surfaces as a retried
+    ``OSError``) but interleave one generation sequence — give every
+    independent writer its own namespace.
     """
 
     def __init__(
@@ -113,14 +131,31 @@ class DiskCheckpointStore(CheckpointStore):
         keep: int = 4,
         retries: int = 3,
         backoff: float = 0.05,
+        namespace: Optional[str] = None,
         _sleep: Callable[[float], None] = time.sleep,
     ) -> None:
-        """Create (or adopt) the store rooted at ``root``."""
+        """Create (or adopt) the store rooted at ``root`` (/ ``namespace``)."""
         if keep < 1:
             raise ValueError("keep must be >= 1")
         if retries < 0:
             raise ValueError("retries must be >= 0")
-        self.root = os.fspath(root)
+        self.base_root = os.fspath(root)
+        self.namespace = namespace
+        if namespace is None:
+            self.root = self.base_root
+        else:
+            segments = namespace.split("/")
+            if not all(seg and seg not in (".", "..") for seg in segments):
+                raise ValueError(
+                    f"namespace {namespace!r} must be non-empty path segments "
+                    "without '.' or '..'"
+                )
+            if any(seg.startswith(_GEN_PREFIX) or seg.startswith(_TMP_PREFIX)
+                   for seg in segments):
+                raise ValueError(
+                    f"namespace {namespace!r} collides with generation layout"
+                )
+            self.root = os.path.join(self.base_root, *segments)
         self.keep = keep
         self.retries = retries
         self.backoff = backoff
@@ -187,8 +222,16 @@ class DiskCheckpointStore(CheckpointStore):
         gens = self._generations()
         num = gens[-1][0] + 1 if gens else 1
         final = os.path.join(self.root, f"{_GEN_PREFIX}{num:06d}")
-        tmp = os.path.join(self.root, f"{_TMP_PREFIX}{_GEN_PREFIX}{num:06d}-{os.getpid()}")
-        shutil.rmtree(tmp, ignore_errors=True)
+        # pid + per-process sequence: concurrent writers (threads of one
+        # driver, or separate drivers) can never stage into each other's
+        # directory even when racing on the same generation number.  The
+        # race itself is resolved by ``os.replace``: the loser's rename
+        # onto the published directory fails with OSError and the retry
+        # loop above recommits under the next number.
+        tmp = os.path.join(
+            self.root,
+            f"{_TMP_PREFIX}{_GEN_PREFIX}{num:06d}-{os.getpid()}-{next(_TMP_SEQ)}",
+        )
         os.makedirs(tmp)
         try:
             if isinstance(payload, ForestCheckpoint):
@@ -210,7 +253,15 @@ class DiskCheckpointStore(CheckpointStore):
         fsync_dir(self.root)
 
     def _collect_garbage(self) -> None:
-        """Drop generations beyond ``keep`` and stale staging directories."""
+        """Drop generations beyond ``keep`` and *stale* staging directories.
+
+        Retention is scoped to this store's directory (= its namespace),
+        so one tenant's ``keep`` never touches another's generations.
+        Staging directories are only reaped once they are old enough to
+        be crash leftovers — a young ``.tmp-`` may be a concurrent
+        same-namespace writer mid-commit, and deleting it out from under
+        that writer would fail its fsync/publish.
+        """
         gens = self._generations()
         for _, name in gens[: max(0, len(gens) - self.keep)]:
             shutil.rmtree(os.path.join(self.root, name), ignore_errors=True)
@@ -218,9 +269,17 @@ class DiskCheckpointStore(CheckpointStore):
             names = os.listdir(self.root)
         except FileNotFoundError:
             return
+        now = time.time()
         for name in names:
-            if name.startswith(_TMP_PREFIX):
-                shutil.rmtree(os.path.join(self.root, name), ignore_errors=True)
+            if not name.startswith(_TMP_PREFIX):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                age = now - os.stat(path).st_mtime
+            except OSError:
+                continue  # already gone (its writer published or cleaned up)
+            if age >= _STALE_TMP_SECONDS:
+                shutil.rmtree(path, ignore_errors=True)
 
     # Read path --------------------------------------------------------------
 

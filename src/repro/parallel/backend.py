@@ -419,6 +419,23 @@ class Backend(ABC):
     def run_attempt(self, request: AttemptRequest) -> AttemptResult:
         """Execute one attempt of ``request.size`` ranks to completion."""
 
+    def close(self) -> None:
+        """Release any long-lived resources the backend holds.
+
+        The thread backend holds none, so this default is a no-op.  The
+        process backend overrides it to retire its warm worker pool (see
+        ``ProcessBackend(persistent=True)``).  Safe to call repeatedly;
+        a closed backend may still run attempts (it simply cold-starts).
+        """
+
+    def __enter__(self) -> "Backend":
+        """Support ``with get_backend(...) as backend:`` lifecycles."""
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        """Close on scope exit."""
+        self.close()
+
 
 def effective_timeout(request: AttemptRequest) -> Optional[float]:
     """The barrier-wait timeout for an attempt.
@@ -440,8 +457,9 @@ def get_backend(name: str, **options: Any) -> Backend:
     """Resolve a backend by registry name.
 
     ``options`` are forwarded to the backend constructor (the process
-    backend accepts ``start_method`` and ``shm_threshold_bytes``; the
-    thread backend takes none).  Unknown names raise :class:`ValueError`.
+    backend accepts ``start_method``, ``shm_threshold_bytes``, and
+    ``persistent``; the thread backend takes none).  Unknown names raise
+    :class:`ValueError`.
     """
     if name == "thread":
         from repro.parallel.machine import ThreadBackend

@@ -11,8 +11,9 @@ module provides that machine without touching any algorithm code:
   plan against the same program always fires at the same logical point.
 * :class:`FaultyComm` — a decorator over any :class:`Comm` that consults
   the plan before every operation and injects crashes
-  (:class:`InjectedFailure`), payload corruption, payload truncation, or
-  delays, then delegates to the wrapped communicator.
+  (:class:`InjectedFailure`), payload corruption, payload truncation,
+  one-shot delays, or a persistent per-rank straggler (:data:`SLOW`),
+  then delegates to the wrapped communicator.
 
 Compose it innermost on any run via the
 :class:`~repro.parallel.layers.Faults` layer — ``RunConfig(recover=True,
@@ -39,8 +40,9 @@ CORRUPT = "corrupt"
 TRUNCATE = "truncate"
 DELAY = "delay"
 DIE = "die"
+SLOW = "slow"
 
-_KINDS = (CRASH, CORRUPT, TRUNCATE, DELAY, DIE)
+_KINDS = (CRASH, CORRUPT, TRUNCATE, DELAY, DIE, SLOW)
 
 
 class InjectedFailure(RuntimeError):
@@ -52,12 +54,22 @@ class Fault:
     """One scheduled fault on ``rank`` at its ``at_call``-th comm operation.
 
     ``kind`` is one of :data:`CRASH`, :data:`CORRUPT`, :data:`TRUNCATE`,
-    :data:`DELAY`, :data:`DIE`; ``seconds`` applies to delays only.
-    :data:`DIE` is the hard variant of :data:`CRASH`: inside a
-    process-backend worker it SIGKILLs the whole process (the parent sees
-    a dropped connection, exactly like real node loss); on the thread
-    backend — where killing the process would take the driver down too —
-    it degrades to an :class:`InjectedFailure`.
+    :data:`DELAY`, :data:`DIE`, :data:`SLOW`; ``seconds`` applies to
+    delays and stragglers.  :data:`DIE` is the hard variant of
+    :data:`CRASH`: inside a process-backend worker it SIGKILLs the whole
+    process (the parent sees a dropped connection, exactly like real node
+    loss); on the thread backend — where killing the process would take
+    the driver down too — it degrades to an :class:`InjectedFailure`.
+
+    :data:`DELAY` is a one-shot hiccup at exactly ``at_call``;
+    :data:`SLOW` is the *persistent straggler*: from ``at_call`` onward
+    the rank sleeps ``seconds`` after **every** operation completes
+    (modeling a persistently slow node observed as late arrival at the
+    next collective).  Sleeping on the exit side is deliberate: the rank
+    still holds its open heartbeat in call ``k`` while its peers enter
+    call ``k+1``, so the hang watchdog's divergent-site diagnosis names
+    the straggler — which makes deadline-expiry and backoff paths
+    deterministically testable.
     """
 
     kind: str
@@ -70,6 +82,8 @@ class Fault:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.rank < 0 or self.at_call < 0:
             raise ValueError("fault rank and call index must be nonnegative")
+        if self.kind == SLOW and self.seconds <= 0.0:
+            raise ValueError("SLOW faults need a positive per-call seconds")
 
 
 @dataclass
@@ -98,6 +112,13 @@ class FaultPlan:
     def die(cls, rank: int, at_call: int, seed: int = 0) -> "FaultPlan":
         """Hard process death (SIGKILL) at one rank's Nth collective."""
         return cls([Fault(DIE, rank, at_call)], seed=seed)
+
+    @classmethod
+    def slow(
+        cls, rank: int, at_call: int, seconds: float, seed: int = 0
+    ) -> "FaultPlan":
+        """Persistent straggler: ``rank`` lags ``seconds`` per call from ``at_call`` on."""
+        return cls([Fault(SLOW, rank, at_call, seconds=seconds)], seed=seed)
 
     @classmethod
     def seeded(
@@ -284,12 +305,18 @@ class FaultyComm(Comm):
         self.stats = inner.stats
         self.calls = 0
         self.injected: List[Fault] = []
+        #: This rank's persistent stragglers, applied by :meth:`_post`.
+        self._slow: List[Fault] = [
+            f for f in plan.faults if f.kind == SLOW and f.rank == inner.rank
+        ]
 
     def _step(self, payload: Any) -> Any:
         """Fire faults for this call index; return the (maybe mutated) payload."""
         call = self.calls
         self.calls += 1
         for fault in self.plan.at(self.rank, call):
+            if fault.kind == SLOW:
+                continue  # persistent stragglers fire on the exit side (_post)
             self.injected.append(fault)
             if fault.kind == DELAY:
                 time.sleep(fault.seconds)
@@ -319,45 +346,82 @@ class FaultyComm(Comm):
                 payload = truncate_payload(payload)
         return payload
 
+    def _post(self) -> None:
+        """Apply the persistent straggler lag for the call that just completed.
+
+        :data:`SLOW` sleeps on the *exit* side of the operation: this rank
+        has already contributed (its peers are released) but it lingers
+        before issuing its next call, exactly like a rank whose compute
+        between collectives is slow.  The open-heartbeat divergence this
+        produces is what lets the watchdog name the straggler.
+        """
+        call = self.calls - 1
+        lag = 0.0
+        for fault in self._slow:
+            if call >= fault.at_call:
+                lag += fault.seconds
+                self.injected.append(fault)
+        if lag > 0.0:
+            time.sleep(lag)
+
     # Collectives: count, inject, delegate ---------------------------------
 
     def barrier(self) -> None:
         """Fault-injected :meth:`Comm.barrier`."""
         self._step(None)
         self.inner.barrier()
+        self._post()
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Fault-injected :meth:`Comm.bcast`."""
-        return self.inner.bcast(self._step(obj), root=root)
+        result = self.inner.bcast(self._step(obj), root=root)
+        self._post()
+        return result
 
     def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
         """Fault-injected :meth:`Comm.gather`."""
-        return self.inner.gather(self._step(obj), root=root)
+        result = self.inner.gather(self._step(obj), root=root)
+        self._post()
+        return result
 
     def scatter(self, objs: Optional[List[Any]], root: int = 0) -> Any:
         """Fault-injected :meth:`Comm.scatter`."""
-        return self.inner.scatter(self._step(objs), root=root)
+        result = self.inner.scatter(self._step(objs), root=root)
+        self._post()
+        return result
 
     def allgather(self, obj: Any) -> List[Any]:
         """Fault-injected :meth:`Comm.allgather`."""
-        return self.inner.allgather(self._step(obj))
+        result = self.inner.allgather(self._step(obj))
+        self._post()
+        return result
 
     def allreduce(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Fault-injected :meth:`Comm.allreduce`."""
-        return self.inner.allreduce(self._step(value), op)
+        result = self.inner.allreduce(self._step(value), op)
+        self._post()
+        return result
 
     def exscan(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Fault-injected :meth:`Comm.exscan`."""
-        return self.inner.exscan(self._step(value), op)
+        result = self.inner.exscan(self._step(value), op)
+        self._post()
+        return result
 
     def scan(self, value: Any, op: ReduceOp = SUM) -> Any:
         """Fault-injected :meth:`Comm.scan`."""
-        return self.inner.scan(self._step(value), op)
+        result = self.inner.scan(self._step(value), op)
+        self._post()
+        return result
 
     def alltoall(self, objs: List[Any]) -> List[Any]:
         """Fault-injected :meth:`Comm.alltoall`."""
-        return self.inner.alltoall(self._step(objs))
+        result = self.inner.alltoall(self._step(objs))
+        self._post()
+        return result
 
     def exchange(self, outbox: Dict[int, Any]) -> Dict[int, Any]:
         """Fault-injected :meth:`Comm.exchange`."""
-        return self.inner.exchange(self._step(outbox))
+        result = self.inner.exchange(self._step(outbox))
+        self._post()
+        return result

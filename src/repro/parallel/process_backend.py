@@ -305,25 +305,29 @@ class _StoreProxy:
         return self._comm._request(("load",), "loaded")[1]
 
 
-def _worker_main(
+#: One dispatched job: ``(fn, args, kwargs, layers, attempt, has_store,
+#: epoch, tracing)``.  Travels as Process args for fresh spawns (so the
+#: ``fork`` start method keeps supporting closure rank programs) and as a
+#: pickled ``("job", spec)`` pipe message for reused pool workers.
+_JobSpec = Tuple[
+    Callable[..., Any], tuple, dict, tuple, int, bool, float, bool
+]
+
+
+def _run_job(
     conn: Any,
     rank: int,
     size: int,
     shm_threshold: int,
-    fn: Callable[..., Any],
-    args: tuple,
-    kwargs: dict,
-    layers: tuple,
-    attempt: int,
     spawn_gen: int,
-    has_store: bool,
-    epoch: float,
-    tracing: bool,
-) -> None:
-    """Entry point of one worker process: wrap, run, report.
+    spec: _JobSpec,
+) -> bool:
+    """Run one dispatched rank program to its terminal report.
 
-    Module-level (not a closure) so the ``spawn`` start method can import
-    it.  Reports exactly one of ``done`` (value + metering + trace) or
+    Returns ``True`` only for a clean ``done``; an error, cascade, or
+    dead pipe returns ``False`` so a persistent worker can announce
+    itself ``idle`` (the router must not wait for its EOF — the process
+    is staying alive for the next job).  Reports exactly one of ``done`` (value + metering + trace) or
     ``err`` (exception chain + the stats lost with it); a cascade from a
     received ``abort`` reports nothing — the parent already knows.
 
@@ -337,73 +341,130 @@ def _worker_main(
     attempt.  ``spawn_gen`` seeds the generation for replacement workers
     spawned mid-attempt.
     """
+    fn, args, kwargs, layers, attempt, has_store, epoch, tracing = spec
     gen = spawn_gen
+    while True:
+        comm = ProcessComm(rank, size, conn, shm_threshold)
+        watchdog = (
+            _WatchdogProxy(comm)
+            if find_layer(layers, "watchdog") is not None
+            else None
+        )
+        tracer = None
+        if tracing:
+            from repro.trace.tracer import Tracer
+
+            tracer = Tracer(rank, epoch=epoch)
+        ctx = LayerContext(
+            rank=rank,
+            size=size,
+            attempt=attempt + gen,
+            sanitizer_state=(
+                _SanitizerProxy(comm)
+                if find_layer(layers, "sanitize") is not None
+                else None
+            ),
+            watchdog=watchdog,
+            tracer=tracer,
+        )
+        facade = wrap_comm(comm, layers, ctx)
+        fn_args = (_StoreProxy(comm),) + tuple(args) if has_store else tuple(args)
+        comm._mark = time.thread_time()
+        try:
+            if tracer is not None:
+                with tracer.activate():
+                    value = fn(facade, *fn_args, **kwargs)
+            else:
+                value = fn(facade, *fn_args, **kwargs)
+        except _RollbackSignal as rb:
+            gen = rb.gen
+            try:
+                comm._send(("rb-ack", gen, comm.stats))
+            except (OSError, BrokenPipeError):
+                return False
+            continue  # re-enter the program as rollback generation ``gen``
+        except BaseException as exc:  # noqa: BLE001 - reported to the parent
+            if not comm.saw_abort:
+                try:
+                    if watchdog is not None:
+                        watchdog.finished(rank, errored=True)
+                    comm._send(("err", _dump_exc_chain(exc), comm.stats))
+                except (OSError, BrokenPipeError):
+                    pass
+            return False
+        if watchdog is not None:
+            watchdog.finished(rank)
+        comm._begin()
+        try:
+            comm._send(
+                (
+                    "done",
+                    value,
+                    comm.stats,
+                    comm.compute_seconds,
+                    tracer.report() if tracer is not None else None,
+                )
+            )
+        except (OSError, BrokenPipeError):
+            return False  # parent tore the attempt down first
+        return True
+
+
+def _worker_main(
+    conn: Any,
+    rank: int,
+    size: int,
+    shm_threshold: int,
+    persistent: bool,
+    spawn_gen: int,
+    spec: _JobSpec,
+) -> None:
+    """Entry point of one worker process: run jobs until retired.
+
+    Module-level (not a closure) so the ``spawn`` start method can import
+    it.  A transient worker (``persistent=False``) runs exactly the job
+    it was spawned with and exits.  A persistent (warm-pool) worker loops:
+    after each job's terminal report it blocks on the pipe for the next
+    ``("job", spec)`` dispatch, and retires on ``("quit",)``, on a closed
+    pipe, or on any message it does not understand.  A job that ended in
+    an error or cascade is followed by an ``("idle",)`` announcement, so
+    the router can account for a parked worker it will never see EOF
+    from.  A ``rollback`` that races with this worker's ``done`` (a peer
+    died just as it finished) is honoured from the idle loop too: the
+    worker acks the generation and re-enters its current program like
+    any survivor.
+    """
     try:
         while True:
-            comm = ProcessComm(rank, size, conn, shm_threshold)
-            watchdog = (
-                _WatchdogProxy(comm)
-                if find_layer(layers, "watchdog") is not None
-                else None
-            )
-            tracer = None
-            if tracing:
-                from repro.trace.tracer import Tracer
-
-                tracer = Tracer(rank, epoch=epoch)
-            ctx = LayerContext(
-                rank=rank,
-                size=size,
-                attempt=attempt + gen,
-                sanitizer_state=(
-                    _SanitizerProxy(comm)
-                    if find_layer(layers, "sanitize") is not None
-                    else None
-                ),
-                watchdog=watchdog,
-                tracer=tracer,
-            )
-            facade = wrap_comm(comm, layers, ctx)
-            fn_args = (_StoreProxy(comm),) + tuple(args) if has_store else tuple(args)
-            comm._mark = time.thread_time()
-            try:
-                if tracer is not None:
-                    with tracer.activate():
-                        value = fn(facade, *fn_args, **kwargs)
-                else:
-                    value = fn(facade, *fn_args, **kwargs)
-            except _RollbackSignal as rb:
-                gen = rb.gen
+            clean = _run_job(conn, rank, size, shm_threshold, spawn_gen, spec)
+            if not persistent:
+                return
+            if not clean:
+                # The router must learn we are parked (it will never see
+                # an EOF from a worker that stays alive for the pool).
                 try:
-                    comm._send(("rb-ack", gen, comm.stats))
+                    conn.send(("idle",))
                 except (OSError, BrokenPipeError):
                     return
-                continue  # re-enter the program as rollback generation ``gen``
-            except BaseException as exc:  # noqa: BLE001 - reported to the parent
-                if not comm.saw_abort:
+            while True:
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    return
+                if msg[0] == "job":
+                    spawn_gen = 0
+                    spec = msg[1]
+                    break
+                if msg[0] == "rollback":
+                    # Raced with our "done": the router quarantined us as
+                    # a survivor, so ack and re-enter the same program.
                     try:
-                        if watchdog is not None:
-                            watchdog.finished(rank, errored=True)
-                        comm._send(("err", _dump_exc_chain(exc), comm.stats))
+                        conn.send(("rb-ack", msg[1], CommStats()))
                     except (OSError, BrokenPipeError):
-                        pass
-                return
-            if watchdog is not None:
-                watchdog.finished(rank)
-            comm._begin()
-            try:
-                comm._send(
-                    (
-                        "done",
-                        value,
-                        comm.stats,
-                        comm.compute_seconds,
-                        tracer.report() if tracer is not None else None,
-                    )
-                )
-            except (OSError, BrokenPipeError):
-                pass  # parent tore the attempt down first
-            return
+                        return
+                    spawn_gen = msg[1]
+                    break
+                return  # "quit", a late abort, or protocol confusion
     finally:
         try:
             conn.close()
@@ -436,6 +497,7 @@ class _Router:
         # Outcome state
         self.outcomes: List[Optional[RankOutcome]] = [None] * self.size
         self.completed: Set[int] = set()
+        self.idle: Set[int] = set()  # parked persistent workers (no EOF coming)
         self.failures: Dict[int, BaseException] = {}
         self.err_stats = CommStats()
         self.aborted = False
@@ -460,8 +522,10 @@ class _Router:
         # attaching, so these are only unlinked once every ack is in.
         self.stale_round_names: Set[str] = set()
         self.procs: List[Any] = []
+        self.proc_by_conn: Dict[Any, Any] = {}
         self._ctx: Any = None
         self._epoch = 0.0
+        self._spec: Optional[_JobSpec] = None
 
     # Failure bookkeeping (mirrors _Shared.abort) ---------------------------
 
@@ -502,6 +566,11 @@ class _Router:
         message of the new generation) and is dropped unanswered.
         """
         tag = msg[0]
+        if tag == "idle":
+            if rank not in self.awaiting_ack:
+                self.idle.add(rank)
+            return
+        self.idle.discard(rank)
         if tag == "rb-ack":
             self.on_rb_ack(rank, msg[1], msg[2])
             return
@@ -787,7 +856,7 @@ class _Router:
         generation, so their logical attempt index matches the
         survivors' — the whole machine agrees on one attempt number.
         """
-        req = self.request
+        assert self._spec is not None
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=_worker_main,
@@ -796,15 +865,9 @@ class _Router:
                 rank,
                 self.size,
                 self.backend.shm_threshold_bytes,
-                req.fn,
-                tuple(req.args),
-                dict(req.kwargs),
-                tuple(req.layers),
-                req.attempt,
+                self.backend.persistent,
                 self.rollback_gen,
-                req.store is not None,
-                self._epoch,
-                self.tracing,
+                self._spec,
             ),
             name=f"spmd-rank-{rank}",
             daemon=True,
@@ -814,17 +877,97 @@ class _Router:
         self.conns.append(parent_conn)
         self.alive[parent_conn] = rank
         self.procs.append(proc)
+        self.proc_by_conn[parent_conn] = proc
+
+    def _job_spec(self) -> _JobSpec:
+        """Freeze this attempt's job for dispatch (spawn args or pipe)."""
+        req = self.request
+        return (
+            req.fn,
+            tuple(req.args),
+            dict(req.kwargs),
+            tuple(req.layers),
+            req.attempt,
+            req.store is not None,
+            self._epoch,
+            self.tracing,
+        )
+
+    def _adopt_pool(self) -> bool:
+        """Dispatch this attempt's job to the backend's warm pool.
+
+        Returns ``True`` when every pooled worker accepted the job.  Any
+        disqualification — no pool, wrong size, a worker died idle, or a
+        job that does not pickle (closure rank programs under ``fork``)
+        — retires the pool and reports ``False`` so the caller falls
+        back to a cold start.
+        """
+        entries = self.backend._take_pool(self.size)
+        if entries is None:
+            return False
+        try:
+            blob = pickle.dumps(("job", self._spec), pickle.HIGHEST_PROTOCOL)
+        except Exception:  # noqa: BLE001 - unpicklable job: cold-start instead
+            self.backend._retire(entries)
+            return False
+        if any(not proc.is_alive() for _, _, proc in entries):
+            self.backend._retire(entries)
+            return False
+        for _, conn, _ in entries:
+            try:
+                conn.send_bytes(blob)
+            except (OSError, BrokenPipeError, ValueError):
+                # Workers that already got the job will fail their first
+                # send once the pool's pipes close, and exit.
+                self.backend._retire(entries)
+                return False
+        for rank, conn, proc in entries:
+            self.conns.append(conn)
+            self.alive[conn] = rank
+            self.procs.append(proc)
+            self.proc_by_conn[conn] = proc
+        return True
+
+    def _pool_workers(self) -> Set[int]:
+        """Park this attempt's workers as the backend's warm pool.
+
+        Only a fully clean attempt qualifies: every rank completed, no
+        failure, abort, or unacknowledged rollback, and all ``size``
+        pipes (original or replacement workers) still open with live
+        processes behind them.  Returns the ``id()``s of the pooled
+        connections and processes so teardown skips them; empty when the
+        attempt does not qualify (teardown then proceeds as usual).
+        """
+        if (
+            not self.backend.persistent
+            or self.failures
+            or self.aborted
+            or self.awaiting_ack
+            or len(self.completed) != self.size
+            or len(self.alive) != self.size
+        ):
+            return set()
+        entries = sorted(
+            ((rank, conn, self.proc_by_conn[conn]) for conn, rank in self.alive.items()),
+            key=lambda entry: entry[0],
+        )
+        if any(not proc.is_alive() for _, _, proc in entries):
+            return set()
+        self.backend._store_pool(self.size, entries)
+        return {id(conn) for _, conn, _ in entries} | {id(p) for _, _, p in entries}
 
     def run(self) -> AttemptResult:
-        """Spawn the workers, route until the attempt resolves, account."""
+        """Launch or reuse the workers, route until resolved, account."""
         self._ctx = multiprocessing.get_context(self.backend.start_method)
         if self.watchdog is not None:
             self.watchdog.attach(self.size)
         # Epoch is valid across processes: CLOCK_MONOTONIC.
         self._epoch = time.perf_counter()
         t0 = time.perf_counter()
-        for rank in range(self.size):
-            self._spawn(rank)
+        self._spec = self._job_spec()
+        if not (self.backend.persistent and self._adopt_pool()):
+            for rank in range(self.size):
+                self._spawn(rank)
 
         grace = (self.timeout + 1.0) if self.timeout is not None else 5.0
         while self.alive and len(self.completed) < self.size:
@@ -845,11 +988,33 @@ class _Router:
                     self.on_death(rank)
                     continue
                 self.dispatch(rank, conn, msg)
+            if self.aborted and not (
+                set(self.alive.values()) - self.completed - self.idle
+            ):
+                break  # every survivor is parked; no EOFs are coming
 
+        pooled = self._pool_workers()
+        if self.backend.persistent and not pooled:
+            # Persistent workers idle in their job loop after an abort or
+            # error; wake them so the joins below do not eat the grace.
+            for conn, rank in list(self.alive.items()):
+                try:
+                    conn.send(("quit",))
+                except (OSError, BrokenPipeError):
+                    pass
+            for conn in self.conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
         deadline = time.perf_counter() + grace
         for proc in self.procs:
+            if id(proc) in pooled:
+                continue
             proc.join(max(0.0, deadline - time.perf_counter()))
         for proc in self.procs:
+            if id(proc) in pooled:
+                continue
             if proc.is_alive():
                 proc.terminate()
                 proc.join(1.0)
@@ -862,6 +1027,8 @@ class _Router:
             self.replacement_seconds += time.perf_counter() - self.rollback_t0
             self.rollback_t0 = None
         for conn in self.conns:
+            if id(conn) in pooled:
+                continue
             try:
                 conn.close()
             except OSError:
@@ -901,6 +1068,10 @@ class _Router:
         )
 
 
+#: One warm-pool member: ``(rank, parent_conn, process)``.
+_PoolEntry = Tuple[int, Any, Any]
+
+
 class ProcessBackend(Backend):
     """One worker process per rank; true parallel compute.
 
@@ -911,12 +1082,24 @@ class ProcessBackend(Backend):
     Rank programs and their arguments must be picklable (module-level
     functions; under ``fork`` this is not enforced by the OS but keeps
     runs portable across start methods).
+
+    ``persistent=True`` turns on the warm pool: a fully successful
+    attempt parks its worker processes instead of joining them, and the
+    next same-size attempt re-dispatches its job to them over the pipes
+    — no fork/spawn, no interpreter start, no module re-import.  A
+    failed attempt, a size change, or an unpicklable job retires the
+    pool and cold-starts; :meth:`close` retires it explicitly.  Attempts
+    on one backend must not run concurrently (give each thread its own
+    backend); the pool holds at most one generation of workers.
     """
 
     name = "process"
 
     def __init__(
-        self, start_method: str = "spawn", shm_threshold_bytes: int = 1 << 16
+        self,
+        start_method: str = "spawn",
+        shm_threshold_bytes: int = 1 << 16,
+        persistent: bool = False,
     ) -> None:
         """Validate and record the backend options."""
         if start_method not in multiprocessing.get_all_start_methods():
@@ -928,7 +1111,65 @@ class ProcessBackend(Backend):
             raise ValueError("shm_threshold_bytes must be >= 0")
         self.start_method = start_method
         self.shm_threshold_bytes = shm_threshold_bytes
+        self.persistent = persistent
+        self._pool: Optional[Tuple[int, List[_PoolEntry]]] = None
+
+    # Warm-pool custody (router-facing) --------------------------------------
+
+    def _take_pool(self, size: int) -> Optional[List[_PoolEntry]]:
+        """Hand the parked workers to a starting attempt (or ``None``).
+
+        A size mismatch retires the pool on the spot: the next forest
+        needs a different machine shape, so the old workers are useless.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return None
+        pool_size, entries = pool
+        if pool_size != size:
+            self._retire(entries)
+            return None
+        return entries
+
+    def _store_pool(self, size: int, entries: List[_PoolEntry]) -> None:
+        """Park a finished attempt's workers for the next same-size job."""
+        if self._pool is not None:  # pragma: no cover - attempts never overlap
+            self._retire(entries)
+            return
+        self._pool = (size, entries)
+
+    @staticmethod
+    def _retire(entries: List[_PoolEntry]) -> None:
+        """Quit, close, and reap one generation of pooled workers."""
+        for _, conn, _ in entries:
+            try:
+                conn.send(("quit",))
+            except (OSError, BrokenPipeError):
+                pass
+        for _, conn, _ in entries:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for _, _, proc in entries:
+            proc.join(1.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
+
+    def close(self) -> None:
+        """Retire the warm pool (idempotent; no-op when not persistent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            self._retire(pool[1])
+
+    def pool_size(self) -> int:
+        """How many workers are parked warm right now (introspection)."""
+        return len(self._pool[1]) if self._pool is not None else 0
 
     def run_attempt(self, request: AttemptRequest) -> AttemptResult:
-        """Execute one attempt with a fresh set of worker processes."""
+        """Execute one attempt, reusing the warm pool when possible."""
         return _Router(self, request).run()

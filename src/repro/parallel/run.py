@@ -213,6 +213,20 @@ class RunConfig:
         to launch where available) and the payload size at which
         ndarrays travel via POSIX shared memory instead of pickled
         pipe traffic.
+    ``warm_pool``
+        Process backend only: keep the worker processes alive between
+        runs of this machine and re-dispatch the next rank program to
+        them over the pipe instead of cold-starting ``size`` processes
+        per attempt.  Pooled jobs must be picklable (module-level rank
+        programs); an unpicklable job silently falls back to a fresh
+        spawn.  Pair with ``Machine.close()`` (or a ``with`` block) to
+        retire the pool.  The thread backend ignores it.
+    ``attempt_offset``
+        Added to the attempt index delivered to the layer stack
+        (:class:`~repro.parallel.layers.LayerContext.attempt`).  Drivers
+        that retry *above* ``Machine.run`` — e.g. the service session
+        retry loop — bump this so attempt-keyed fault wrappers do not
+        re-fire on every outer retry.
     """
 
     size: int
@@ -227,6 +241,8 @@ class RunConfig:
     max_replacements: int = 0
     start_method: str = "spawn"
     shm_threshold_bytes: int = 1 << 16
+    warm_pool: bool = False
+    attempt_offset: int = 0
 
     def __post_init__(self) -> None:
         """Validate the configuration and canonicalize the layer stack."""
@@ -252,6 +268,8 @@ class RunConfig:
             raise ValueError("timeout must be positive")
         if self.shm_threshold_bytes < 0:
             raise ValueError("shm_threshold_bytes must be >= 0")
+        if self.attempt_offset < 0:
+            raise ValueError("attempt_offset must be >= 0")
 
 
 @dataclass
@@ -272,26 +290,66 @@ class RunResult:
 class Machine:
     """Executes rank programs according to one :class:`RunConfig`.
 
-    A machine is cheap to build and stateless between runs; reuse one
-    for many launches of the same configuration.  The execution backend
-    is resolved once at construction.
+    A machine is cheap to build and (apart from an optional warm worker
+    pool) stateless between runs; reuse one for many launches of the
+    same configuration.  The execution backend is resolved once at
+    construction — or injected, so several machines can share one warm
+    pool (the injected backend must match ``config.backend`` and is
+    *not* closed by :meth:`close`; its owner retires it).
+
+    With ``RunConfig(warm_pool=True)`` the machine holds worker
+    processes between runs; use it as a context manager (or call
+    :meth:`close`) so the pool is retired deterministically::
+
+        with Machine(RunConfig(size=4, backend="process", warm_pool=True)) as m:
+            first = m.run(step, args)
+            second = m.run(step, args)  # reuses the warm workers
     """
 
-    def __init__(self, config: RunConfig) -> None:
-        """Resolve the configured backend for ``config``."""
+    def __init__(self, config: RunConfig, backend: Optional[Backend] = None) -> None:
+        """Resolve (or adopt) the backend executing ``config``."""
         self.config = config
+        if backend is not None:
+            if backend.name != config.backend:
+                raise ValueError(
+                    f"injected backend is {backend.name!r} but the config "
+                    f"names {config.backend!r}"
+                )
+            self._backend = backend
+            self._owns_backend = False
+            return
         options = {}
         if config.backend == "process":
             options = {
                 "start_method": config.start_method,
                 "shm_threshold_bytes": config.shm_threshold_bytes,
+                "persistent": config.warm_pool,
             }
         self._backend = get_backend(config.backend, **options)
+        self._owns_backend = True
 
     @property
     def backend(self) -> Backend:
         """The resolved execution backend."""
         return self._backend
+
+    def close(self) -> None:
+        """Retire backend resources this machine owns (the warm pool).
+
+        Injected backends are left running — whoever built them closes
+        them.  Idempotent; a closed machine can still run (it simply
+        cold-starts workers again).
+        """
+        if self._owns_backend:
+            self._backend.close()
+
+    def __enter__(self) -> "Machine":
+        """Enter a ``with`` block owning the machine's lifecycle."""
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        """Close the machine on scope exit."""
+        self.close()
 
     def run(
         self,
@@ -322,6 +380,7 @@ class Machine:
             args,
             kwargs,
             layers=cfg.layers,
+            attempt=cfg.attempt_offset,
             timeout=cfg.timeout,
             store=store,
             max_replacements=cfg.max_replacements,
@@ -375,7 +434,7 @@ class Machine:
                 args,
                 kwargs,
                 layers=cfg.layers,
-                attempt=attempt_idx,
+                attempt=cfg.attempt_offset + attempt_idx,
                 timeout=cfg.timeout,
                 store=store,
                 max_replacements=cfg.max_replacements,

@@ -1,0 +1,53 @@
+"""Fault-isolated multi-tenant session layer over warm machine pools.
+
+Public surface of the serving stack: :class:`ForestService` (the
+session multiplexer), :class:`ServiceConfig` (its declarative shape),
+the session lifecycle states, the per-tenant :class:`CircuitBreaker`,
+and the typed service errors.  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.service.errors import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadError,
+    SessionCancelledError,
+    SessionNotFoundError,
+)
+from repro.service.service import ForestService, ServiceConfig
+from repro.service.session import (
+    CANCELLED,
+    DONE,
+    EXPIRED,
+    FAILED,
+    QUEUED,
+    RETRYING,
+    RUNNING,
+    TERMINAL_STATES,
+    Session,
+)
+
+__all__ = [
+    "ForestService",
+    "ServiceConfig",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceOverloadError",
+    "SessionCancelledError",
+    "SessionNotFoundError",
+    "DeadlineExceededError",
+    "Session",
+    "QUEUED",
+    "RUNNING",
+    "RETRYING",
+    "DONE",
+    "FAILED",
+    "EXPIRED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+]

@@ -1,0 +1,103 @@
+"""Per-tenant circuit breaker: graceful degradation instead of outage.
+
+A tenant whose sessions keep failing should not keep burning full rank
+shares (and full deadlines) on work that is going to fail again — but
+the service must not fail the tenant outright either.  The breaker
+implements the middle path from the serving literature, adapted to rank
+shares instead of request rejection:
+
+* ``closed`` — healthy; sessions run at the configured rank share.
+* ``open`` — ``threshold`` consecutive failures tripped it; for
+  ``cooldown`` seconds the tenant's sessions run *degraded* at a
+  reduced rank share (smaller blast radius, cheaper failures), they are
+  not rejected.
+* ``half-open`` — the cooldown elapsed; the next session is a probe at
+  the full share.  Success closes the breaker, failure re-trips it.
+
+The clock is injectable so tests drive state transitions
+deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a cooldown and degraded mode."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        """Trip after ``threshold`` consecutive failures for ``cooldown`` s."""
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._consecutive = 0
+        self._opened_at = 0.0
+        self._open = False
+        self.trips = 0  # times the breaker (re)opened
+        self.degraded_runs = 0  # sessions executed at the reduced share
+
+    @property
+    def state(self) -> str:
+        """Current state, evaluating the cooldown lazily."""
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if not self._open:
+            return CLOSED
+        if self._clock() - self._opened_at >= self.cooldown:
+            return HALF_OPEN
+        return OPEN
+
+    def record_failure(self) -> None:
+        """Account one failed session (or failed attempt) of this tenant."""
+        with self._lock:
+            if self._state_locked() == HALF_OPEN:
+                # The full-share probe failed: re-trip for another cooldown.
+                self._opened_at = self._clock()
+                self.trips += 1
+                return
+            self._consecutive += 1
+            if not self._open and self._consecutive >= self.threshold:
+                self._open = True
+                self._opened_at = self._clock()
+                self.trips += 1
+
+    def record_success(self) -> None:
+        """Account one successful session of this tenant."""
+        with self._lock:
+            if self._state_locked() == OPEN:
+                # A degraded success is good news but not proof: only the
+                # half-open full-share probe may close the breaker.
+                return
+            self._open = False
+            self._consecutive = 0
+
+    def rank_share(self, full: int, degraded: int) -> int:
+        """The rank count this tenant's next session should run at.
+
+        ``full`` while closed or probing (half-open), ``degraded`` while
+        open.  Degraded executions are counted for introspection.
+        """
+        with self._lock:
+            if self._state_locked() == OPEN:
+                self.degraded_runs += 1
+                return degraded
+            return full

@@ -1,0 +1,77 @@
+"""Typed errors of the forest serving layer.
+
+Every way a session can fail to produce a result has its own exception
+type, so callers can branch on *what* went wrong without parsing
+messages: shed at admission (:class:`ServiceOverloadError`), deadline
+blown (:class:`DeadlineExceededError` — rank-attributed when the
+machine's watchdog could name the straggler), cancelled
+(:class:`SessionCancelledError`), unknown id
+(:class:`SessionNotFoundError`), or service already shut down
+(:class:`ServiceClosedError`).  A session whose rank program itself
+failed re-raises the machine's :class:`~repro.parallel.backend.SpmdError`
+unchanged — the service adds no wrapper between the caller and the
+rank-attributed cause chain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ServiceError(RuntimeError):
+    """Base class of every service-layer failure."""
+
+
+class ServiceClosedError(ServiceError):
+    """Raised by :meth:`ForestService.submit` after the service closed."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Admission control shed this request: the bounded queue is full.
+
+    Raised synchronously from ``submit`` — an overloaded service fails
+    fast instead of queueing unboundedly or blocking the caller.
+    ``queue_depth`` and ``max_queue`` snapshot the pressure at shed time.
+    """
+
+    def __init__(self, message: str, queue_depth: int, max_queue: int) -> None:
+        """Record the message and the queue pressure at shed time."""
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.max_queue = max_queue
+
+
+class SessionNotFoundError(ServiceError, KeyError):
+    """The session id names no live or finished session."""
+
+
+class SessionCancelledError(ServiceError):
+    """The session was cancelled before it produced a result."""
+
+
+class DeadlineExceededError(ServiceError):
+    """The session's deadline expired before a successful attempt.
+
+    ``failed_rank`` and ``artifact`` carry the machine's attribution of
+    the attempt that was in flight when the budget ran out (the straggler
+    rank named by the watchdog, and its flight-recorder dump path) when
+    one exists; the underlying :class:`~repro.parallel.backend.SpmdError`
+    is chained as ``__cause__``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        tenant: str,
+        session_id: str,
+        deadline: float,
+        failed_rank: Optional[int] = None,
+        artifact: Optional[str] = None,
+    ) -> None:
+        """Record the expired session's identity and rank attribution."""
+        super().__init__(message)
+        self.tenant = tenant
+        self.session_id = session_id
+        self.deadline = deadline
+        self.failed_rank = failed_rank
+        self.artifact = artifact

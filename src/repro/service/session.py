@@ -1,0 +1,108 @@
+"""Session bookkeeping for the forest service.
+
+A :class:`Session` is one tenant request riding the service: the rank
+program to run, its fault-tolerance knobs, and the lifecycle state the
+service mutates as the session moves from admission to a terminal
+state.  Callers never construct sessions — ``ForestService.submit``
+does — but they read them back through ``poll``/``result``/``status``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+# Lifecycle states.  QUEUED/RUNNING/RETRYING are live; the rest are
+# terminal and final (a terminal session never changes state again).
+QUEUED = "queued"
+RUNNING = "running"
+RETRYING = "retrying"
+DONE = "done"
+FAILED = "failed"
+EXPIRED = "expired"
+CANCELLED = "cancelled"
+
+#: States a session can never leave.
+TERMINAL_STATES = frozenset({DONE, FAILED, EXPIRED, CANCELLED})
+
+
+@dataclass
+class Session:
+    """One tenant request and its lifecycle state.
+
+    The service's executor threads are the only writers after admission;
+    readers synchronize on :attr:`finished` (set exactly once, when the
+    session reaches a terminal state).
+    """
+
+    session_id: str
+    tenant: str
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...]
+    kwargs: Dict[str, Any]
+    deadline: Optional[float]  # seconds of budget from submit time
+    retries: int  # additional attempts after the first
+    recover: bool  # run with the checkpoint/replacement stack
+    store: Any  # CheckpointStore or None (service may namespace one in)
+    layers: Tuple[Any, ...]  # extra comm layers for this session only
+    submitted_at: float = field(default_factory=time.monotonic)
+    state: str = QUEUED
+    attempts: int = 0  # machine launches consumed so far
+    result: Any = None  # RunResult when DONE
+    error: Optional[BaseException] = None  # terminal error otherwise
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    cancel_requested: bool = False
+    finished: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the session reached a final state."""
+        return self.state in TERMINAL_STATES
+
+    def remaining(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds of deadline budget left (``None`` = unbounded)."""
+        if self.deadline is None:
+            return None
+        now = time.monotonic() if now is None else now
+        return self.deadline - (now - self.submitted_at)
+
+    def finish(self, state: str, *, result: Any = None,
+               error: Optional[BaseException] = None) -> None:
+        """Move to terminal ``state`` exactly once and wake waiters."""
+        if self.terminal:  # pragma: no cover - executors finish once
+            return
+        self.state = state
+        self.result = result
+        self.error = error
+        self.finished_at = time.monotonic()
+        self.finished.set()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A picklable status row for ``ForestService.status()``."""
+        return {
+            "session_id": self.session_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "attempts": self.attempts,
+            "deadline": self.deadline,
+            "remaining": self.remaining(),
+            "error": repr(self.error) if self.error is not None else None,
+            "wall_seconds": (
+                self.finished_at - self.submitted_at
+                if self.finished_at is not None
+                else None
+            ),
+        }
+
+
+def make_session_id(seq: int) -> str:
+    """Stable, sortable session id from the admission sequence number."""
+    return f"s{seq:06d}"
+
+
+def session_layers(base: Sequence[Any], extra: Sequence[Any]) -> Tuple[Any, ...]:
+    """Base service layers plus per-session extras (order-canonicalized later)."""
+    return tuple(base) + tuple(extra)

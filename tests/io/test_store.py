@@ -74,15 +74,123 @@ def test_reuse_across_instances_resumes_numbering(tmp_path):
 
 
 def test_stale_staging_dirs_are_ignored_and_collected(tmp_path):
+    import time
+
     store = DiskCheckpointStore(tmp_path)
-    # A torn pre-fsync leftover from a crashed writer.
-    stale = tmp_path / ".tmp-gen-000001-99999"
+    # A torn pre-fsync leftover from a long-dead crashed writer...
+    stale = tmp_path / ".tmp-gen-000001-99999-0"
     stale.mkdir()
     (stale / "payload.pkl").write_bytes(b"half a write")
-    assert store.load() is None  # never read as a generation
+    old = time.time() - 3600
+    os.utime(stale, (old, old))
+    # ... and a *young* staging directory: possibly a concurrent writer
+    # mid-commit on this very root, which GC must never touch.
+    fresh = tmp_path / ".tmp-gen-000002-88888-0"
+    fresh.mkdir()
+    assert store.load() is None  # neither is read as a generation
     store.save(_payload(7))
-    assert not stale.exists()  # GC'd by the commit
+    assert not stale.exists()  # crash leftover GC'd by the commit
+    assert fresh.exists()  # in-flight neighbour left alone
     assert store.load()["tag"] == 7
+
+
+# Namespaces: the multi-tenant isolation boundary ----------------------------
+
+
+def test_namespaces_have_disjoint_generations(tmp_path):
+    a = DiskCheckpointStore(tmp_path, namespace="tenant-a")
+    b = DiskCheckpointStore(tmp_path, namespace="tenant-a/session-2")
+    c = DiskCheckpointStore(tmp_path, namespace="tenant-b")
+    a.save(_payload(1))
+    b.save(_payload(2))
+    c.save(_payload(3))
+    assert a.load()["tag"] == 1
+    assert b.load()["tag"] == 2
+    assert c.load()["tag"] == 3
+    # Each namespace numbers its own generation sequence from 1.
+    assert a.generations() == b.generations() == c.generations() == ["gen-000001"]
+    # A store over the bare root sees no generations at all.
+    assert DiskCheckpointStore(tmp_path).load() is None
+
+
+def test_namespace_retention_gc_cannot_cross_tenants(tmp_path):
+    # The bug this guards against: two sessions sharing one root, where
+    # one tenant's keep-bound GC collects the other tenant's checkpoints.
+    a = DiskCheckpointStore(tmp_path, namespace="tenant-a", keep=1)
+    b = DiskCheckpointStore(tmp_path, namespace="tenant-b", keep=1)
+    b.save(_payload(100))
+    for tag in range(1, 8):
+        a.save(_payload(tag))  # churns tenant-a's retention GC 7 times
+    assert a.generations() == ["gen-000007"]
+    assert b.generations() == ["gen-000001"]  # untouched by a's GC
+    assert b.load()["tag"] == 100
+
+
+def test_namespace_reuse_across_instances(tmp_path):
+    DiskCheckpointStore(tmp_path, namespace="t/s").save(_payload(4))
+    again = DiskCheckpointStore(tmp_path, namespace="t/s")
+    assert again.load()["tag"] == 4
+    again.save(_payload(5))
+    assert again.generations() == ["gen-000001", "gen-000002"]
+
+
+@pytest.mark.parametrize(
+    "bad", ["", "/", "a//b", "..", "a/../b", ".", "gen-000001", "a/.tmp-x"]
+)
+def test_namespace_validation(tmp_path, bad):
+    with pytest.raises(ValueError):
+        DiskCheckpointStore(tmp_path, namespace=bad)
+
+
+def test_concurrent_writers_never_corrupt_each_other(tmp_path):
+    # Property test: many threads hammering the same root — one pair
+    # deliberately sharing a namespace, the rest namespaced apart — must
+    # always leave every surviving generation intact and every load()
+    # returning some fully-committed payload, never a torn or mixed one.
+    import threading
+
+    root = tmp_path / "shared"
+    errors = []
+    per_writer = 12
+
+    def writer(widx, namespace):
+        store = DiskCheckpointStore(
+            root, namespace=namespace, keep=2, retries=8, backoff=0.001
+        )
+        try:
+            for i in range(per_writer):
+                store.save(_payload(widx * 1000 + i))
+                loaded = store.load()
+                tag = loaded["tag"]
+                np.testing.assert_array_equal(loaded["arr"], np.arange(8) * tag)
+        except Exception as exc:  # noqa: BLE001 - collected for the assert
+            errors.append((widx, exc))
+
+    threads = [
+        threading.Thread(target=writer, args=(0, "contended")),
+        threading.Thread(target=writer, args=(1, "contended")),
+        threading.Thread(target=writer, args=(2, "tenant-x")),
+        threading.Thread(target=writer, args=(3, "tenant-y")),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    # Isolated namespaces saw only their own writer: newest tag is theirs.
+    for widx, namespace in ((2, "tenant-x"), (3, "tenant-y")):
+        final = DiskCheckpointStore(root, namespace=namespace)
+        assert final.load()["tag"] == widx * 1000 + per_writer - 1
+    # The contended namespace interleaved two writers, but every retained
+    # generation is a complete committed payload from one of them.
+    contended = DiskCheckpointStore(root, namespace="contended")
+    for name in contended.generations():
+        blob = contended._read_generation(name)
+        assert blob["tag"] in {i for i in range(per_writer)} | {
+            1000 + i for i in range(per_writer)
+        }
+        np.testing.assert_array_equal(blob["arr"], np.arange(8) * blob["tag"])
+    assert contended.corrupt_generations_skipped == 0
 
 
 # Forest payloads ------------------------------------------------------------

@@ -1,0 +1,114 @@
+"""Deadline expiry: ``RunConfig.timeout`` must fail typed and attributed.
+
+A run whose wall-clock budget is exceeded — a straggler rank, a genuine
+hang, or a persistent :data:`~repro.parallel.faults.SLOW` fault — must
+surface as a typed :class:`~repro.parallel.backend.SpmdError` chaining a
+:class:`~repro.parallel.watchdog.HangError` that names the offending
+rank and points at the flight-recorder artifact, on every backend
+(``REPRO_TEST_BACKEND`` replays this module on worker processes).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.parallel import FaultPlan, Faults, FaultyComm, SpmdError, Watchdog
+from repro.parallel.watchdog import HangError
+
+from .helpers import launch
+
+
+def _hang_error(excinfo):
+    """The HangError in the failure's cause chain (asserts there is one)."""
+    cause = excinfo.value.__cause__
+    assert isinstance(cause, HangError), f"cause chain held {type(cause)}"
+    return cause
+
+
+def test_straggler_rank_blows_the_deadline_attributed(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_FLIGHTREC_DIR", str(tmp_path))
+
+    def prog(comm):
+        if comm.rank == 1:
+            time.sleep(10.0)
+        comm.barrier()
+        return comm.rank
+
+    start = time.monotonic()
+    with pytest.raises(SpmdError) as excinfo:
+        launch(2, prog, timeout=0.5, layers=[Watchdog(timeout=0.5)])
+    elapsed = time.monotonic() - start
+    assert elapsed < 8.0  # the deadline fired, we did not wait out the sleep
+    hang = _hang_error(excinfo)
+    assert hang.rank == 1  # the watchdog named the straggler
+    assert excinfo.value.failed_rank == 1
+    assert hang.artifact is not None and os.path.exists(hang.artifact)
+    # The artifact is a readable flight-recorder dump covering both ranks.
+    with open(hang.artifact) as fh:
+        dump = json.load(fh)
+    assert {row["rank"] for row in dump["ranks"]} == {0, 1}
+
+
+def test_slow_fault_blows_the_deadline(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_FLIGHTREC_DIR", str(tmp_path))
+    plan = FaultPlan.slow(rank=0, at_call=0, seconds=10.0)
+
+    def wrapper(comm, attempt):
+        return FaultyComm(comm, plan)
+
+    def prog(comm):
+        comm.barrier()
+        return comm.allreduce(comm.rank)
+
+    with pytest.raises(SpmdError) as excinfo:
+        launch(
+            2,
+            prog,
+            timeout=0.5,
+            layers=[Faults(wrapper=wrapper), Watchdog(timeout=0.5)],
+        )
+    hang = _hang_error(excinfo)
+    # The injected straggler sleeps *inside* the watchdog bracket, so the
+    # divergent-site diagnosis names the slowed rank.
+    assert hang.rank == 0
+    assert hang.artifact is not None and os.path.exists(hang.artifact)
+
+
+def test_timeout_without_watchdog_is_typed_but_undiagnosed():
+    # RunConfig.timeout alone still fails typed (SpmdError -> HangError),
+    # but without a Watchdog layer no rank can be blamed and the message
+    # points at the missing per-rank diagnosis.
+    def prog(comm):
+        if comm.rank == 1:
+            time.sleep(10.0)
+        comm.barrier()
+        return comm.rank
+
+    with pytest.raises(SpmdError) as excinfo:
+        launch(2, prog, timeout=0.3)
+    hang = _hang_error(excinfo)
+    # The process router sees pipe-level absence and can still name rank
+    # 1; the thread backend cannot diagnose without a watchdog.
+    assert hang.rank in (None, 1)
+    assert hang.artifact is None  # no watchdog, no flight recorder
+    assert "HangWatchdog" in str(hang)
+
+
+def test_deadline_artifact_lands_in_the_configured_directory(
+    tmp_path, monkeypatch
+):
+    monkeypatch.setenv("REPRO_FLIGHTREC_DIR", str(tmp_path))
+
+    def prog(comm):
+        if comm.rank == 0:
+            time.sleep(10.0)
+        comm.barrier()
+        return comm.rank
+
+    with pytest.raises(SpmdError) as excinfo:
+        launch(2, prog, timeout=0.5, layers=[Watchdog(timeout=0.5)])
+    hang = _hang_error(excinfo)
+    assert hang.artifact is not None
+    assert os.path.dirname(hang.artifact) == str(tmp_path)

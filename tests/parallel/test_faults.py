@@ -15,6 +15,7 @@ from repro.parallel.faults import (
     CORRUPT,
     CRASH,
     DELAY,
+    SLOW,
     TRUNCATE,
     Fault,
     corrupt_payload,
@@ -237,6 +238,57 @@ def test_fault_plan_json_behaves_identically():
     with pytest.raises(SpmdError) as b:
         run(2, prog, wire)
     assert a.value.failed_rank == b.value.failed_rank == 1
+
+
+def test_slow_fault_validation():
+    with pytest.raises(ValueError):
+        Fault(SLOW, 0, 0)  # a straggler needs a positive per-call lag
+    with pytest.raises(ValueError):
+        Fault(SLOW, 0, 0, seconds=-0.5)
+    assert FaultPlan.slow(rank=1, at_call=2, seconds=0.01).faults[0].kind == SLOW
+
+
+def test_slow_fault_preserves_results():
+    plan = FaultPlan.slow(rank=0, at_call=0, seconds=0.005)
+
+    def prog(comm):
+        faulty = FaultyComm(comm, plan)
+        return faulty.allreduce(comm.rank, SUM) + faulty.allreduce(1, SUM)
+
+    assert run(3, prog) == run(
+        3, lambda c: c.allreduce(c.rank, SUM) + c.allreduce(1, SUM)
+    )
+
+
+def test_slow_fault_is_persistent_and_per_rank():
+    # Unlike one-shot DELAY, SLOW lags *every* call from at_call on, and
+    # only on the configured rank.
+    import time as _time
+
+    plan = FaultPlan.slow(rank=0, at_call=2, seconds=0.02)
+
+    def prog(comm):
+        faulty = FaultyComm(comm, plan)
+        t0 = _time.perf_counter()
+        for _ in range(5):
+            faulty.barrier()
+        elapsed = _time.perf_counter() - t0
+        return elapsed, len(faulty.injected)
+
+    values = run(2, prog)
+    elapsed0, injected0 = values[0]
+    _, injected1 = values[1]
+    assert injected0 == 3  # calls 2, 3, 4 all lagged
+    assert injected1 == 0  # the peer is untouched
+    assert elapsed0 >= 3 * 0.02
+
+
+def test_slow_fault_json_round_trip():
+    plan = FaultPlan.slow(rank=2, at_call=4, seconds=0.25, seed=9)
+    back = FaultPlan.from_json(plan.to_json())
+    assert back == plan
+    assert back.faults[0].kind == SLOW
+    assert back.faults[0].seconds == 0.25
 
 
 def test_die_degrades_to_soft_crash_outside_process_backend():

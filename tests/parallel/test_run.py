@@ -165,3 +165,28 @@ def test_shims_match_new_api_results():
         old = spmd_run(4, prog)
     new = Machine(RunConfig(size=4)).run(prog).values
     assert old == new
+
+
+def test_attempt_offset_shifts_the_layer_attempt_index():
+    # A driver retrying *above* Machine.run (e.g. a service session loop)
+    # bumps attempt_offset so attempt-0-keyed fault wrappers do not
+    # re-fire on every outer retry.
+    from repro.parallel import Faults, SpmdError
+
+    plan = FaultPlan.crash(rank=0, at_call=0)
+
+    def attempt_zero_only(comm, attempt):
+        return FaultyComm(comm, plan) if attempt == 0 else comm
+
+    def prog(comm):
+        comm.barrier()
+        return comm.rank
+
+    with pytest.raises(SpmdError):
+        Machine(RunConfig(size=2, layers=[Faults(wrapper=attempt_zero_only)])).run(prog)
+    shifted = RunConfig(
+        size=2, layers=[Faults(wrapper=attempt_zero_only)], attempt_offset=1
+    )
+    assert Machine(shifted).run(prog).values == [0, 1]
+    with pytest.raises(ValueError):
+        RunConfig(size=2, attempt_offset=-1)

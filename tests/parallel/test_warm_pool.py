@@ -1,0 +1,190 @@
+"""Tests for warm worker-pool reuse and the Machine lifecycle.
+
+The pool is a process-backend feature (``RunConfig(warm_pool=True)``),
+so this file builds explicit process configs instead of the session
+backend helpers; the ``fork`` start method keeps launches cheap.  Rank
+programs that should ride the pool are module-level (pool dispatch
+pickles the job over the pipe regardless of start method).
+"""
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.parallel import Machine, RunConfig, SpmdError
+from repro.parallel.backend import get_backend
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="warm-pool tests use the fork start method",
+)
+
+
+def _cfg(size, **kwargs):
+    kwargs.setdefault("start_method", "fork")
+    kwargs.setdefault("warm_pool", True)
+    return RunConfig(size=size, backend="process", **kwargs)
+
+
+def rank_pid(comm):
+    """Module-level rank program: who am I, in which process?"""
+    return (comm.rank, os.getpid())
+
+
+def rank_boom(comm):
+    """Module-level rank program where rank 1 raises."""
+    if comm.rank == 1:
+        raise ValueError("boom")
+    comm.barrier()
+
+
+def rank_sigkill(comm):
+    """Module-level rank program where rank 1 dies for real."""
+    if comm.rank == 1:
+        os.kill(os.getpid(), signal.SIGKILL)
+    comm.barrier()
+    return comm.rank
+
+
+def test_warm_pool_reuses_worker_processes():
+    with Machine(_cfg(3)) as m:
+        first = m.run(rank_pid).values
+        assert m.backend.pool_size() == 3
+        second = m.run(rank_pid).values
+        third = m.run(rank_pid).values
+    # Same rank -> same OS process on every run: no cold starts.
+    assert first == second == third
+    assert len({pid for _, pid in first}) == 3
+
+
+def test_without_warm_pool_every_run_cold_starts():
+    with Machine(_cfg(2, warm_pool=False)) as m:
+        first = m.run(rank_pid).values
+        assert m.backend.pool_size() == 0
+        second = m.run(rank_pid).values
+    assert {pid for _, pid in first}.isdisjoint({pid for _, pid in second})
+
+
+def test_close_retires_pool_and_machine_still_runs():
+    m = Machine(_cfg(2))
+    first = m.run(rank_pid).values
+    m.close()
+    assert m.backend.pool_size() == 0
+    assert not multiprocessing.active_children()
+    m.close()  # idempotent
+    # A closed machine cold-starts a fresh pool.
+    second = m.run(rank_pid).values
+    assert {pid for _, pid in first}.isdisjoint({pid for _, pid in second})
+    m.close()
+
+
+def test_failed_attempt_tears_the_pool_down():
+    with Machine(_cfg(2, timeout=10)) as m:
+        warm = m.run(rank_pid).values
+        with pytest.raises(SpmdError) as ei:
+            m.run(rank_boom)
+        assert ei.value.failed_rank == 1
+        assert m.backend.pool_size() == 0
+        assert not multiprocessing.active_children()
+        # The next run rebuilds a fresh, again-reusable pool.
+        rebuilt = m.run(rank_pid).values
+        assert {pid for _, pid in warm}.isdisjoint({pid for _, pid in rebuilt})
+        assert m.run(rank_pid).values == rebuilt
+
+
+def test_sigkilled_pool_recovers_on_next_run():
+    with Machine(_cfg(2, timeout=10)) as m:
+        m.run(rank_pid)
+        with pytest.raises(SpmdError) as ei:
+            m.run(rank_sigkill)
+        assert ei.value.failed_rank == 1
+        assert m.backend.pool_size() == 0
+        assert m.run(rank_pid).values == m.run(rank_pid).values
+
+
+def test_unpicklable_job_falls_back_to_cold_start():
+    with Machine(_cfg(2)) as m:
+        warm = m.run(rank_pid).values
+        token = object()  # unpicklable free variable
+        fresh = m.run(lambda comm: (comm.rank, os.getpid(), id(token) > 0)).values
+        # The closure cannot ride the pipe: fresh fork-inherited workers ran it.
+        assert {p for _, p in warm}.isdisjoint({p for _, p, _ in fresh})
+        assert all(flag for _, _, flag in fresh)
+
+
+def test_size_change_retires_stale_pool():
+    backend = get_backend("process", start_method="fork", persistent=True)
+    with backend:
+        two = Machine(_cfg(2), backend=backend)
+        three = Machine(_cfg(3), backend=backend)
+        two.run(rank_pid)
+        assert backend.pool_size() == 2
+        values = three.run(rank_pid).values
+        assert len({pid for _, pid in values}) == 3
+        assert backend.pool_size() == 3
+    assert backend.pool_size() == 0
+
+
+def test_injected_backend_is_not_closed_by_machine():
+    backend = get_backend("process", start_method="fork", persistent=True)
+    try:
+        m = Machine(_cfg(2), backend=backend)
+        m.run(rank_pid)
+        m.close()  # machine does not own the backend
+        assert backend.pool_size() == 2
+    finally:
+        backend.close()
+    assert backend.pool_size() == 0
+
+
+def test_injected_backend_must_match_config():
+    backend = get_backend("thread")
+    with pytest.raises(ValueError):
+        Machine(_cfg(2), backend=backend)
+
+
+def test_thread_machine_lifecycle_is_a_noop():
+    with Machine(RunConfig(size=2, backend="thread")) as m:
+        assert m.run(lambda c: c.rank).values == [0, 1]
+    m.close()
+
+
+def test_warm_pool_with_recovery_and_replacement():
+    # The pool composes with the recovery stack: a recovering run that
+    # warm-replaces a killed worker still parks a full-size, live pool.
+    from repro.parallel import MemoryCheckpointStore, Watchdog
+
+    store = MemoryCheckpointStore()
+    cfg = _cfg(
+        2,
+        recover=True,
+        max_retries=2,
+        max_replacements=2,
+        timeout=10,
+        layers=[Watchdog(timeout=10)],
+    )
+    with Machine(cfg) as m:
+        result = m.run(_die_once_then_count, store=store)
+        assert result.values == [3, 3]
+        assert m.backend.pool_size() == 2
+        again = m.run(_count_only, store=store)
+        assert again.values == [3, 3]
+
+
+def _die_once_then_count(comm, store):
+    """Recovering program: rank 1 dies once at step 1, then resumes."""
+    start = store.load() or 0
+    for step in range(start, 3):
+        if comm.rank == 1 and step == 1 and start == 0:
+            os.kill(os.getpid(), signal.SIGKILL)
+        comm.barrier()
+        store.save(step + 1)
+    return store.load()
+
+
+def _count_only(comm, store):
+    """Read back the shared counter without touching it."""
+    comm.barrier()
+    return store.load()

@@ -1,0 +1,29 @@
+"""Backend-parameterized helpers for the service test suite.
+
+Mirrors ``tests/parallel/helpers.py``: the suite runs on the ``thread``
+backend by default and replays on worker processes with
+
+    REPRO_TEST_BACKEND=process  PYTHONPATH=src python -m pytest tests/service
+
+Process runs use the ``fork`` start method so rank programs may be
+test-local closures (``spawn`` would have to pickle them).
+"""
+
+import os
+
+from repro.service import ServiceConfig
+
+#: Which backend this test session runs against ("thread" or "process").
+BACKEND = os.environ.get("REPRO_TEST_BACKEND", "thread")
+
+
+def service_config(**kwargs):
+    """A :class:`ServiceConfig` on the session backend, test-sized defaults."""
+    if BACKEND == "process":
+        kwargs.setdefault("start_method", "fork")
+    kwargs.setdefault("ranks", 2)
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("default_deadline", 30.0)
+    kwargs.setdefault("backoff_base", 0.01)
+    kwargs.setdefault("backoff_cap", 0.05)
+    return ServiceConfig(backend=BACKEND, **kwargs)

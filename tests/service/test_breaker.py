@@ -1,0 +1,105 @@
+"""Unit tests of the per-tenant circuit breaker (fake clock throughout)."""
+
+import pytest
+
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(threshold=3, cooldown=10.0):
+    clock = FakeClock()
+    return CircuitBreaker(threshold=threshold, cooldown=cooldown, clock=clock), clock
+
+
+def test_starts_closed_at_full_share():
+    breaker, _ = make()
+    assert breaker.state == CLOSED
+    assert breaker.rank_share(8, 1) == 8
+    assert breaker.degraded_runs == 0
+
+
+def test_trips_after_threshold_consecutive_failures():
+    breaker, _ = make(threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.trips == 1
+
+
+def test_success_resets_the_consecutive_count():
+    breaker, _ = make(threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CLOSED  # never two in a row
+
+
+def test_open_degrades_rank_share_instead_of_rejecting():
+    breaker, _ = make(threshold=1)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.rank_share(8, 2) == 2
+    assert breaker.rank_share(8, 2) == 2
+    assert breaker.degraded_runs == 2
+
+
+def test_cooldown_elapses_into_half_open_full_share_probe():
+    breaker, clock = make(threshold=1, cooldown=10.0)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.now = 9.9
+    assert breaker.state == OPEN
+    clock.now = 10.0
+    assert breaker.state == HALF_OPEN
+    # The probe runs at the full share.
+    assert breaker.rank_share(8, 2) == 8
+
+
+def test_successful_probe_closes_the_breaker():
+    breaker, clock = make(threshold=1, cooldown=10.0)
+    breaker.record_failure()
+    clock.now = 10.0
+    assert breaker.state == HALF_OPEN
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.rank_share(8, 2) == 8
+
+
+def test_failed_probe_re_trips_for_another_cooldown():
+    breaker, clock = make(threshold=1, cooldown=10.0)
+    breaker.record_failure()
+    clock.now = 10.0
+    assert breaker.state == HALF_OPEN
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.trips == 2
+    clock.now = 19.9
+    assert breaker.state == OPEN
+    clock.now = 20.0
+    assert breaker.state == HALF_OPEN
+
+
+def test_degraded_success_does_not_close_an_open_breaker():
+    breaker, clock = make(threshold=1, cooldown=10.0)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    breaker.record_success()  # a degraded run succeeded mid-cooldown
+    assert breaker.state == OPEN
+    clock.now = 10.0
+    assert breaker.state == HALF_OPEN
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown=-1.0)

@@ -1,0 +1,388 @@
+"""End-to-end tests of the :class:`ForestService` session layer.
+
+Backend-parameterized via ``REPRO_TEST_BACKEND`` (see ``helpers.py``);
+fault-injection and chaos coverage beyond these tests lives in
+``tools/fault_campaign.py --service``.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.parallel import Faults, SpmdError
+from repro.parallel.faults import FaultPlan, FaultyComm
+from repro.service import (
+    CANCELLED,
+    DONE,
+    EXPIRED,
+    FAILED,
+    DeadlineExceededError,
+    ForestService,
+    ServiceClosedError,
+    ServiceConfig,
+    ServiceOverloadError,
+    SessionCancelledError,
+    SessionNotFoundError,
+)
+
+from .helpers import BACKEND, service_config
+
+pytestmark = pytest.mark.skipif(
+    BACKEND == "process"
+    and "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process leg needs the fork start method",
+)
+
+
+def _sum_ranks(comm):
+    return comm.allreduce(comm.rank + 1)
+
+
+def _scaled(comm, factor, offset=0):
+    return factor * comm.allreduce(comm.rank + 1) + offset
+
+
+def _rank_sizes(comm):
+    return comm.size
+
+
+def _boom_rank1(comm):
+    comm.barrier()
+    if comm.rank == 1:
+        raise ValueError("tenant bug")
+    return comm.rank
+
+
+def _wait_for_file(comm, path):
+    while not os.path.exists(path):
+        time.sleep(0.005)
+    return comm.allreduce(1)
+
+
+def _straggler(comm):
+    if comm.rank == 1:
+        time.sleep(10.0)
+    comm.barrier()
+    return comm.rank
+
+
+def _checkpointing(comm, store):
+    state = store.load() or {"step": 0}
+    restored = state["step"]
+    for step in range(restored, 3):
+        comm.barrier()
+        store.save({"step": step + 1} if comm.rank == 0 else None)
+    return restored
+
+
+def _attempt_zero_crash(rank=0, at_call=0):
+    plan = FaultPlan.crash(rank=rank, at_call=at_call)
+
+    def wrapper(comm, attempt):
+        return FaultyComm(comm, plan) if attempt == 0 else comm
+
+    return wrapper
+
+
+def _always_crash(rank=0, at_call=0):
+    plan = FaultPlan.crash(rank=rank, at_call=at_call)
+
+    def wrapper(comm, attempt):
+        return FaultyComm(comm, plan)
+
+    return wrapper
+
+
+def test_submit_result_roundtrip():
+    with ForestService(service_config()) as svc:
+        sid = svc.submit(_sum_ranks)
+        result = svc.result(sid, timeout=30)
+    assert result.values == [3, 3]
+    assert result.report.wall_seconds >= 0
+    assert svc.poll(sid) == DONE
+
+
+def test_args_and_kwargs_reach_the_rank_program():
+    with ForestService(service_config()) as svc:
+        sid = svc.submit(_scaled, 10, offset=4)
+        assert svc.result(sid, timeout=30).values == [34, 34]
+
+
+def test_many_sessions_many_tenants():
+    with ForestService(service_config(workers=3, max_queue=256)) as svc:
+        sids = [svc.submit(_scaled, i, tenant=f"t{i % 3}") for i in range(30)]
+        for i, sid in enumerate(sids):
+            assert svc.result(sid, timeout=30).values == [3 * i, 3 * i]
+        status = svc.status()
+    assert status["sessions"] == {DONE: 30}
+    for name in ("t0", "t1", "t2"):
+        assert status["tenants"][name]["completed"] == 10
+        assert status["tenants"][name]["failed"] == 0
+
+
+def test_unknown_session_id_is_typed():
+    with ForestService(service_config()) as svc:
+        with pytest.raises(SessionNotFoundError):
+            svc.poll("s999999")
+        with pytest.raises(KeyError):  # doubles as a KeyError for dict users
+            svc.result("s999999")
+
+
+def test_result_times_out_while_session_is_live(tmp_path):
+    gate = str(tmp_path / "gate")
+    with ForestService(service_config(workers=1)) as svc:
+        sid = svc.submit(_wait_for_file, gate)
+        with pytest.raises(TimeoutError):
+            svc.result(sid, timeout=0.05)
+        open(gate, "w").close()
+        assert svc.result(sid, timeout=30).values == [2, 2]
+
+
+def test_overload_sheds_fast_with_typed_error(tmp_path):
+    gate = str(tmp_path / "gate")
+    with ForestService(service_config(workers=1, max_queue=1)) as svc:
+        running = svc.submit(_wait_for_file, gate)  # occupies the worker
+        # Give the worker a moment to pop it off the queue.
+        deadline = time.monotonic() + 5.0
+        while svc.status()["queue_depth"] > 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        queued = svc.submit(_sum_ranks)  # fills the bounded queue
+        start = time.monotonic()
+        with pytest.raises(ServiceOverloadError) as info:
+            svc.submit(_sum_ranks)
+        shed_latency = time.monotonic() - start
+        assert shed_latency < 1.0  # fails fast, never hangs
+        assert info.value.max_queue == 1
+        assert info.value.queue_depth >= 1
+        assert svc.status()["tenants"]["default"]["shed"] == 1
+        open(gate, "w").close()
+        assert svc.result(running, timeout=30).values == [2, 2]
+        assert svc.result(queued, timeout=30).values == [3, 3]
+
+
+def test_submit_after_close_is_rejected():
+    svc = ForestService(service_config())
+    svc.close()
+    with pytest.raises(ServiceClosedError):
+        svc.submit(_sum_ranks)
+    svc.close()  # idempotent
+
+
+def test_cancel_queued_session(tmp_path):
+    gate = str(tmp_path / "gate")
+    with ForestService(service_config(workers=1, max_queue=8)) as svc:
+        running = svc.submit(_wait_for_file, gate)
+        queued = svc.submit(_sum_ranks)
+        assert svc.cancel(queued) is True
+        assert svc.poll(queued) == CANCELLED
+        with pytest.raises(SessionCancelledError):
+            svc.result(queued, timeout=1)
+        open(gate, "w").close()
+        svc.result(running, timeout=30)
+        assert svc.cancel(running) is False  # already terminal
+        assert svc.status()["tenants"]["default"]["cancelled"] == 1
+
+
+def test_retry_rides_attempt_offset_past_attempt_zero_faults():
+    cfg = service_config(session_retries=2)
+    with ForestService(cfg) as svc:
+        sid = svc.submit(
+            _sum_ranks, tenant="flaky", layers=[Faults(wrapper=_attempt_zero_crash())]
+        )
+        result = svc.result(sid, timeout=30)
+    assert result.values == [3, 3]
+    status = svc.status()["tenants"]["flaky"]
+    assert status["completed"] == 1
+    assert status["retries"] == 1  # attempt 0 crashed, attempt 1 went clean
+
+
+def test_exhausted_retries_reraise_the_spmd_error_unchanged():
+    with ForestService(service_config(session_retries=1)) as svc:
+        sid = svc.submit(_boom_rank1, tenant="buggy")
+        with pytest.raises(SpmdError) as info:
+            svc.result(sid, timeout=30)
+    assert svc.poll(sid) == FAILED
+    assert info.value.failed_rank == 1
+    assert isinstance(info.value.__cause__, ValueError)
+    status = svc.status()["tenants"]["buggy"]
+    assert status["failed"] == 1
+    assert status["retries"] == 1
+
+
+def test_deadline_expiry_is_typed_and_rank_attributed(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_FLIGHTREC_DIR", str(tmp_path))
+    cfg = service_config(workers=1, default_deadline=1.0, session_retries=0)
+    with ForestService(cfg) as svc:
+        sid = svc.submit(_straggler, tenant="slowpoke")
+        with pytest.raises(DeadlineExceededError) as info:
+            svc.result(sid, timeout=60)
+        assert svc.poll(sid) == EXPIRED
+    err = info.value
+    assert err.tenant == "slowpoke"
+    assert err.session_id == sid
+    assert err.deadline == 1.0
+    assert err.failed_rank == 1  # the watchdog named the straggler
+    assert err.artifact is not None and os.path.exists(err.artifact)
+    assert isinstance(err.__cause__, SpmdError)
+    assert svc.status()["tenants"]["slowpoke"]["expired"] == 1
+
+
+def test_breaker_open_degrades_rank_share_per_tenant():
+    cfg = service_config(
+        ranks=2,
+        degraded_ranks=1,
+        breaker_threshold=2,
+        breaker_cooldown=60.0,
+        session_retries=0,
+        workers=1,
+    )
+    with ForestService(cfg) as svc:
+        for _ in range(2):  # trip tenant "flaky"
+            sid = svc.submit(
+                _sum_ranks, tenant="flaky", layers=[Faults(wrapper=_always_crash())]
+            )
+            with pytest.raises(SpmdError):
+                svc.result(sid, timeout=30)
+        degraded = svc.submit(_rank_sizes, tenant="flaky")
+        healthy = svc.submit(_rank_sizes, tenant="steady")
+        assert svc.result(degraded, timeout=30).values == [1]  # shrunk share
+        assert svc.result(healthy, timeout=30).values == [2, 2]  # isolated
+        status = svc.status()["tenants"]
+    assert status["flaky"]["breaker"] == "open"
+    assert status["flaky"]["breaker_trips"] == 1
+    assert status["flaky"]["degraded_runs"] >= 1
+    assert status["steady"]["breaker"] == "closed"
+    assert status["steady"]["degraded_runs"] == 0
+
+
+def test_breaker_half_open_probe_restores_full_share():
+    cfg = service_config(
+        ranks=2,
+        degraded_ranks=1,
+        breaker_threshold=1,
+        breaker_cooldown=0.05,
+        session_retries=0,
+        workers=1,
+    )
+    with ForestService(cfg) as svc:
+        sid = svc.submit(
+            _sum_ranks, tenant="flaky", layers=[Faults(wrapper=_always_crash())]
+        )
+        with pytest.raises(SpmdError):
+            svc.result(sid, timeout=30)
+        time.sleep(0.1)  # cooldown elapses -> half-open
+        probe = svc.submit(_rank_sizes, tenant="flaky")
+        assert svc.result(probe, timeout=30).values == [2, 2]  # full-share probe
+        after = svc.submit(_rank_sizes, tenant="flaky")
+        assert svc.result(after, timeout=30).values == [2, 2]
+        assert svc.status()["tenants"]["flaky"]["breaker"] == "closed"
+
+
+def test_faulty_tenant_leaves_other_tenants_bit_identical():
+    # Golden pass: no faulty tenant anywhere.
+    with ForestService(service_config(workers=2, max_queue=256)) as svc:
+        sids = [svc.submit(_scaled, i, tenant="victim") for i in range(8)]
+        golden = [svc.result(s, timeout=30).values for s in sids]
+    # Chaos pass: tenant "attacker" crashes every attempt, interleaved.
+    # breaker_threshold is high so the attacker never degrades to one
+    # rank (where its rank-1 fault would stop firing and runs succeed).
+    with ForestService(
+        service_config(
+            workers=2, max_queue=256, session_retries=1, breaker_threshold=100
+        )
+    ) as svc:
+        victims, attackers = [], []
+        for i in range(8):
+            attackers.append(
+                svc.submit(
+                    _boom_rank1,
+                    tenant="attacker",
+                    layers=[Faults(wrapper=_always_crash(rank=1))],
+                )
+            )
+            victims.append(svc.submit(_scaled, i, tenant="victim"))
+        observed = [svc.result(s, timeout=60).values for s in victims]
+        for sid in attackers:
+            with pytest.raises(SpmdError):
+                svc.result(sid, timeout=60)
+    assert observed == golden  # bit-identical despite the chaos next door
+
+
+def test_recovering_session_uses_a_tenant_namespaced_store(tmp_path):
+    cfg = service_config(
+        store_root=str(tmp_path / "stores"), session_retries=1, workers=1
+    )
+    with ForestService(cfg) as svc:
+        sid = svc.submit(
+            _checkpointing,
+            tenant="acme",
+            recover=True,
+            layers=[Faults(wrapper=_attempt_zero_crash(at_call=2))],
+        )
+        result = svc.result(sid, timeout=30)
+    # The retry restored mid-stream progress from the durable checkpoint.
+    assert result.values[0] >= 1
+    assert result.recovery is not None
+    tenant_dir = tmp_path / "stores" / "acme" / sid
+    assert tenant_dir.is_dir()
+    assert any(p.name.startswith("gen-") for p in tenant_dir.iterdir())
+
+
+def test_trace_reports_carry_tenant_and_attempt_phases():
+    with ForestService(service_config(workers=2)) as svc:
+        sids = [svc.submit(_sum_ranks, tenant=f"t{i}") for i in range(6)]
+        for sid in sids:
+            svc.result(sid, timeout=30)
+        reports = svc.trace_reports()
+    names = {p.name for r in reports for p in r.phase_list()}
+    assert any(n.startswith("tenant:") for n in names)
+    assert "attempt" in names
+
+
+def test_close_without_drain_cancels_queued_sessions(tmp_path):
+    gate = str(tmp_path / "gate")
+    svc = ForestService(service_config(workers=1, max_queue=8))
+    running = svc.submit(_wait_for_file, gate)
+    queued = svc.submit(_sum_ranks)
+    open(gate, "w").close()
+    svc.close(drain=False)
+    assert svc.poll(queued) == CANCELLED
+    assert svc.poll(running) in (DONE, CANCELLED)
+
+
+def test_status_shape():
+    with ForestService(service_config()) as svc:
+        sid = svc.submit(_sum_ranks)
+        svc.result(sid, timeout=30)
+        status = svc.status()
+    assert status["closed"] is True or status["closed"] is False
+    assert status["max_queue"] == svc.config.max_queue
+    assert status["queue_depth"] == 0
+    assert status["workers"] == svc.config.workers
+    assert status["sessions"][DONE] == 1
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"ranks": 0},
+        {"workers": 0},
+        {"max_queue": 0},
+        {"session_retries": -1},
+        {"degraded_ranks": 0},
+        {"degraded_ranks": 3, "ranks": 2},
+        {"default_deadline": 0.0},
+        {"backoff_base": -1.0},
+    ],
+)
+def test_service_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        ServiceConfig(**kwargs)
+
+
+def test_submit_rejects_nonpositive_deadline():
+    with ForestService(service_config()) as svc:
+        with pytest.raises(ValueError):
+            svc.submit(_sum_ranks, deadline=0.0)
