@@ -1,0 +1,135 @@
+"""CI smoke benchmark: per-element cost of the dG RHS, compiled vs interpreted.
+
+Times one representative specialization per dimension (2D acoustic at
+degree 3, 3D advection at degree 3) plus the 3D elastic fast path (the
+seismic production kernel: paired conforming faces, fused gathers, BLAS
+mortars) on a small adapted mesh, for both execution modes of
+:class:`repro.mangll.op.DGOperator`, and writes
+``bench_results/dg_rhs_smoke.json`` for ``tools/check_perf_smoke.py``.
+
+Two numbers are gated (see the ``dg_rhs`` section of
+``benchmarks/perf_baseline.json``):
+
+* ``us_per_elem`` — absolute compiled cost in microseconds per element
+  per RHS evaluation (noisy across runners, generous budget), and
+* ``speedup`` — compiled vs interpreted in the *same process*, which
+  cancels machine speed and pins the PR's >= 3x elastic-kernel win.
+
+The bit-exact kinds are compared with ``np.array_equal``; the elastic
+kind uses its documented tolerance contract (docs/KERNELS.md).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_dg_rhs_smoke.py``)
+or via pytest (``-m pytest benchmarks/bench_dg_rhs_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.mangll.geometry import MultilinearGeometry
+from repro.mangll.mesh import build_mesh
+from repro.mangll.models import AcousticModel, AdvectionModel
+from repro.mangll.op import DGOperator, MeshContext
+from repro.p4est.balance import balance
+from repro.p4est.builders import unit_cube, unit_square
+from repro.p4est.forest import Forest
+from repro.p4est.ghost import build_ghost
+from repro.parallel import SerialComm
+
+from benchmarks._util import emit, emit_json
+
+
+def _setup(case: str):
+    comm = SerialComm()
+    if case == "d2":
+        conn, level, degree = unit_square(), 3, 3
+        model = AcousticModel(2, c=1.3, rho=0.7)
+    elif case == "d3":
+        conn, level, degree = unit_cube(), 2, 3
+        model = AdvectionModel(3, np.array([1.0, 0.4, -0.2]))
+    else:  # d3_elastic: the seismic production kernel
+        from repro.apps.dgea.elastic import ElasticModel, homogeneous_material
+
+        conn, level, degree = unit_cube(), 2, 3
+        model = ElasticModel(3, homogeneous_material(1.0, 3.0, 1.5), bc="free")
+    forest = Forest.new(conn, comm, level=level)
+    forest.refine(
+        callback=lambda o: (o.x < o.D.root_len // 2) & (o.level < level + 1),
+        recursive=True,
+    )
+    balance(forest)
+    ghost = build_ghost(forest)
+    mesh = build_mesh(forest, MultilinearGeometry(conn), degree, ghost)
+    ctx = MeshContext(forest, ghost, mesh, comm)
+    nl = mesh.nelem_local
+    x = mesh.coords[:nl]
+    q = np.zeros((nl, mesh.npts, model.nfields))
+    q[..., 0] = np.sin(3.0 * x[..., 0]) * np.cos(2.0 * x[..., 1])
+    for f in range(1, model.nfields):
+        q[..., f] = x[..., 0] * x[..., 1] + 0.1 * f
+    return ctx, model, degree, q
+
+
+def _time_rhs(op, q, *, repeats: int = 5, inner: int = 4) -> float:
+    """Best-of-``repeats`` seconds for one RHS evaluation (warmed up)."""
+    op.rhs(q, 0.0)  # warm caches / bind-stage lazies
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            op.rhs(q, 0.1)
+        best = min(best, (time.perf_counter() - t0) / inner)
+    return best
+
+
+def measure() -> dict:
+    """Measure both modes for every smoke case; return the gate payload."""
+    out: dict = {}
+    for case in ("d2", "d3", "d3_elastic"):
+        ctx, model, degree, q = _setup(case)
+        nelem = ctx.mesh.nelem_local
+        compiled = DGOperator(model, degree).bind(ctx)
+        interp = DGOperator(model, degree, compile=False).bind(ctx)
+        rc, ri = compiled.rhs(q, 0.1), interp.rhs(q, 0.1)
+        if case == "d3_elastic":
+            # Tolerance contract: the elastic lowering is mathematically
+            # equivalent, not bit-identical (docs/KERNELS.md).
+            assert np.abs(rc - ri).max() <= 1e-13 * np.abs(ri).max()
+        else:
+            assert np.array_equal(rc, ri)
+        tc = _time_rhs(compiled, q)
+        ti = _time_rhs(interp, q)
+        out[case] = {
+            "nelem": nelem,
+            "npts": ctx.mesh.npts,
+            "us_per_elem": 1e6 * tc / nelem,
+            "us_per_elem_interpreted": 1e6 * ti / nelem,
+            "speedup": ti / tc,
+            "kernel_key": compiled.kernel_key,
+        }
+    return out
+
+
+def test_dg_rhs_smoke():
+    """Pytest entry point: measure, emit artifacts, sanity-check shape."""
+    results = measure()
+    lines = [
+        "dG RHS per-element cost (compiled vs interpreted, 1 core)",
+        f"{'case':>4} {'nelem':>6} {'npts':>5} {'us/elem':>9} "
+        f"{'us/elem(interp)':>16} {'speedup':>8}",
+    ]
+    for case, r in results.items():
+        lines.append(
+            f"{case:>4} {r['nelem']:>6} {r['npts']:>5} {r['us_per_elem']:>9.1f} "
+            f"{r['us_per_elem_interpreted']:>16.1f} {r['speedup']:>7.1f}x"
+        )
+    emit("dg_rhs_smoke", "\n".join(lines))
+    emit_json("dg_rhs_smoke", results)
+    for r in results.values():
+        assert r["us_per_elem"] > 0 and r["speedup"] > 0
+
+
+if __name__ == "__main__":
+    test_dg_rhs_smoke()

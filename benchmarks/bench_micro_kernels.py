@@ -11,11 +11,10 @@ import numpy as np
 import pytest
 
 from benchmarks._util import emit
-from repro.mangll.dg import DGSolver
-from repro.mangll.dgops import DGSpace
 from repro.mangll.geometry import MultilinearGeometry
 from repro.mangll.mesh import build_mesh
 from repro.mangll.models import AdvectionModel
+from repro.mangll.op import DGOperator, MeshContext
 from repro.p4est.balance import balance, is_balanced
 from repro.p4est.bits import interleave
 from repro.p4est.builders import rotcubes, unit_cube, unit_square
@@ -92,8 +91,9 @@ def test_benchmark_dg_rhs_degree_sweep(benchmark, degree):
     forest = Forest.new(conn, SerialComm(), level=level)
     ghost = build_ghost(forest)
     mesh = build_mesh(forest, MultilinearGeometry(conn), degree, ghost)
-    space = DGSpace(forest, ghost, mesh, degree)
-    solver = DGSolver(space, AdvectionModel(3, [1.0, 0.3, -0.2]), SerialComm())
+    model = AdvectionModel(3, [1.0, 0.3, -0.2])
+    ctx = MeshContext(forest, ghost, mesh, SerialComm())
+    solver = DGOperator(model, degree).bind(ctx)
     q = np.sin(mesh.coords[: mesh.nelem_local, :, 0])
     r = benchmark(lambda: solver.rhs(q))
     assert np.isfinite(r).all()
@@ -307,8 +307,8 @@ def test_benchmark_trace_overhead_off(benchmark):
     forest = Forest.new(conn, SerialComm(), level=2)
     ghost = build_ghost(forest)
     mesh = build_mesh(forest, MultilinearGeometry(conn), 3, ghost)
-    space = DGSpace(forest, ghost, mesh, 3)
-    solver = DGSolver(space, AdvectionModel(3, [1.0, 0.3, -0.2]), SerialComm())
+    ctx = MeshContext(forest, ghost, mesh, SerialComm())
+    solver = DGOperator(AdvectionModel(3, [1.0, 0.3, -0.2]), 3).bind(ctx)
     q = np.sin(mesh.coords[: mesh.nelem_local, :, 0])
 
     def timed(fn, reps=5):

@@ -21,11 +21,10 @@ from repro.amr.driver import adapt_and_rebalance
 from repro.apps.advection.fronts import SphericalFronts
 from repro.p4est import checkpoint as forest_checkpoint
 from repro.parallel.machine import CheckpointStore
-from repro.mangll.dg import DGSolver
-from repro.mangll.dgops import DGSpace
 from repro.mangll.geometry import ShellGeometry
 from repro.mangll.mesh import build_mesh
 from repro.mangll.models import AdvectionModel
+from repro.mangll.op import DGOperator, MeshContext
 from repro.mangll.rk import lsrk45_step
 from repro.p4est.balance import balance
 from repro.p4est.builders import shell
@@ -146,9 +145,10 @@ class AdvectionRun:
     def _rebuild(self) -> None:
         self.ghost = build_ghost(self.forest)
         self.mesh = build_mesh(self.forest, self.geometry, self.cfg.degree, self.ghost)
-        self.space = DGSpace(self.forest, self.ghost, self.mesh, self.cfg.degree)
         self.model = AdvectionModel(3, self.fronts.velocity())
-        self.solver = DGSolver(self.space, self.model, self.comm)
+        ctx = MeshContext(self.forest, self.ghost, self.mesh, self.comm)
+        self.solver = DGOperator(self.model, self.cfg.degree).bind(ctx)
+        self.space = self.solver.space
 
     def _element_h(self) -> np.ndarray:
         # Physical length scale per local element from its lattice size.
@@ -235,9 +235,7 @@ class AdvectionRun:
         for _ in range(nsteps):
             t0 = time.perf_counter()
             with trace_phase("Integrate"):
-                self.q = lsrk45_step(
-                    self.q, self.t, dt, lambda u, tt: self.solver.rhs(u, tt)
-                )
+                self.q = lsrk45_step(self.q, self.t, dt, self.solver)
             self.t += dt
             self.step_count += 1
             self.timers.add("integrate", time.perf_counter() - t0)

@@ -20,11 +20,10 @@ import numpy as np
 
 from repro.apps.dgea.elastic import ElasticModel
 from repro.apps.dgea.prem import PREM, CMB_RADIUS_KM, EARTH_RADIUS_KM
-from repro.mangll.dg import DGSolver
-from repro.mangll.dgops import DGSpace
 from repro.mangll.geometry import ShellGeometry
 from repro.mangll.mesh import build_mesh
 from repro.mangll.models import AdvectionModel  # noqa: F401 (parity import)
+from repro.mangll.op import DGOperator, MeshContext
 from repro.mangll.rk import lsrk45_step
 from repro.p4est.balance import balance
 from repro.p4est.builders import shell
@@ -165,8 +164,9 @@ class SeismicRun:
     def _rebuild(self) -> None:
         self.ghost = build_ghost(self.forest)
         self.mesh = build_mesh(self.forest, self.geometry, self.cfg.degree, self.ghost)
-        self.space = DGSpace(self.forest, self.ghost, self.mesh, self.cfg.degree)
-        self.solver = DGSolver(self.space, self.model, self.comm)
+        ctx = MeshContext(self.forest, self.ghost, self.mesh, self.comm)
+        self.solver = DGOperator(self.model, self.cfg.degree).bind(ctx)
+        self.space = self.solver.space
         if hasattr(self, "_probe"):
             self._make_probe()
 
@@ -217,10 +217,11 @@ class SeismicRun:
         """Advance ``nsteps``; returns measured seconds per step (max rank)."""
         if dt is None:
             dt = self.solver.stable_dt(self.q, cfl=self.cfg.cfl)
+        work = np.zeros_like(self.q)
         t0 = time.perf_counter()
         with trace_phase("WaveProp"):
             for _ in range(nsteps):
-                self.q = lsrk45_step(self.q, self.t, dt, self.rhs)
+                self.q = lsrk45_step(self.q, self.t, dt, self.rhs, work)
                 self.t += dt
                 self.step_count += 1
                 self.record()

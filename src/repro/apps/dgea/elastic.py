@@ -51,7 +51,15 @@ class ElasticModel:
 
     ``material(x) -> (rho, lam, mu)`` evaluates the medium at node
     coordinate arrays of shape ``(..., pdim)``.
+
+    ``lowering_kind`` opts the model into the kernel compiler's
+    specialized elastic lowering (coefficient-hoisted, tensor-free; see
+    ``repro.mangll.compiler.lower``).  A subclass that overrides the
+    flux methods must set ``lowering_kind = None`` or the compiled path
+    will still execute this class's physics.
     """
+
+    lowering_kind = "elastic"
 
     def __init__(self, dim: int, material: Material, bc: str = "free") -> None:
         if bc not in ("free", "mirror"):

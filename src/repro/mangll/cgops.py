@@ -17,6 +17,7 @@ nodes, and inner products reduce over owned nodes (one allreduce).
 
 from __future__ import annotations
 
+import warnings
 from functools import lru_cache
 from typing import Callable, Dict, Optional, Tuple
 
@@ -119,7 +120,22 @@ def _edge_faces(e: int) -> Tuple[int, int]:
 class CGSpace:
     """Continuous Galerkin function space over a forest mesh + LNodes."""
 
-    def __init__(self, mesh: Mesh, ln: LNodes, comm: Comm) -> None:
+    def __init__(
+        self,
+        mesh: Mesh,
+        ln: LNodes,
+        comm: Comm,
+        *,
+        _deprecation_warning: bool = True,
+    ) -> None:
+        if _deprecation_warning:
+            warnings.warn(
+                "CGSpace() is deprecated; use "
+                "repro.mangll.op.CGOperator(degree).bind(ctx) "
+                "(compiled element kernels, same bit-exact results)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if ln.degree != mesh.degree:
             raise ValueError("LNodes/mesh degree mismatch")
         self.mesh = mesh

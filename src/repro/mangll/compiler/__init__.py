@@ -1,0 +1,262 @@
+"""The mangll kernel compiler (ROADMAP item 2, the ffcx blueprint).
+
+Lower -> plan -> emit -> cache, in four small modules:
+
+* :mod:`~repro.mangll.compiler.ir` — the typed tensor IR (einsum,
+  pointwise, gather, extern; explicit mutation statements).
+* :mod:`~repro.mangll.compiler.lower` — mangll operators written into
+  the IR, preserving the interpreted reference's exact float semantics.
+* :mod:`~repro.mangll.compiler.passes` — CSE, loop-invariant hoisting
+  (bind/run staging) and fusion (single-use inlining).
+* :mod:`~repro.mangll.compiler.emit` — flat NumPy source emission, the
+  bind-stage evaluator, and the communication-freedom AST guard.
+* :mod:`~repro.mangll.compiler.cache` — in-memory + on-disk source
+  cache with versioned fingerprints.
+
+This module is the facade: ``compile_*`` returns a cached
+:class:`CompiledKernel` per specialization key, and ``prepare_*``
+evaluates its bind-stage values against one concrete mesh/model into
+the ``P`` dict the kernel consumes.  Apps never call these directly —
+they go through :mod:`repro.mangll.op`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..dgops import CONFORMING
+from .cache import IR_VERSION, KernelCache, default_cache
+from .emit import (
+    Analysis,
+    BindEvaluator,
+    CompileError,
+    Emitter,
+    analyze,
+    assert_communication_free,
+)
+from .lower import (
+    DG_KINDS,
+    FACE_K,
+    cg_cache_key,
+    cg_tables,
+    dg_batch_envs,
+    dg_cache_key,
+    dg_tables,
+    lower_cg_elem_laplacian,
+    lower_cg_elem_mass,
+    lower_dg_rhs,
+    model_kind,
+    permutation_rows,
+    transfer_cache_key,
+    transfer_source,
+)
+
+__all__ = [
+    "IR_VERSION",
+    "KernelCache",
+    "CompileError",
+    "CompiledKernel",
+    "default_cache",
+    "model_kind",
+    "compile_dg_rhs",
+    "prepare_dg_rhs",
+    "compile_cg_elem",
+    "prepare_cg_elem",
+    "compile_transfer",
+    "transfer_bind",
+]
+
+
+@dataclass
+class CompiledKernel:
+    """One compiled, cached kernel module plus its bind-side metadata."""
+
+    key: str
+    module: Dict[str, Any]
+    #: per-function IR analyses, keyed by entry-point name (empty for
+    #: template-emitted kernels such as the p-transfer)
+    analyses: Dict[str, Analysis]
+    #: extra metadata the prepare step needs (e.g. the dG model kind)
+    meta: Dict[str, Any]
+
+    def fn(self, name: str) -> Callable[..., Any]:
+        """The kernel entry point called ``name``."""
+        return self.module[name]
+
+
+# --- dG RHS -----------------------------------------------------------------
+
+_DG_PARAMS = ("q_local", "q_all", "t", "P", "model")
+_DG_PROLOGUE = ("ne = q_local.shape[0]", "nf = q_local.shape[2]")
+
+
+def compile_dg_rhs(
+    dim: int,
+    degree: int,
+    nfields: int,
+    kind: str,
+    cache: Optional[KernelCache] = None,
+) -> CompiledKernel:
+    """Compile the dG RHS for one ``(dim, degree, nfields, kind)``."""
+    cache = cache if cache is not None else default_cache()
+    key = dg_cache_key(dim, degree, nfields, kind)
+    analysis = analyze(lower_dg_rhs(dim, degree, nfields, kind))
+
+    def build() -> str:
+        return Emitter(analysis).emit("kernel", _DG_PARAMS, _DG_PROLOGUE)
+
+    module = cache.get(key, build, validate=lambda b: assert_communication_free(b, key))
+    return CompiledKernel(
+        key=key, module=module, analyses={"kernel": analysis}, meta={"kind": kind}
+    )
+
+
+def prepare_dg_rhs(compiled: CompiledKernel, solver: Any, model: Any) -> Dict[str, Any]:
+    """Evaluate bind-stage values for one mesh/model into the ``P`` dict.
+
+    ``solver`` is the interpreted reference ``DGSolver`` the bound
+    operator keeps — its precomputed tables feed the evaluator, so the
+    compiled kernel starts from byte-identical inputs.
+
+    For the elastic kind, conforming mortar batches are additionally
+    *paired*: every geometric interior face with both sides local is
+    handed to the kernel's ``face_pair`` region exactly once (mirror
+    slots dropped, orientation permutations folded into the plus-side
+    gather indices, batches merged by index signature), and the kernel
+    scatters the one computed flux to both owning elements with
+    opposite signs.  Faces whose partner is a ghost element keep their
+    per-slot ``face_cf`` form.  This halves conforming-face work; it
+    reorders lift accumulation, so only the tolerance-validated elastic
+    kind does it.
+    """
+    kind = compiled.meta["kind"]
+    an = compiled.analyses["kernel"]
+    ev = BindEvaluator(an, dg_tables(solver, model, kind), model)
+    P = ev.global_bind()
+    envs = dg_batch_envs(solver)
+    pair = kind == "elastic" and all(
+        permutation_rows(env["tr"]) is not None
+        for region, env in envs
+        if env["_kind"] == CONFORMING
+    )
+    nl = solver.space.mesh.nelem_local
+    fb = []
+    groups: Dict[Tuple[bytes, bytes], Dict[str, Any]] = {}
+
+    def slot(region: str, env: Dict[str, Any]) -> None:
+        B = ev.batch_bind(region, env)
+        em = env["em"]
+        fidx = env["fidx"]
+        B["k"] = FACE_K[region]
+        B["ix"] = (em[:, None], fidx[None, :])
+        # Unique rows -> the fancy -= lift is bit-identical to the
+        # reference's unbuffered np.add.at; duplicated rows fall back.
+        B["u"] = bool(len(np.unique(em)) == len(em))
+        if region == "face_pair":
+            ep = env["ep"]
+            pidx = env["pidx"]
+            B["ixp"] = (ep[:, None], pidx[None, :])
+            B["up"] = bool(len(np.unique(ep)) == len(ep))
+        fb.append(B)
+
+    for region, env in envs:
+        if not (pair and env["_kind"] == CONFORMING):
+            slot(region, env)
+            continue
+        perm = permutation_rows(env["tr"])
+        pidx2 = env["pidx"][perm]
+        em, ep = env["em"], env["ep"]
+        keep = (ep < nl) & (em < ep)  # one slot per local-local face
+        rest = (ep >= nl) | (em == ep)  # ghost partner / self-adjacency
+        if rest.any():
+            sub = dict(env)
+            for name in ("em", "ep", "n", "sj", "xf"):
+                sub[name] = env[name][rest]
+            slot("face_cf", sub)
+        if keep.any():
+            grp = groups.setdefault(
+                (env["fidx"].tobytes(), pidx2.tobytes()),
+                {"fidx": env["fidx"], "pidx": pidx2, "parts": []},
+            )
+            grp["parts"].append({name: env[name][keep] for name in ("em", "ep", "n", "sj", "xf")})
+    for grp in groups.values():
+        env_g: Dict[str, Any] = {"fidx": grp["fidx"], "pidx": grp["pidx"]}
+        for name in ("em", "ep", "n", "sj", "xf"):
+            env_g[name] = np.concatenate([p[name] for p in grp["parts"]])
+        slot("face_pair", env_g)
+    P["fb"] = fb
+    return P
+
+
+# --- CG element kernels -----------------------------------------------------
+
+
+def compile_cg_elem(
+    dim: int, degree: int, cache: Optional[KernelCache] = None
+) -> CompiledKernel:
+    """Compile the CG element kernels for one ``(dim, degree)``."""
+    cache = cache if cache is not None else default_cache()
+    key = cg_cache_key(dim, degree)
+    npts = (degree + 1) ** dim
+    an_lap = analyze(lower_cg_elem_laplacian(dim, degree))
+    an_mass = analyze(lower_cg_elem_mass(dim, degree))
+
+    def build() -> str:
+        lap = Emitter(an_lap, pprefix="l.").emit("elem_laplacian", ("wdet", "P"))
+        mass = Emitter(an_mass, pprefix="m.").emit("elem_mass", ("wdet", "P"))
+        return f"_DIDX = np.arange({npts})\n\n\n" + lap + "\n\n" + mass
+
+    module = cache.get(key, build, validate=lambda b: assert_communication_free(b, key))
+    return CompiledKernel(
+        key=key,
+        module=module,
+        analyses={"elem_laplacian": an_lap, "elem_mass": an_mass},
+        meta={},
+    )
+
+
+def prepare_cg_elem(compiled: CompiledKernel, space: Any) -> Dict[str, Any]:
+    """Bind-stage values (hoisted metric terms) for one CG space."""
+    tables = cg_tables(space)
+    P = BindEvaluator(compiled.analyses["elem_laplacian"], tables).global_bind("l.")
+    P.update(BindEvaluator(compiled.analyses["elem_mass"], tables).global_bind("m."))
+    m = space.mesh
+    nl = m.nelem_local
+    # The caller scales this by the coefficient exactly as the
+    # reference does (wdet * coeff); hoisting the product is bit-safe.
+    P["wdet0"] = m.detj[:nl] * m.weights[None, :]
+    return P
+
+
+# --- p-transfer -------------------------------------------------------------
+
+
+def compile_transfer(
+    dim: int, degree: int, cache: Optional[KernelCache] = None
+) -> CompiledKernel:
+    """Compile the p-transfer kernel for one ``(dim, degree)``."""
+    cache = cache if cache is not None else default_cache()
+    key = transfer_cache_key(dim, degree)
+
+    def build() -> str:
+        return transfer_source(dim, degree)
+
+    module = cache.get(key, build, validate=lambda b: assert_communication_free(b, key))
+    return CompiledKernel(key=key, module=module, analyses={}, meta={})
+
+
+def transfer_bind() -> Dict[str, Any]:
+    """The helper table the p-transfer kernel receives as ``P``."""
+    from repro.p4est.octant import is_ancestor_pairwise, searchsorted_octants
+
+    from ..transfer import nested_interp_matrix, nested_project_matrix
+
+    return {
+        "ss": searchsorted_octants,
+        "iap": is_ancestor_pairwise,
+        "interp": nested_interp_matrix,
+        "project": nested_project_matrix,
+    }

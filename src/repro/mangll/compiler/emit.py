@@ -1,0 +1,374 @@
+"""Emission: planned IR graphs -> flat NumPy kernel source + bind values.
+
+Two halves of one contract:
+
+* :class:`Emitter` turns a planned graph into the *run-stage* source of
+  a specialized kernel.  Bind-stage nodes are referenced as ``P["vN"]``
+  (global) or ``B["vN"]`` (per mortar batch); run-stage nodes become
+  ``vN`` temporaries, or are fused into their single consumer's
+  expression.  Face regions emit as one ``for B in P["fb"]:`` loop with
+  a ``B["k"]`` dispatch, preserving the reference's batch iteration
+  order — the lifts of one element's faces share edge/corner nodes, so
+  accumulation order is part of bit-identity.
+
+* :class:`BindEvaluator` interprets the *bind-stage* subgraph once at
+  operator bind time, producing exactly the ``P``/``B`` entries the
+  emitted source references.  Both sides derive the needed-node sets
+  from one :func:`analyze` result, so they cannot drift.
+
+:func:`assert_communication_free` is the layering guard: generated
+kernels must never call a registered collective (the ghost exchange
+stays in the bound operator), checked against the AST of every kernel
+before it is published to the cache.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .ir import Graph, Node
+from .passes import Plan, plan as run_passes
+
+#: Face regions in emission (and reference batch-dispatch) order.
+FACE_REGIONS = ("face_cf", "face_b", "face_coarse", "face_pair")
+
+#: Region -> the ``B["k"]`` dispatch tag (mirrors lower.FACE_K).
+FACE_K = {"face_cf": 0, "face_b": 1, "face_coarse": 2, "face_pair": 3}
+
+_ATOM_RE = re.compile(r'^(?:[A-Za-z_][A-Za-z0-9_]*|[PB]\["[\w.\-]+"\]|-?\d+(?:\.\d+)?)$')
+
+#: Serializes ``ast.parse``/``compile`` of generated source; shared with
+#: :mod:`repro.mangll.compiler.cache` (see assert_communication_free).
+_AST_LOCK = threading.Lock()
+
+
+class CompileError(RuntimeError):
+    """Raised when lowering/emission violates a compiler invariant."""
+
+
+@dataclass
+class Analysis:
+    """Planned graph plus the bind bookkeeping shared by emit and bind."""
+
+    graph: Graph
+    plan: Plan
+    #: canonical node ids whose value depends on a per-batch bind value
+    batch_dep: FrozenSet[int]
+    #: canonical global bind node ids (stored in ``P``), id order
+    global_bind: Tuple[int, ...]
+    #: region -> canonical batch-bind node ids (stored in ``B``), id order
+    region_batch_bind: Dict[str, Tuple[int, ...]]
+
+
+def analyze(graph: Graph) -> Analysis:
+    """Run the passes and compute the bind-value layout of a graph."""
+    p = run_passes(graph)
+    batch_dep: Set[int] = set()
+    for node in graph.nodes:
+        if p.canon(node.id) != node.id:
+            continue
+        if node.op == "barg" or any(p.canon(i) in batch_dep for i in node.inputs):
+            batch_dep.add(node.id)
+
+    region_nodes: Dict[str, Set[int]] = {}
+    for s in graph.stmts:
+        rs = region_nodes.setdefault(s.region, set())
+        stack = [
+            p.canon(x) for x in (s.target, s.value, s.rows, s.cols) if x is not None
+        ]
+        while stack:
+            cid = stack.pop()
+            if cid in rs:
+                continue
+            rs.add(cid)
+            stack.extend(p.canon(i) for i in graph.node(cid).inputs)
+
+    global_bind = tuple(
+        sorted(
+            {
+                cid
+                for rs in region_nodes.values()
+                for cid in rs
+                if p.stage[cid] == "bind" and cid not in batch_dep
+            }
+        )
+    )
+    region_batch_bind = {
+        r: tuple(
+            sorted(
+                cid for cid in rs if p.stage[cid] == "bind" and cid in batch_dep
+            )
+        )
+        for r, rs in region_nodes.items()
+    }
+    return Analysis(
+        graph=graph,
+        plan=p,
+        batch_dep=frozenset(batch_dep),
+        global_bind=global_bind,
+        region_batch_bind=region_batch_bind,
+    )
+
+
+# --- Source emission --------------------------------------------------------
+
+
+class Emitter:
+    """Renders one analyzed graph as a flat Python function."""
+
+    def __init__(self, analysis: Analysis, pprefix: str = "") -> None:
+        """``pprefix`` namespaces ``P`` keys when a module shares one P."""
+        self.an = analysis
+        self.g = analysis.graph
+        self.p = analysis.plan
+        self.pprefix = pprefix
+        self.lines: List[str] = []
+
+    # -- expressions --------------------------------------------------------
+
+    def _atom(self, s: str) -> str:
+        return s if _ATOM_RE.match(s) else f"({s})"
+
+    def render(self, nid: int, scope: Set[int]) -> str:
+        """The expression for node ``nid`` in the current scope."""
+        cid = self.p.canon(nid)
+        node = self.g.node(cid)
+        if node.op == "arg":
+            return str(node.attr("name"))
+        if self.p.stage[cid] == "bind":
+            table = "B" if cid in self.an.batch_dep else "P"
+            return f'{table}["{self.pprefix}v{cid}"]'
+        if cid in scope:
+            return f"v{cid}"
+        if cid in self.p.inline:
+            return self.render_op(node, scope)
+        raise CompileError(f"node v{cid} referenced before materialization")
+
+    def render_op(self, node: Node, scope: Set[int]) -> str:
+        """The defining expression of a pure run-stage node."""
+        if node.op == "pw":
+            parts = [self._atom(self.render(i, scope)) for i in node.inputs]
+            return str(node.attr("expr")).format(*parts)
+        if node.op == "einsum":
+            ins = ", ".join(self.render(i, scope) for i in node.inputs)
+            return f'np.einsum("{node.attr("subs")}", {ins})'
+        if node.op == "gather":
+            src, rows, cols = node.inputs
+            if node.attr("fused"):
+                # One fused advanced index: same elements as the two-step
+                # form, one copy instead of two — but different output
+                # strides, and einsum accumulation order is stride-
+                # dependent, so only the elastic lowering requests this.
+                return (
+                    f"{self._atom(self.render(src, scope))}"
+                    f"[{self._atom(self.render(rows, scope))}[:, None], "
+                    f"{self._atom(self.render(cols, scope))}[None, :]]"
+                )
+            # The reference's two-step gather, kept verbatim so the
+            # strides (hence downstream einsum order) match bit for bit.
+            return (
+                f"{self._atom(self.render(src, scope))}"
+                f"[{self._atom(self.render(rows, scope))}]"
+                f"[:, {self._atom(self.render(cols, scope))}]"
+            )
+        if node.op == "extern":
+            ins = ", ".join(self.render(i, scope) for i in node.inputs)
+            return f"model.{node.attr('method')}({ins})"
+        raise CompileError(f"cannot render op {node.op!r}")
+
+    def ensure(self, nid: int, indent: str, scope: Set[int]) -> None:
+        """Materialize ``nid`` (and its deps) as temporaries if needed."""
+        cid = self.p.canon(nid)
+        node = self.g.node(cid)
+        if node.op == "arg" or self.p.stage[cid] == "bind" or cid in scope:
+            return
+        for i in node.inputs:
+            self.ensure(i, indent, scope)
+        if cid in self.p.inline:
+            return  # fused into its single consumer's expression
+        self.lines.append(indent + f"v{cid} = {self.render_op(node, scope)}")
+        scope.add(cid)
+
+    # -- statements ---------------------------------------------------------
+
+    def _emit_region(self, region: str, indent: str, scope: Set[int]) -> None:
+        for s in self.g.stmts:
+            if s.region != region:
+                continue
+            if s.kind == "ret":
+                assert s.value is not None
+                self.ensure(s.value, indent, scope)
+                self.lines.append(indent + f"return {self.render(s.value, scope)}")
+                continue
+            assert s.target is not None and s.value is not None
+            self.ensure(s.target, indent, scope)
+            self.ensure(s.value, indent, scope)
+            tgt = self.render(s.target, scope)
+            val = self.render(s.value, scope)
+            if s.kind == "iop":
+                self.lines.append(indent + f"{tgt} {s.sym}= {val}")
+            elif s.kind == "setitem":
+                self.lines.append(indent + f"{tgt}[{s.idx}] = {val}")
+            elif s.kind == "isetop":
+                self.lines.append(indent + f"{tgt}[{s.idx}] {s.sym}= {val}")
+            elif s.kind == "scatter":
+                # Fancy -= when this batch's row indices are unique
+                # (bit-identical to the unbuffered np.subtract.at, which
+                # itself matches the reference np.add.at of -contrib).
+                ufunc = {"-": "subtract", "+": "add"}[s.sym or "-"]
+                ix, u = f"ix{s.tag}", f"u{s.tag}"
+                self.lines.append(indent + f'if B["{u}"]:')
+                self.lines.append(indent + f'    {tgt}[B["{ix}"]] {s.sym or "-"}= {val}')
+                self.lines.append(indent + "else:")
+                self.lines.append(indent + f'    np.{ufunc}.at({tgt}, B["{ix}"], {val})')
+            else:
+                raise CompileError(f"unknown stmt kind {s.kind!r}")
+
+    def emit(self, name: str, params: Tuple[str, ...], prologue: Tuple[str, ...] = ()) -> str:
+        """The full function source for this graph."""
+        self.lines = [f"def {name}({', '.join(params)}):"]
+        for line in prologue:
+            self.lines.append("    " + line)
+        scope: Set[int] = set()
+        self._emit_region("main", "    ", scope)
+        face = [
+            r for r in FACE_REGIONS if any(s.region == r for s in self.g.stmts)
+        ]
+        if face:
+            self.lines.append('    for B in P["fb"]:')
+            self.lines.append('        k = B["k"]')
+            kw = "if"
+            for r in face:
+                self.lines.append(f"        {kw} k == {FACE_K[r]}:")
+                branch_scope = set(scope)
+                self._emit_region(r, "            ", branch_scope)
+                kw = "elif"
+        self._emit_region("tail", "    ", scope)
+        return "\n".join(self.lines) + "\n"
+
+
+# --- Bind-stage interpretation ----------------------------------------------
+
+
+class BindEvaluator:
+    """Evaluates the bind-stage subgraph into the P/B value dicts."""
+
+    def __init__(
+        self, analysis: Analysis, tables: Dict[str, Any], model: Any = None
+    ) -> None:
+        """``tables`` names the ``table`` leaves; ``model`` serves externs."""
+        self.an = analysis
+        self.g = analysis.graph
+        self.p = analysis.plan
+        self.tables = tables
+        self.model = model
+        self._gmemo: Dict[int, Any] = {}
+
+    def _eval(
+        self, cid: int, benv: Optional[Dict[str, Any]], bmemo: Optional[Dict[int, Any]]
+    ) -> Any:
+        memo = bmemo if cid in self.an.batch_dep else self._gmemo
+        assert memo is not None
+        if cid in memo:
+            return memo[cid]
+        node = self.g.node(cid)
+        ins = [self._eval(self.p.canon(i), benv, bmemo) for i in node.inputs]
+        if node.op == "table":
+            val = self.tables[node.attr("name")]
+        elif node.op == "barg":
+            assert benv is not None
+            val = benv[node.attr("name")]
+        elif node.op == "const":
+            val = node.attr("value")
+        elif node.op == "pw":
+            val = _eval_template(str(node.attr("expr")), ins)
+        elif node.op == "einsum":
+            val = np.einsum(node.attr("subs"), *ins)
+        elif node.op == "gather":
+            if node.attr("fused"):
+                val = ins[0][ins[1][:, None], ins[2][None, :]]
+            else:
+                val = ins[0][ins[1]][:, ins[2]]
+        elif node.op == "extern":
+            val = getattr(self.model, node.attr("method"))(*ins)
+        else:
+            raise CompileError(f"cannot bind-evaluate op {node.op!r}")
+        memo[cid] = val
+        return val
+
+    def global_bind(self, pprefix: str = "") -> Dict[str, Any]:
+        """All ``P`` entries of this graph."""
+        return {
+            f"{pprefix}v{cid}": self._eval(cid, None, None)
+            for cid in self.an.global_bind
+        }
+
+    def batch_bind(self, region: str, env: Dict[str, Any]) -> Dict[str, Any]:
+        """The ``B`` entries for one mortar batch of ``region``."""
+        bmemo: Dict[int, Any] = {}
+        return {
+            f"v{cid}": self._eval(cid, env, bmemo)
+            for cid in self.an.region_batch_bind.get(region, ())
+        }
+
+
+def _eval_template(expr: str, ins: List[Any]) -> Any:
+    names = [f"_i{k}" for k in range(len(ins))]
+    src = expr.format(*names)
+    scope: Dict[str, Any] = dict(zip(names, ins))
+    scope["np"] = np
+    return eval(src, {"__builtins__": {}}, scope)  # noqa: S307 - templates are compiler-owned
+
+
+# --- Communication-freedom guard --------------------------------------------
+
+
+def collective_call_names() -> FrozenSet[str]:
+    """Every registered collective name (comm, forest, function, method)."""
+    from repro.parallel.collectives import (
+        COLLECTIVE_FUNCTIONS,
+        COLLECTIVE_METHODS,
+        COMM_COLLECTIVE_NAMES,
+        FOREST_COLLECTIVE_NAMES,
+    )
+
+    return frozenset(
+        COMM_COLLECTIVE_NAMES
+        | FOREST_COLLECTIVE_NAMES
+        | set(COLLECTIVE_METHODS)
+        | {s.name for s in COLLECTIVE_FUNCTIONS.values()}
+    )
+
+
+def assert_communication_free(source: str, key: str) -> None:
+    """Reject generated source that calls any registered collective.
+
+    Compiled kernels run strictly between the ghost exchange and the
+    next collective; a collective inside one would both break the
+    layering and hide communication from spmdlint's registry.
+    """
+    banned = collective_call_names()
+    # CPython's AST constructor is not safe under concurrent parses
+    # (``SystemError: AST constructor recursion depth mismatch``), and
+    # thread-backend ranks do bind — hence compile — concurrently.
+    with _AST_LOCK:
+        tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = None
+        if isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            name = node.func.id
+        if name in banned:
+            raise CompileError(
+                f"generated kernel {key!r} calls collective {name!r} "
+                f"(line {node.lineno}); kernels must be communication-free"
+            )

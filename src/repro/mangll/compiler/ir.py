@@ -1,0 +1,213 @@
+"""A small tensor IR for the mangll element kernels.
+
+The compiler (ROADMAP item 2, the ffcx blueprint) lowers each mangll
+operator — the dG right-hand side, the CG element kernels, the
+p-transfer contractions — into a graph of *typed tensor ops*:
+
+``einsum``
+    A contraction with explicit subscripts (the unit of specialization:
+    subscripts are baked per ``(dim, degree)``).
+``pw``
+    A pointwise expression template over its inputs (adds, products,
+    slices, reshapes, masks, ``np.where`` — anything elementwise).
+``gather``
+    A batched face-trace gather ``src[rows][:, cols]``.
+``extern``
+    A call into the flux-model object (kept for model kinds the
+    compiler does not lower; carries a *stage hint* so time-invariant
+    externs such as ``velocity(x)`` can still be hoisted).
+``arg`` / ``table`` / ``barg`` / ``const``
+    Leaves: runtime kernel arguments, bind-time global tables,
+    bind-time per-mortar-batch values, and literal scalars.
+
+Side effects are explicit: a :class:`Stmt` list orders accumulations,
+slice stores and scatters (``np.add.at``-style lifts).  Pure nodes
+never reorder across the statement that first needs them, which is the
+contract that keeps the emitted kernel *bit-identical* to the
+interpreted reference: the passes (:mod:`repro.mangll.compiler.passes`)
+only deduplicate, hoist, or inline computations — they never change
+which floating-point operations run or in which order.
+
+Graphs are built region by region (``main``, one region per mortar
+kind, ``tail``); the emitter turns regions into the batch-loop branches
+of the generated kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Ops with no side effects; everything else must flow through a Stmt.
+PURE_OPS = frozenset(
+    {"arg", "table", "barg", "const", "pw", "einsum", "gather", "extern"}
+)
+
+#: Leaf ops: emitted as a name / lookup, never as an assignment.
+LEAF_OPS = frozenset({"arg", "table", "barg", "const"})
+
+Attrs = Tuple[Tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class Node:
+    """One value in the graph (SSA: nodes are immutable and numbered)."""
+
+    id: int
+    op: str
+    inputs: Tuple[int, ...]
+    attrs: Attrs
+
+    def attr(self, name: str, default: Any = None) -> Any:
+        """Look up one attribute by name."""
+        for k, v in self.attrs:
+            if k == name:
+                return v
+        return default
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """One ordered side effect.
+
+    ``kind`` is ``"iop"`` (``target op= value`` with ``op`` in the
+    ``sym`` attr), ``"setitem"`` / ``"isetop"`` (``target[idx] = value``
+    or ``target[idx] op= value`` with the index expression in ``idx``),
+    ``"scatter"`` (the face lift: subtract ``value`` at
+    ``(rows[:, None], cols[None, :])`` of ``target``), or ``"ret"``.
+    """
+
+    kind: str
+    region: str
+    target: Optional[int] = None
+    value: Optional[int] = None
+    sym: str = ""
+    idx: str = ""
+    rows: Optional[int] = None
+    cols: Optional[int] = None
+    #: scatter index-key suffix: ``B["ix" + tag]`` / ``B["u" + tag]``;
+    #: lets one region carry several scatters with distinct targets.
+    tag: str = ""
+
+
+class Graph:
+    """An append-only IR graph plus its ordered statement list."""
+
+    def __init__(self) -> None:
+        """Create an empty graph positioned in the ``main`` region."""
+        self.nodes: List[Node] = []
+        self.stmts: List[Stmt] = []
+        self.region_order: List[str] = ["main"]
+        self._region = "main"
+
+    # -- construction -------------------------------------------------------
+
+    def region(self, name: str) -> None:
+        """Switch the current region (regions emit as batch-loop branches)."""
+        self._region = name
+        if name not in self.region_order:
+            self.region_order.append(name)
+
+    def add(self, op: str, inputs: Tuple[int, ...] = (), **attrs: Any) -> int:
+        """Append a node and return its id."""
+        node = Node(len(self.nodes), op, inputs, tuple(sorted(attrs.items())))
+        self.nodes.append(node)
+        return node.id
+
+    def arg(self, name: str) -> int:
+        """A runtime kernel argument (``q_local``, ``q_all``, ``t``)."""
+        return self.add("arg", name=name)
+
+    def table(self, name: str) -> int:
+        """A bind-time global table (geometry, quadrature, model scalars)."""
+        return self.add("table", name=name)
+
+    def barg(self, name: str) -> int:
+        """A bind-time per-mortar-batch value (``B[name]`` at bind)."""
+        return self.add("barg", name=name)
+
+    def const(self, value: Any) -> int:
+        """A literal scalar."""
+        return self.add("const", value=value)
+
+    def pw(self, expr: str, *inputs: int) -> int:
+        """A pointwise expression template (``{0}``, ``{1}`` … inputs)."""
+        return self.add("pw", tuple(inputs), expr=expr)
+
+    def einsum(self, subs: str, *inputs: int, commutative: bool = False) -> int:
+        """A contraction; ``commutative`` lets CSE canonicalize operands."""
+        return self.add("einsum", tuple(inputs), subs=subs, commutative=commutative)
+
+    def gather(self, src: int, rows: int, cols: int, fused: bool = False) -> int:
+        """The face-trace gather ``src[rows][:, cols]``.
+
+        ``fused=True`` emits the single fancy index
+        ``src[rows[:, None], cols[None, :]]`` — same values, one copy
+        instead of two, but a different output stride pattern, and
+        ``np.einsum``'s accumulation order is stride-dependent.  Only
+        the tolerance-validated elastic kind may fuse; the bit-exact
+        kinds keep the reference's two-step form.
+        """
+        return self.add("gather", (src, rows, cols), fused=fused)
+
+    def extern(self, method: str, *inputs: int, stage: str = "run") -> int:
+        """A call into the flux model; ``stage="bind"`` marks it hoistable."""
+        return self.add("extern", tuple(inputs), method=method, stage=stage)
+
+    # -- statements ---------------------------------------------------------
+
+    def iop(self, sym: str, target: int, value: int) -> None:
+        """``target <sym>= value`` (``+``, ``*`` …) on a materialized node."""
+        self.stmts.append(Stmt("iop", self._region, target, value, sym=sym))
+
+    def setitem(self, target: int, idx: str, value: int) -> None:
+        """``target[idx] = value``."""
+        self.stmts.append(Stmt("setitem", self._region, target, value, idx=idx))
+
+    def isetop(self, sym: str, target: int, idx: str, value: int) -> None:
+        """``target[idx] <sym>= value``."""
+        self.stmts.append(
+            Stmt("isetop", self._region, target, value, sym=sym, idx=idx)
+        )
+
+    def scatter(
+        self, target: int, rows: int, cols: int, value: int, sym: str = "-", tag: str = ""
+    ) -> None:
+        """Accumulate ``value`` into ``target`` at the batch's face nodes.
+
+        Emitted as a fancy ``-=`` (or ``+=`` with ``sym="+"``) when the
+        batch's rows are unique (checked at bind time) and as
+        ``np.subtract.at`` / ``np.add.at`` otherwise; the subtract forms
+        are bit-identical to the reference ``np.add.at(..., -value)``
+        (IEEE-754 ``a - b == a + (-b)``).  ``tag`` suffixes the batch
+        index keys so one region may scatter to two index sets.
+        """
+        self.stmts.append(
+            Stmt("scatter", self._region, target, value, sym=sym, rows=rows, cols=cols, tag=tag)
+        )
+
+    def ret(self, value: int) -> None:
+        """Mark the kernel's return value."""
+        self.stmts.append(Stmt("ret", self._region, value=value))
+
+    # -- queries ------------------------------------------------------------
+
+    def node(self, nid: int) -> Node:
+        """The node with id ``nid``."""
+        return self.nodes[nid]
+
+    def mutated(self) -> frozenset:
+        """Ids of nodes that are targets of any mutating statement."""
+        out = set()
+        for s in self.stmts:
+            if s.kind in ("iop", "setitem", "isetop", "scatter") and s.target is not None:
+                out.add(s.target)
+        return frozenset(out)
+
+    def structural_key(self, nid: int, remap: Dict[int, int]) -> Tuple:
+        """CSE key of a node under an id remap (commutative-aware)."""
+        node = self.nodes[nid]
+        inputs = tuple(remap.get(i, i) for i in node.inputs)
+        if node.attr("commutative"):
+            inputs = tuple(sorted(inputs))
+        return (node.op, inputs, node.attrs)

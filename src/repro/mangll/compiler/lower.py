@@ -1,0 +1,809 @@
+"""Lowering: mangll operators -> tensor IR graphs (plus bind providers).
+
+Each ``lower_*`` function writes the *reference implementation's exact
+computation* (:mod:`repro.mangll.dg`, :mod:`repro.mangll.cgops`) into a
+:class:`~repro.mangll.compiler.ir.Graph`, preserving every einsum
+subscript string and the associativity of every pointwise template.
+The passes then hoist the time-invariant subgraphs (geometry factors,
+velocity/impedance tables, face masks) to bind time; what remains in
+the kernel is bit-identical to the interpreted loop.
+
+Flux models are lowered per *kind*:
+
+``advection``
+    :class:`~repro.mangll.models.AdvectionModel` — fully lowered; the
+    velocity field is an extern with a ``bind`` stage hint (the model
+    API takes no time argument, so it is invariant by contract).
+``acoustic``
+    :class:`~repro.mangll.models.AcousticModel` — fully lowered,
+    including the zeros+setitem flux construction.
+``elastic``
+    Velocity-strain elastodynamics (a model that declares
+    ``lowering_kind = "elastic"``, e.g. the dGea ``ElasticModel``).
+    Lowered from the same physics but **restructured**: the flux is
+    linear in ``q`` with position-only coefficients, so every material
+    product (``2 mu``, ``lam``, ``1/rho``, the P/S impedances and the
+    fluid guard) folds with the geometry factors into bind-stage
+    coefficient tables, and the kernel never materializes the
+    ``(..., dim, dim)`` stress tensor or the ``(..., nf, dim)`` flux
+    block — each output row is one fused multiply-add chain.  This
+    reorders floating-point operations, so elastic kernels match the
+    interpreted reference to rounding (validated by tolerance), not
+    bit-for-bit; the bit-exactness contract covers the advection and
+    acoustic (wave) kinds.  Only ``boundary_state`` stays an extern
+    call (boundary faces are a measure-zero cost).
+``generic``
+    Anything else — volume/numerical/boundary fluxes stay extern calls
+    on the model object; hoisting still removes the geometry factors,
+    traces and scatters around them.
+
+The bind *providers* at the bottom give the evaluator its environment:
+global tables come from the (internal, reference) ``DGSolver`` so they
+are byte-identical to what the interpreted path uses, and per-batch
+values mirror ``DGSolver._faces`` exactly — including the sign flip
+and plus-side geometry of COARSE mortars.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..dgops import BOUNDARY, COARSE, CONFORMING, FINE
+from ..mesh import face_node_indices
+from .ir import Graph
+
+#: Model kinds the dG lowering understands.
+DG_KINDS = ("advection", "acoustic", "elastic", "generic")
+
+#: Strain component order of the elastic kind (apps.dgea voigt_pairs).
+_VOIGT_PAIRS = {
+    2: ((0, 0), (1, 1), (0, 1)),
+    3: ((0, 0), (1, 1), (2, 2), (1, 2), (0, 2), (0, 1)),
+}
+
+
+def _voigt_index(dim: int) -> Dict[Tuple[int, int], int]:
+    """Symmetric ``(i, j) -> Voigt slot`` map for the elastic lowering."""
+    out: Dict[Tuple[int, int], int] = {}
+    for k, (i, j) in enumerate(_VOIGT_PAIRS[dim]):
+        out[(i, j)] = out[(j, i)] = k
+    return out
+
+#: Face region -> dispatch tag baked into each batch dict as ``B["k"]``.
+FACE_K = {"face_cf": 0, "face_b": 1, "face_coarse": 2, "face_pair": 3}
+
+#: Mortar kind -> face region.
+KIND_REGION = {
+    CONFORMING: "face_cf",
+    FINE: "face_cf",
+    BOUNDARY: "face_b",
+    COARSE: "face_coarse",
+}
+
+# D^T application subscripts per (dim, axis) — must match DGSolver._apply_dt.
+_DT_SUBS = {
+    (2, 0): "qi,eyqf->eyif",
+    (2, 1): "qj,eqxf->ejxf",
+    (3, 0): "qi,ezyqf->ezyif",
+    (3, 1): "qj,ezqxf->ezjxf",
+    (3, 2): "qk,eqyxf->ekyxf",
+}
+
+
+def dg_cache_key(dim: int, degree: int, nfields: int, kind: str) -> str:
+    """Specialization key for a dG RHS kernel."""
+    return f"dg_rhs-d{dim}-p{degree}-f{nfields}-{kind}"
+
+
+def cg_cache_key(dim: int, degree: int) -> str:
+    """Specialization key for the CG element-kernel module."""
+    return f"cg_elem-d{dim}-p{degree}"
+
+
+def transfer_cache_key(dim: int, degree: int) -> str:
+    """Specialization key for the p-transfer kernel."""
+    return f"transfer-d{dim}-p{degree}"
+
+
+# --- dG RHS -----------------------------------------------------------------
+
+
+class _ModelLowering:
+    """Per-kind lowering of the flux-model methods into a graph."""
+
+    def __init__(self, g: Graph, kind: str, dim: int, nfields: int) -> None:
+        self.g = g
+        self.kind = kind
+        self.dim = dim
+        self.nfields = nfields
+        if kind == "acoustic":
+            rho = g.table("rho")
+            c = g.table("c")
+            # rho * c**2 and rho * c, hoisted: scalar float products are
+            # exact regardless of when they are computed.
+            self.rho = rho
+            self.rc2 = g.pw("{0} * {1}**2", rho, c)
+            self.z = g.pw("{0} * {1}", rho, c)
+            self.hz = g.pw("0.5 * {0}", self.z)
+        elif kind == "advection":
+            self.inflow = g.table("inflow")
+        elif kind == "elastic":
+            self.pairs = _VOIGT_PAIRS[dim]
+            self.vk = _voigt_index(dim)
+
+    def _nsl(self, n: int) -> int:
+        return self.g.pw(f"{{0}}[..., :{self.dim}]", n)
+
+    # --- elastic helpers ---------------------------------------------------
+
+    def _material(self, x: int) -> Tuple[int, int, int]:
+        """Bind-stage ``(rho, lam, mu)`` at the coordinate node ``x``."""
+        g = self.g
+        m = g.extern("material", x, stage="bind")
+        return g.pw("{0}[0]", m), g.pw("{0}[1]", m), g.pw("{0}[2]", m)
+
+    def _mac(self, terms: List[Tuple[int, int]], negate: bool = False) -> int:
+        """One fused ``sum coef * val`` (optionally negated) expression."""
+        expr = " + ".join(f"{{{2 * i}}} * {{{2 * i + 1}}}" for i in range(len(terms)))
+        if negate:
+            expr = f"-({expr})"
+        return self.g.pw(expr, *[nid for pair in terms for nid in pair])
+
+    def _stack(self, comps: List[int]) -> int:
+        """Stack per-field scalar components into one ``(..., nf)`` array."""
+        expr = (
+            "np.stack(["
+            + ", ".join(f"{{{i}}}" for i in range(len(comps)))
+            + "], axis=-1)"
+        )
+        return self.g.pw(expr, *comps)
+
+    def _q_fields(self, qs: int) -> Tuple[List[int], List[int], int]:
+        """Momentum slices, Voigt-strain slices, and the strain trace.
+
+        The field axis is transposed out first (one contiguous copy), so
+        every per-field plane the multiply-add chains read is contiguous
+        — strided ``q[..., k]`` views cost ~3x the bandwidth per pass.
+        """
+        g, dim = self.g, self.dim
+        qT = g.pw("np.ascontiguousarray(np.moveaxis({0}, -1, 0))", qs)
+        m = [g.pw(f"{{0}}[{i}]", qT) for i in range(dim)]
+        E = [g.pw(f"{{0}}[{dim + k}]", qT) for k in range(len(self.pairs))]
+        tr = g.pw(" + ".join(f"{{{a}}}" for a in range(dim)), *E[:dim])
+        return m, E, tr
+
+    def elastic_volume_axis(self, q: int, x: int, ja: int, dw: int) -> int:
+        """Volume flux contracted against one metric row, detJ-w folded.
+
+        Returns ``(jinv_a . F(q, x)) * w detJ`` of shape ``(e, p, nf)``
+        without building ``sigma`` or ``F``: the flux is linear in ``q``,
+        so each row is ``sum_c coef_c(x) * q_slice_c`` with the
+        coefficients (material x metric x quadrature) hoisted to bind.
+        """
+        g, dim = self.g, self.dim
+        rho, lam, mu = self._material(x)
+        invrho = g.pw("1.0 / {0}", rho)
+        twomu = g.pw("2.0 * {0}", mu)
+        jc = [g.pw(f"{{0}}[..., {c}]", ja) for c in range(dim)]
+        # Momentum rows: -(ja . sigma)_i = -[ sum_c (ja_c 2mu) E_k(i,c)
+        # + (ja_i lam) tr E ]; strain rows: -(h_i m_j + h_j m_i) with
+        # h_c = ja_c / (2 rho).  All coefficients carry the w detJ
+        # factor and the minus sign, so no run-stage negation pass.
+        ntm = [g.pw("-{0} * {1} * {2}", jc[c], twomu, dw) for c in range(dim)]
+        ncl = [g.pw("-{0} * {1} * {2}", jc[i], lam, dw) for i in range(dim)]
+        nh = [g.pw("-0.5 * {0} * {1} * {2}", jc[c], invrho, dw) for c in range(dim)]
+        nd = [g.pw("-{0} * {1} * {2}", jc[i], invrho, dw) for i in range(dim)]
+        m, E, tr = self._q_fields(q)
+        comps = [
+            self._mac(
+                [(ntm[c], E[self.vk[i, c]]) for c in range(dim)] + [(ncl[i], tr)]
+            )
+            for i in range(dim)
+        ]
+        for i, j in self.pairs:
+            if i == j:
+                comps.append(g.pw("{0} * {1}", nd[i], m[i]))
+            else:
+                comps.append(self._mac([(nh[i], m[j]), (nh[j], m[i])]))
+        return self._stack(comps)
+
+    def elastic_face_out(self, qm: int, qp: int, n: int, sjw: int, xf: int) -> int:
+        """Lifted Godunov elastic interface flux, ``sj * wf`` folded in.
+
+        Same Riemann solution as ``ElasticModel.numerical_flux`` —
+        normal/tangential split, P and S stars, fluid (mu -> 0) guard —
+        but algebraically consolidated: expanding the tangential
+        projections ``Tt = T - Tn n`` and ``vt = v/rho - vn n`` into the
+        star and output rows turns every row into a short multiply-add
+        chain over *raw field* sums/differences, with the normal
+        projections absorbed into three Riemann scalars::
+
+            S_v = (1/2z_p - 1/2z_s) (Tn+ - Tn-)
+            S_m = (s/2 - 1/2) (Tn- + Tn+) + (z_s - z_p)/2 (vn+ - vn-)
+            v*_i = S_v n_i + (m-_i + m+_i)/2rho + (T+_i - T-_i)/2z_s
+
+        (``s`` the fluid mask).  The surface-jacobian x face-weight lift
+        factor multiplies only bind-stage coefficients, so no run-stage
+        ``flux * sjwf`` pass or temporary exists.  The value returned is
+        the *minus-side* lift contribution; by conservation the plus-side
+        contribution of an interior face is exactly its negation, which
+        the ``face_pair`` region exploits.
+        """
+        g, dim = self.g, self.dim
+        rho, lam, mu = self._material(xf)
+        invrho = g.pw("1.0 / {0}", rho)
+        twomu = g.pw("2.0 * {0}", mu)
+        nsl = self._nsl(n)
+        nc = [g.pw(f"{{0}}[..., {c}]", nsl) for c in range(dim)]
+        zp = g.pw("{0} * np.sqrt(({1} + 2.0 * {2}) / {0})", rho, lam, mu)
+        zs = g.pw("{0} * np.sqrt(np.maximum({1}, 0.0) / {0})", rho, mu)
+        fluid = g.pw("2.0 * {0} < 1e-12", zs)
+        inv2zp = g.pw("0.5 / {0}", zp)
+        hzp = g.pw("0.5 * {0}", zp)
+        inv2zs = g.pw("np.where({0}, 0.0, 0.5 / np.where({0}, 1.0, {1}))", fluid, zs)
+        hzs = g.pw("np.where({0}, 0.0, 0.5 * {1})", fluid, zs)
+        shalf = g.pw("np.where({0}, 0.0, 0.5)", fluid)
+        ct = [g.pw("{0} * {1}", nc[c], twomu) for c in range(dim)]
+        cln = [g.pw("{0} * {1}", nc[i], lam) for i in range(dim)]
+        cvn = [g.pw("{0} * {1}", nc[i], invrho) for i in range(dim)]
+        # Riemann-scalar and output-row coefficients (all bind stage).
+        czz = g.pw("{0} - {1}", inv2zp, inv2zs)
+        c1 = g.pw("{0} - 0.5", shalf)
+        c2 = g.pw("{0} - {1}", hzs, hzp)
+        hrho = g.pw("0.5 * {0}", invrho)
+        ncw = [g.pw("{0} * {1}", nc[i], sjw) for i in range(dim)]
+        shw = g.pw("{0} * {1}", shalf, sjw)
+        hzsrw = g.pw("{0} * {1} * {2}", hzs, invrho, sjw)
+        nnw = [g.pw("-{0}", ncw[i]) for i in range(dim)]
+        nhnw = [g.pw("-0.5 * {0}", ncw[i]) for i in range(dim)]
+
+        def side(qs: int) -> Tuple[List[int], List[int], int, int]:
+            m, E, tr = self._q_fields(qs)
+            T = [
+                self._mac(
+                    [(ct[c], E[self.vk[i, c]]) for c in range(dim)] + [(cln[i], tr)]
+                )
+                for i in range(dim)
+            ]
+            Tn = self._mac([(nc[i], T[i]) for i in range(dim)])
+            vn = self._mac([(cvn[i], m[i]) for i in range(dim)])
+            return m, T, Tn, vn
+
+        mm, Tm, Tmn, vmn = side(qm)
+        mp, Tp, Tpn, vpn = side(qp)
+        TnS = g.pw("{0} + {1}", Tmn, Tpn)
+        dTn = g.pw("{0} - {1}", Tpn, Tmn)
+        dvn = g.pw("{0} - {1}", vpn, vmn)
+        S_v = g.pw("{0} * {1}", czz, dTn)
+        S_m = g.pw("{0} * {1} + {2} * {3}", c1, TnS, c2, dvn)
+        Tsum = [g.pw("{0} + {1}", Tm[i], Tp[i]) for i in range(dim)]
+        Tdiff = [g.pw("{0} - {1}", Tp[i], Tm[i]) for i in range(dim)]
+        msum = [g.pw("{0} + {1}", mm[i], mp[i]) for i in range(dim)]
+        mdiff = [g.pw("{0} - {1}", mp[i], mm[i]) for i in range(dim)]
+        vstar = [
+            g.pw(
+                "{0} * {1} + {2} * {3} + {4} * {5}",
+                S_v, nc[i], hrho, msum[i], inv2zs, Tdiff[i],
+            )
+            for i in range(dim)
+        ]
+        comps = [
+            g.pw(
+                "{0} * {1} - {2} * {3} - {4} * {5}",
+                S_m, ncw[i], shw, Tsum[i], hzsrw, mdiff[i],
+            )
+            for i in range(dim)
+        ]
+        for i, j in self.pairs:
+            if i == j:
+                comps.append(g.pw("{0} * {1}", nnw[i], vstar[i]))
+            else:
+                comps.append(self._mac([(nhnw[i], vstar[j]), (nhnw[j], vstar[i])]))
+        return self._stack(comps)
+
+    def _vn(self, n: int, xf: int) -> int:
+        g = self.g
+        v = g.extern("velocity", xf, stage="bind")
+        return g.einsum("...c,...c->...", v, self._nsl(n))
+
+    def volume_flux(self, q: int, x: int) -> int:
+        """F(q, x) exactly as the model computes it."""
+        g, dim = self.g, self.dim
+        if self.kind == "advection":
+            v = g.extern("velocity", x, stage="bind")
+            return g.pw("{0}[..., :, None] * {1}[..., None, :]", q, v)
+        if self.kind == "acoustic":
+            F = g.pw(
+                f"np.zeros({{0}}.shape[:-1] + ({self.nfields}, {dim}))", q
+            )
+            u = g.pw(f"{{0}}[..., 1:{1 + dim}]", q)
+            g.setitem(F, "..., 0, :", g.pw("{0} * {1}", self.rc2, u))
+            for a in range(dim):
+                g.setitem(
+                    F, f"..., {1 + a}, {a}", g.pw("{0}[..., 0] / {1}", q, self.rho)
+                )
+            return F
+        return g.extern("volume_flux", q, x)
+
+    def numerical_flux(self, qm: int, qp: int, n: int, xf: int) -> int:
+        """F*.n(qm, qp, n) exactly as the model computes it."""
+        g, dim = self.g, self.dim
+        if self.kind == "advection":
+            vn = self._vn(n, xf)
+            hvn = g.pw("0.5 * {0}[..., None]", vn)
+            havn = g.pw("0.5 * np.abs({0})[..., None]", vn)
+            central = g.pw("{0} * ({1} + {2})", hvn, qm, qp)
+            upwind = g.pw("{0} * ({1} - {2})", havn, qm, qp)
+            return g.pw("{0} + {1}", central, upwind)
+        if self.kind == "acoustic":
+            nsl = self._nsl(n)
+            pm = g.pw("{0}[..., 0]", qm)
+            pp = g.pw("{0}[..., 0]", qp)
+            unm = g.einsum("...c,...c->...", g.pw(f"{{0}}[..., 1:{1 + dim}]", qm), nsl)
+            unp = g.einsum("...c,...c->...", g.pw(f"{{0}}[..., 1:{1 + dim}]", qp), nsl)
+            pstar = g.pw(
+                "0.5 * ({0} + {1}) + {2} * ({3} - {4})", pm, pp, self.hz, unm, unp
+            )
+            ustar = g.pw(
+                "0.5 * ({0} + {1}) + 0.5 * ({2} - {3}) / {4}", unm, unp, pm, pp, self.z
+            )
+            out = g.pw("np.zeros_like({0})", qm)
+            g.setitem(out, "..., 0", g.pw("{0} * {1}", self.rc2, ustar))
+            g.setitem(
+                out,
+                f"..., 1:{1 + dim}",
+                g.pw("({0} / {1})[..., None] * {2}", pstar, self.rho, nsl),
+            )
+            return out
+        return g.extern("numerical_flux", qm, qp, n, xf)
+
+    def boundary_state(self, qm: int, n: int, xf: int, t: int) -> int:
+        """Exterior trace exactly as the model computes it."""
+        g, dim = self.g, self.dim
+        if self.kind == "advection":
+            vn = self._vn(n, xf)
+            bmask = g.pw("{0}[..., None] < 0", vn)
+            return g.pw("np.where({0}, {1}, {2})", bmask, self.inflow, qm)
+        if self.kind == "acoustic":
+            nsl = self._nsl(n)
+            un = g.einsum("...c,...c->...", g.pw(f"{{0}}[..., 1:{1 + dim}]", qm), nsl)
+            qp = g.pw("{0}.copy()", qm)
+            g.isetop(
+                "-", qp, f"..., 1:{1 + dim}", g.pw("2 * {0}[..., None] * {1}", un, nsl)
+            )
+            return qp
+        return g.extern("boundary_state", qm, n, xf, t)
+
+
+def lower_dg_rhs(dim: int, degree: int, nfields: int, kind: str) -> Graph:
+    """The dG RHS graph: volume + face regions + mass-inverse tail.
+
+    The kernel contract is ``kernel(q_local, q_all, t, P, model) -> r``
+    on 3D-shaped fields ``(ne, npts, nfields)``; the ghost exchange and
+    the 2D squeeze/unsqueeze stay in the caller (communication never
+    enters a compiled kernel).
+    """
+    if kind not in DG_KINDS:
+        raise ValueError(f"unknown dG lowering kind: {kind!r}")
+    nq = degree + 1
+    npts = nq**dim
+    g = Graph()
+    q = g.arg("q_local")
+    qa = g.arg("q_all")
+    t = g.arg("t")
+    x = g.table("x")
+    jinv = g.table("jinv")
+    detj = g.table("detj")
+    wts = g.table("weights")
+    D = g.table("D")
+    wf = g.table("wf")
+    lift = g.table("lift")
+    ml = _ModelLowering(g, kind, dim, nfields)
+
+    # Volume: r = sum_a D_a^T [ (jinv_a . F) * w detJ ]  (dg.DGSolver._volume)
+    shape_in = ", ".join(["ne"] + [str(nq)] * dim + ["nf"])
+    if kind == "elastic":
+        # Linear-flux fast path: contract metric, material and
+        # quadrature factors into per-axis coefficient tables at bind
+        # time; no F or sigma tensor is ever materialized.  D^T runs as
+        # one batched BLAS matmul per axis — in every _DT_SUBS entry the
+        # contracted q sits immediately before a contiguous trailing
+        # block of size nf * nq**a, so a flat reshape exposes it.  The
+        # axis-0 contribution *initializes* r (no zeros + accumulate
+        # pass over a full field-sized array).
+        dw = g.pw("{0} * {1}[None, :]", detj, wts)
+        dt = g.pw("np.ascontiguousarray({0}.T)", D)
+        r = -1
+        for a in range(dim):
+            ja = g.pw(f"{{0}}[:, :, {a}, :]", jinv)
+            Fa = ml.elastic_volume_axis(q, x, ja, dw)
+            trail = nfields * nq**a
+            contrib = g.pw(
+                f"np.matmul({{0}}, {{1}}.reshape(-1, {nq}, {trail}))"
+                f".reshape(ne, {npts}, nf)",
+                dt,
+                Fa,
+            )
+            if r < 0:
+                r = contrib
+            else:
+                g.iop("+", r, contrib)
+    else:
+        r = g.pw("np.zeros_like({0})", q)
+        F = ml.volume_flux(q, x)
+        detw = g.pw("({0} * {1}[None, :])[..., None]", detj, wts)
+        for a in range(dim):
+            ja = g.pw(f"{{0}}[:, :, {a}, :]", jinv)
+            Fa = g.pw("{0} * {1}", g.einsum("epc,epfc->epf", ja, F), detw)
+            gre = g.pw(f"{{0}}.reshape({shape_in})", Fa)
+            out = g.einsum(_DT_SUBS[(dim, a)], D, gre)
+            g.iop("+", r, g.pw(f"{{0}}.reshape(ne, {npts}, nf)", out))
+
+    # The fused single-fancy-index gather changes output strides (hence
+    # einsum accumulation order); only the tolerance-validated elastic
+    # kind uses it.  The others keep the reference's two-step gather.
+    fuse = kind == "elastic"
+
+    def flux_and_lift(qm: int, qp: int, n: int, sj: int, xf: int) -> int:
+        if kind == "elastic":
+            sjw = g.pw("{0} * {1}[None, :]", sj, wf)
+            return ml.elastic_face_out(qm, qp, n, sjw, xf)
+        flux = ml.numerical_flux(qm, qp, n, xf)
+        sjwf = g.pw("({0} * {1}[None, :])[..., None]", sj, wf)
+        return g.pw("{0} * {1}", flux, sjwf)
+
+    def mortar(tr_n: int, qf: int) -> int:
+        # The mortar interpolation is a small stacked GEMM; BLAS beats
+        # c_einsum ~10x but sums in a different order, so only the
+        # tolerance-validated elastic kind may use it.
+        if kind == "elastic":
+            return g.pw("np.matmul({0}, {1})", tr_n, qf)
+        return g.einsum("qs,esf->eqf", tr_n, qf)
+
+    # Conforming / fine mortars: evaluate at my face nodes.
+    g.region("face_cf")
+    fidx = g.barg("fidx")
+    pidx = g.barg("pidx")
+    em = g.barg("em")
+    ep = g.barg("ep")
+    n = g.barg("n")
+    sj = g.barg("sj")
+    xf = g.barg("xf")
+    tr = g.barg("tr")
+    qm = g.gather(qa, em, fidx, fused=fuse)
+    qp = mortar(tr, g.gather(qa, ep, pidx, fused=fuse))
+    g.scatter(r, em, fidx, flux_and_lift(qm, qp, n, sj, xf))
+
+    # Boundary faces: exterior trace from the model's boundary condition.
+    g.region("face_b")
+    fidx_b = g.barg("fidx")
+    em_b = g.barg("em")
+    n_b = g.barg("n")
+    sj_b = g.barg("sj")
+    xf_b = g.barg("xf")
+    qm_b = g.gather(qa, em_b, fidx_b, fused=fuse)
+    qp_b = ml.boundary_state(qm_b, n_b, xf_b, t)
+    g.scatter(r, em_b, fidx_b, flux_and_lift(qm_b, qp_b, n_b, sj_b, xf_b))
+
+    # Coarse mortars: evaluate at the fine partner's nodes, lift through
+    # the transposed interpolation.
+    g.region("face_coarse")
+    fidx_c = g.barg("fidx")
+    pidx_c = g.barg("pidx")
+    em_c = g.barg("em")
+    ep_c = g.barg("ep")
+    n_c = g.barg("n")
+    sj_c = g.barg("sj")
+    xf_c = g.barg("xf")
+    tr_c = g.barg("tr")
+    qm_c = mortar(tr_c, g.gather(qa, em_c, fidx_c, fused=fuse))
+    qp_c = g.gather(qa, ep_c, pidx_c, fused=fuse)
+    contrib_c = flux_and_lift(qm_c, qp_c, n_c, sj_c, xf_c)
+    if kind == "elastic":
+        lifted_c = g.pw("np.matmul({0}.T, {1})", tr_c, contrib_c)
+    else:
+        lifted_c = g.einsum("qi,eqf->eif", tr_c, contrib_c)
+    g.scatter(r, em_c, fidx_c, lifted_c)
+
+    if kind == "elastic":
+        # Paired conforming faces: each geometric interior face whose
+        # two sides are both local is visited ONCE (the reference and
+        # the other kinds visit it twice, once per owning element).  By
+        # conservation the plus-side lift contribution is exactly the
+        # negation of the minus-side one — same interface, opposite
+        # outward normal — so one flux evaluation feeds two scatters.
+        # Orientation permutations are folded into ``pidx`` at bind
+        # time (prepare_dg_rhs), so no mortar interpolation appears.
+        g.region("face_pair")
+        fidx_p = g.barg("fidx")
+        pidx_p = g.barg("pidx")
+        em_p = g.barg("em")
+        ep_p = g.barg("ep")
+        n_p = g.barg("n")
+        sj_p = g.barg("sj")
+        xf_p = g.barg("xf")
+        qm_p = g.gather(qa, em_p, fidx_p, fused=True)
+        qp_p = g.gather(qa, ep_p, pidx_p, fused=True)
+        out_p = flux_and_lift(qm_p, qp_p, n_p, sj_p, xf_p)
+        g.scatter(r, em_p, fidx_p, out_p)
+        g.scatter(r, ep_p, pidx_p, out_p, sym="+", tag="p")
+
+    # Tail: inverse diagonal mass.
+    g.region("tail")
+    g.iop("*", r, g.pw("{0}[..., None]", lift))
+    g.ret(r)
+    return g
+
+
+# --- CG element kernels -----------------------------------------------------
+
+
+def lower_cg_elem_laplacian(dim: int, degree: int) -> Graph:
+    """Element stiffness graph (cgops.CGSpace.elem_laplacian).
+
+    Kernel contract: ``elem_laplacian(wdet, P) -> K`` where ``wdet`` is
+    the (possibly coefficient-scaled) quadrature factor the caller
+    computes exactly as the reference does.  The metric terms ``g_ab``
+    hoist to bind time and the commutative CSE shares ``g_ab``/``g_ba``.
+    """
+    nq = degree + 1
+    npts = nq**dim
+    g = Graph()
+    wdet = g.arg("wdet")
+    jinv = g.table("jinv")
+    Gt = [g.table(f"g{a}") for a in range(dim)]
+    K = g.pw(f"np.zeros(({{0}}.shape[0], {npts}, {npts}))", wdet)
+    for a in range(dim):
+        ja = g.pw(f"{{0}}[:, :, {a}, :]", jinv)
+        for b in range(dim):
+            jb = g.pw(f"{{0}}[:, :, {b}, :]", jinv)
+            gab = g.einsum("epc,epc->ep", ja, jb, commutative=True)
+            term = g.einsum(
+                "qi,eq,qj->eij", Gt[a], g.pw("{0} * {1}", wdet, gab), Gt[b]
+            )
+            g.iop("+", K, term)
+    g.ret(K)
+    return g
+
+
+def lower_cg_elem_mass(dim: int, degree: int) -> Graph:
+    """Element diagonal-mass graph (cgops.CGSpace.elem_mass)."""
+    nq = degree + 1
+    npts = nq**dim
+    g = Graph()
+    wdet = g.arg("wdet")
+    M = g.pw(f"np.zeros(({{0}}.shape[0], {npts}, {npts}))", wdet)
+    g.setitem(M, ":, _DIDX, _DIDX", wdet)
+    g.ret(M)
+    return g
+
+
+# --- p-transfer -------------------------------------------------------------
+
+
+def transfer_source(dim: int, degree: int) -> str:
+    """Generated source of the p-transfer kernel for ``(dim, degree)``.
+
+    The irregular part (classifying each new element against the old
+    leaf set) keeps the reference's exact control flow; the dense part
+    is restructured: the dead quadrature-weight setup is dropped, the
+    FINER groups keep their batched einsum, and the per-element COARSER
+    projection loop becomes one stacked ``np.matmul`` plus an ordered
+    ``np.add.at`` — sequential accumulation into zero rows in the
+    reference's pair order, hence bit-identical to its ``acc`` loop.
+    Octant helpers and the cached projection/interpolation matrix
+    builders arrive through ``P``.
+    """
+    nq = degree + 1
+    npts = nq**dim
+    return f'''
+def transfer(old_octants, q_old, new_octants, P):
+    """Move nodal fields old -> new leaf set (dim={dim}, degree={degree})."""
+    ss = P["ss"]
+    iap = P["iap"]
+    nf = q_old.shape[-1]
+    q_new = np.zeros((len(new_octants), {npts}, nf))
+    if len(new_octants) == 0:
+        return q_new
+
+    pos_eq = ss(old_octants, new_octants, side="left")
+    pos_eq_c = np.minimum(pos_eq, len(old_octants) - 1)
+    cand = old_octants[pos_eq_c]
+    eq = (
+        (cand.tree == new_octants.tree)
+        & (cand.x == new_octants.x)
+        & (cand.y == new_octants.y)
+        & (cand.z == new_octants.z)
+        & (cand.level == new_octants.level)
+    )
+    q_new[eq] = q_old[pos_eq_c[eq]]
+
+    rest = np.flatnonzero(~eq)
+    if len(rest) == 0:
+        return q_new
+
+    sub = new_octants[rest]
+    posr = ss(old_octants, sub, side="right")
+    anc_idx = np.maximum(posr - 1, 0)
+    anc = old_octants[anc_idx]
+    finer = (posr > 0) & iap(anc, sub) & (anc.level < sub.level)
+
+    if finer.any():
+        f_idx = rest[finer]
+        f_anc = anc_idx[finer]
+        fo = new_octants[f_idx]
+        ao = old_octants[f_anc]
+        k = (fo.level - ao.level).astype(np.int64)
+        hn = fo.lens()
+        offs = [
+            ((getattr(fo, c) - getattr(ao, c)) // hn).astype(np.int64)
+            for c in ("x", "y", "z")
+        ]
+        sig = k.copy()
+        for a in range({dim}):
+            sig = sig * (1 << 20) + offs[a]
+        for s in np.unique(sig):
+            grp = np.flatnonzero(sig == s)
+            kk = int(k[grp[0]])
+            off = tuple(int(offs[a][grp[0]]) for a in range({dim}))
+            M = P["interp"]({dim}, {nq}, kk, off)
+            q_new[f_idx[grp]] = np.einsum("qs,esf->eqf", M, q_old[f_anc[grp]])
+
+    coarser = ~finer
+    if coarser.any():
+        c_new = rest[coarser]
+        co = new_octants[c_new]
+        lo = ss(old_octants, co, side="right")
+        hi = ss(old_octants, co.last_descendants(), side="right")
+        rows = []
+        olds = []
+        mats = []
+        for j, newi in enumerate(c_new):
+            a, b = int(lo[j]), int(hi[j])
+            if a >= b:
+                raise ValueError("new element has no old counterpart (not nested)")
+            no = new_octants[np.array([int(newi)])]
+            for oi in range(a, b):
+                oo = old_octants[np.array([oi])]
+                kk = int(oo.level[0] - no.level[0])
+                hn = int(oo.lens()[0])
+                off = tuple(
+                    int((getattr(oo, c)[0] - getattr(no, c)[0]) // hn)
+                    for c in ("x", "y", "z")
+                )[:{dim}]
+                rows.append(int(newi))
+                olds.append(oi)
+                mats.append(P["project"]({dim}, {nq}, kk, off))
+        contrib = np.matmul(np.stack(mats), q_old[np.array(olds)])
+        np.add.at(q_new, np.array(rows), contrib)
+
+    return q_new
+'''.lstrip("\n")
+
+
+# --- Bind providers ---------------------------------------------------------
+
+
+def dg_tables(solver, model, kind: str) -> Dict[str, object]:
+    """Global bind environment for a dG graph, from the reference solver.
+
+    ``solver`` is the interpreted :class:`~repro.mangll.dg.DGSolver`
+    the bound operator keeps as its fallback — reusing its precomputed
+    arrays guarantees the compiled path sees byte-identical inputs.
+    """
+    m = solver.space.mesh
+    nl = m.nelem_local
+    env: Dict[str, object] = {
+        "x": m.coords[:nl],
+        "jinv": m.jinv[:nl],
+        "detj": m.detj[:nl],
+        "weights": m.weights,
+        "D": solver._D,
+        "wf": solver._wf,
+        "lift": solver._lift,
+    }
+    if kind == "acoustic":
+        env["rho"] = model.rho
+        env["c"] = model.c
+    elif kind == "advection":
+        env["inflow"] = model._inflow
+    return env
+
+
+def dg_batch_envs(solver) -> List[Tuple[str, Dict[str, object]]]:
+    """Per-mortar-batch bind environments, in ``space.batches`` order.
+
+    Mirrors ``DGSolver._faces`` exactly: minus-side geometry for
+    conforming/fine/boundary mortars, negated plus-side geometry for
+    coarse mortars.  Batch order is load-bearing — faces of one element
+    share edge/corner nodes, so lifts must accumulate in this order.
+    """
+    sp = solver.space
+    m = sp.mesh
+    dim, nq = sp.dim, sp.nq
+    out: List[Tuple[str, Dict[str, object]]] = []
+    for batch in sp.batches:
+        f = batch.fminus
+        fidx = face_node_indices(dim, nq, f)
+        region = KIND_REGION[batch.kind]
+        # "_kind" is not a barg: it lets prepare_dg_rhs tell conforming
+        # mortars (pairable for the elastic kind) from fine ones.
+        env: Dict[str, object] = {"fidx": fidx, "em": batch.eminus, "_kind": batch.kind}
+        if batch.kind in (CONFORMING, FINE):
+            env["pidx"] = face_node_indices(dim, nq, batch.fplus)
+            env["ep"] = batch.eplus
+            env["n"] = solver._normals[f][batch.eminus]
+            env["sj"] = solver._sjac[f][batch.eminus]
+            env["xf"] = m.coords[batch.eminus][:, fidx]
+            env["tr"] = batch.transfer
+        elif batch.kind == BOUNDARY:
+            env["n"] = solver._normals[f][batch.eminus]
+            env["sj"] = solver._sjac[f][batch.eminus]
+            env["xf"] = m.coords[batch.eminus][:, fidx]
+        else:  # COARSE
+            fp = batch.fplus
+            pidx = face_node_indices(dim, nq, fp)
+            env["pidx"] = pidx
+            env["ep"] = batch.eplus
+            env["n"] = -solver._normals[fp][batch.eplus]
+            env["sj"] = solver._sjac[fp][batch.eplus]
+            env["xf"] = m.coords[batch.eplus][:, pidx]
+            env["tr"] = batch.transfer
+        out.append((region, env))
+    return out
+
+
+def permutation_rows(tr: np.ndarray) -> Optional[np.ndarray]:
+    """Row map ``p`` with ``tr @ v == v[p]``, or None if not a permutation.
+
+    Conforming mortar transfer matrices are node-orientation
+    permutations; folding them into the plus-side gather indices
+    (``pidx[p]``) lets the elastic ``face_pair`` region skip the mortar
+    matmul entirely.  Pure data movement — exact for any kind, used
+    only by the tolerance-validated elastic one.
+    """
+    if tr.ndim != 2 or tr.shape[0] != tr.shape[1]:
+        return None
+    if not ((tr == 0.0) | (tr == 1.0)).all():
+        return None
+    if (tr.sum(axis=0) != 1.0).any() or (tr.sum(axis=1) != 1.0).any():
+        return None
+    return tr.argmax(axis=1)
+
+
+def cg_tables(space) -> Dict[str, object]:
+    """Global bind environment for the CG element-kernel graphs."""
+    from ..cgops import gradient_matrices
+
+    m = space.mesh
+    nl = m.nelem_local
+    G = gradient_matrices(space.dim, space.nq)
+    env: Dict[str, object] = {"jinv": m.jinv[:nl]}
+    for a in range(space.dim):
+        env[f"g{a}"] = G[a]
+    return env
+
+
+def model_kind(model) -> str:
+    """Classify a flux model for lowering.
+
+    The advection/acoustic reference models are matched by exact type
+    (a subclass may override flux methods, so it must fall back to the
+    extern-calling generic kind).  Other models opt into a specialized
+    lowering by declaring a ``lowering_kind`` class attribute — the
+    dGea ``ElasticModel`` declares ``"elastic"``; a subclass that
+    overrides its flux methods must unset the attribute or it will be
+    lowered from the base class's physics.
+    """
+    from ..models import AcousticModel, AdvectionModel
+
+    if type(model) is AdvectionModel:
+        return "advection"
+    if type(model) is AcousticModel:
+        return "acoustic"
+    declared = getattr(type(model), "lowering_kind", None)
+    if declared in DG_KINDS:
+        return declared
+    return "generic"

@@ -1,0 +1,162 @@
+"""Optimization passes over the tensor IR.
+
+Three passes, run in order by :func:`plan`:
+
+1. :func:`cse` — common-subexpression elimination.  Two pure nodes with
+   the same op, attrs, and (canonicalized) inputs compute the same
+   value; the later one is remapped onto the earlier.  Nodes *tainted*
+   by mutation (targets of ``setitem``/``iop``/``scatter`` statements,
+   and anything reading them) are excluded: merging them could observe
+   an array before/after a store.  Commutative einsums (the CG metric
+   term ``g_ab``) canonicalize operand order first, so ``(a, b)`` and
+   ``(b, a)`` share one contraction — elementwise multiplies commute
+   bitwise, so this is exact.
+
+2. :func:`infer_stages` — loop-invariant hoisting.  A node is
+   ``bind``-stage when its value cannot depend on the runtime arguments
+   (``q_local``/``q_all``/``t``): leaves that read bind tables, pure
+   ops whose inputs are all bind-stage, and externs whose lowering
+   marked them time-invariant (``stage="bind"`` — e.g. the advection
+   ``velocity(x)`` table).  Bind-stage nodes are evaluated ONCE at
+   operator bind time by the interpreter in
+   :mod:`repro.mangll.compiler.emit` and enter the kernel as
+   precomputed tables; everything downstream sees identical floats, so
+   hoisting never changes results, only when they are computed.
+
+3. :func:`inline_plan` — fusion.  A run-stage pure node referenced
+   exactly once is inlined into its consumer's expression instead of
+   being materialized into a temporary.  Python evaluates the composed
+   expression with the same operation order, so fusion only removes
+   interpreter dispatch and temporaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .ir import LEAF_OPS, PURE_OPS, Graph
+
+
+@dataclass
+class Plan:
+    """The result of running all passes over one graph."""
+
+    graph: Graph
+    #: node id -> canonical node id after CSE (identity where unchanged)
+    remap: Dict[int, int]
+    #: canonical node id -> "bind" | "run"
+    stage: Dict[int, str]
+    #: canonical run-stage node ids to inline into their single consumer
+    inline: FrozenSet[int]
+    #: canonical node id -> number of uses (stmts + node inputs)
+    uses: Dict[int, int] = field(default_factory=dict)
+
+    def canon(self, nid: int) -> int:
+        """The canonical (post-CSE) id for ``nid``."""
+        return self.remap.get(nid, nid)
+
+
+def tainted_nodes(g: Graph) -> FrozenSet[int]:
+    """Mutation targets plus every node that (transitively) reads one."""
+    out: Set[int] = set(g.mutated())
+    # nodes are in topological order (append-only ids), one forward sweep
+    for node in g.nodes:
+        if any(i in out for i in node.inputs):
+            out.add(node.id)
+    return frozenset(out)
+
+
+def cse(g: Graph) -> Dict[int, int]:
+    """Map each node id to its canonical duplicate-free representative."""
+    taint = tainted_nodes(g)
+    remap: Dict[int, int] = {}
+    seen: Dict[Tuple, int] = {}
+    for node in g.nodes:
+        if node.op not in PURE_OPS or node.id in taint:
+            remap[node.id] = node.id
+            continue
+        key = g.structural_key(node.id, remap)
+        if key in seen:
+            remap[node.id] = seen[key]
+        else:
+            seen[key] = node.id
+            remap[node.id] = node.id
+    return remap
+
+
+def infer_stages(g: Graph, remap: Dict[int, int]) -> Dict[int, str]:
+    """Classify every canonical node as bind-time or run-time."""
+    taint = tainted_nodes(g)
+    stage: Dict[int, str] = {}
+    for node in g.nodes:
+        cid = remap[node.id]
+        if cid != node.id:
+            stage[node.id] = stage[cid]
+            continue
+        if node.op in ("table", "barg", "const"):
+            s = "bind"
+        elif node.op == "arg":
+            s = "run"
+        elif node.id in taint:
+            s = "run"
+        elif node.op == "extern":
+            hint = node.attr("stage", "run")
+            ins = all(stage[remap[i]] == "bind" for i in node.inputs)
+            s = "bind" if (hint == "bind" and ins) else "run"
+        else:
+            s = "bind" if all(stage[remap[i]] == "bind" for i in node.inputs) else "run"
+        stage[node.id] = s
+    return stage
+
+
+def count_uses(g: Graph, remap: Dict[int, int]) -> Dict[int, int]:
+    """Canonical-id use counts across node inputs and statements."""
+    uses: Dict[int, int] = {}
+
+    def bump(nid: int) -> None:
+        cid = remap[nid]
+        uses[cid] = uses.get(cid, 0) + 1
+
+    for node in g.nodes:
+        if remap[node.id] != node.id:
+            continue  # duplicates are never emitted; their inputs don't count
+        for i in node.inputs:
+            bump(i)
+    for s in g.stmts:
+        for nid in (s.target, s.value, s.rows, s.cols):
+            if nid is not None:
+                bump(nid)
+    return uses
+
+
+def inline_plan(
+    g: Graph, remap: Dict[int, int], stage: Dict[int, str], uses: Dict[int, int]
+) -> FrozenSet[int]:
+    """Run-stage pure non-leaf nodes safe to fuse into their one consumer."""
+    taint = tainted_nodes(g)
+    out: Set[int] = set()
+    for node in g.nodes:
+        if remap[node.id] != node.id or node.op in LEAF_OPS:
+            continue
+        if stage[node.id] != "run" or node.op not in PURE_OPS:
+            continue
+        if node.id in g.mutated():
+            continue  # materialized by construction (zeros + setitem)
+        # Tainted readers stay statement-ordered: inlining one into a
+        # consumer that the emitter places after a later store would
+        # change which value it reads.
+        if node.id in taint:
+            continue
+        if uses.get(node.id, 0) == 1:
+            out.add(node.id)
+    return frozenset(out)
+
+
+def plan(g: Graph) -> Plan:
+    """Run CSE, stage inference and fusion planning over ``g``."""
+    remap = cse(g)
+    stage = infer_stages(g, remap)
+    uses = count_uses(g, remap)
+    inline = inline_plan(g, remap, stage, uses)
+    return Plan(graph=g, remap=remap, stage=stage, inline=inline, uses=uses)

@@ -17,6 +17,7 @@ Flux models implement:
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
@@ -24,6 +25,7 @@ import numpy as np
 from repro.mangll.dgops import BOUNDARY, COARSE, CONFORMING, FINE, DGSpace
 from repro.mangll.mesh import face_node_indices
 from repro.mangll.quadrature import differentiation_matrix
+from repro.parallel.collectives import collective
 from repro.parallel.comm import Comm
 from repro.parallel.ops import MIN
 from repro.trace.tracer import PHASE_APPLY, traced
@@ -32,7 +34,22 @@ from repro.trace.tracer import PHASE_APPLY, traced
 class DGSolver:
     """Semi-discrete dG operator ``dq/dt = L(q, t)`` on a forest mesh."""
 
-    def __init__(self, space: DGSpace, flux_model, comm: Comm) -> None:
+    def __init__(
+        self,
+        space: DGSpace,
+        flux_model,
+        comm: Comm,
+        *,
+        _deprecation_warning: bool = True,
+    ) -> None:
+        if _deprecation_warning:
+            warnings.warn(
+                "DGSolver() is deprecated; use "
+                "repro.mangll.op.DGOperator(model, degree).bind(ctx) "
+                "(compiled kernels, same bit-exact results)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.space = space
         self.model = flux_model
         self.comm = comm
@@ -129,6 +146,7 @@ class DGSolver:
 
     # --- Public API ------------------------------------------------------------------
 
+    @collective("method", "rhs")
     @traced(PHASE_APPLY)
     def rhs(self, q_local: np.ndarray, t: float = 0.0) -> np.ndarray:
         """Evaluate dq/dt (collective: one ghost exchange)."""
@@ -144,6 +162,7 @@ class DGSolver:
         r *= self._lift[..., None]
         return r[..., 0] if squeeze else r
 
+    @collective("method", "stable_dt")
     def stable_dt(self, q_local: np.ndarray, cfl: float = 0.3) -> float:
         """Global CFL time-step bound (collective allreduce MIN)."""
         m = self.space.mesh
@@ -166,6 +185,7 @@ class DGSolver:
             local = np.inf
         return float(self.comm.allreduce(local, MIN)) * cfl
 
+    @collective("method", "integrate_quantity")
     def integrate_quantity(self, q_local: np.ndarray) -> np.ndarray:
         """Global integral of each field (collective allreduce)."""
         m = self.space.mesh

@@ -43,6 +43,17 @@ RK_C = np.array(
 )
 
 
+def _as_rhs(rhs):
+    """Accept ``rhs(q, t)`` or any operator exposing ``.rhs(q, t)``.
+
+    Lets callers pass a bound :class:`repro.mangll.op.BoundDGOperator`
+    (or the legacy ``DGSolver``) directly instead of wrapping it in a
+    lambda.
+    """
+    method = getattr(rhs, "rhs", None)
+    return method if method is not None else rhs
+
+
 @traced(PHASE_RK)
 def lsrk45_step(
     q: np.ndarray,
@@ -53,19 +64,35 @@ def lsrk45_step(
 ) -> np.ndarray:
     """Advance ``q`` by one LSRK(5,4) step of size ``dt``.
 
-    ``rhs(q, t)`` returns dq/dt.  Uses the classic 2N-storage update
+    ``rhs(q, t)`` returns dq/dt (an operator with an ``.rhs`` method is
+    accepted too).  Uses the classic 2N-storage update
     ``k = A_s k + dt f(q, t + C_s dt); q = q + B_s k``.  ``q`` is not
     modified; the updated state is returned.  ``work`` optionally reuses
     the register array.
+
+    The stage loop reuses the array ``rhs`` returns as scratch for the
+    ``dt``-scaling and the ``B_s k`` increment (every operator in this
+    package returns a fresh array; returns that alias other storage are
+    detected and copied).  Each reused product is the same IEEE-754
+    operation the 2N formula above performs, so trajectories are
+    bit-identical to the naive expression.
     """
+    rhs = _as_rhs(rhs)
     q = q.copy()
     k = np.zeros_like(q) if work is None else work
     if work is not None:
         k.fill(0.0)
     for s in range(5):
-        k *= RK_A[s]
-        k += dt * rhs(q, t + RK_C[s] * dt)
-        q += RK_B[s] * k
+        if s:
+            k *= RK_A[s]
+        r = rhs(q, t + RK_C[s] * dt)
+        if r.base is not None or not r.flags.writeable:
+            r = r * dt
+        else:
+            r *= dt
+        k += r
+        np.multiply(k, RK_B[s], out=r)
+        q += r
     return q
 
 
@@ -85,6 +112,7 @@ def lsrk45_integrate(
     """
     if dt <= 0:
         raise ValueError("dt must be positive")
+    rhs = _as_rhs(rhs)
     t = t0
     istep = 0
     work = np.zeros_like(q)

@@ -163,6 +163,13 @@ COLLECTIVE_METHODS: Dict[str, CollectiveSpec] = {
         "scatter_reverse_add", "method", uniform_result=False
     ),
     "after_adapt": CollectiveSpec("after_adapt", "method", uniform_result=True),
+    # mangll dG operator surface (DGSolver and op.BoundDGOperator): one
+    # ghost exchange per rhs, allreduce reductions for the other two.
+    "rhs": CollectiveSpec("rhs", "method", uniform_result=False),
+    "stable_dt": CollectiveSpec("stable_dt", "method", uniform_result=True),
+    "integrate_quantity": CollectiveSpec(
+        "integrate_quantity", "method", uniform_result=True
+    ),
 }
 
 # Name-set views ----------------------------------------------------------

@@ -221,6 +221,15 @@ class RunConfig:
         programs); an unpicklable job silently falls back to a fresh
         spawn.  Pair with ``Machine.close()`` (or a ``with`` block) to
         retire the pool.  The thread backend ignores it.
+    ``compile``
+        Execution mode for mangll operators bound inside the rank
+        program: ``True`` pins :mod:`repro.mangll.op` binds with
+        ``compile=None`` to the compiled kernels, ``False`` to the
+        interpreted references, ``None`` (default) leaves the
+        process-wide default in charge.  Implemented by wrapping the
+        rank program in a picklable
+        :class:`~repro.mangll.op.CompileModeProgram`, so it works on
+        both backends.
     ``attempt_offset``
         Added to the attempt index delivered to the layer stack
         (:class:`~repro.parallel.layers.LayerContext.attempt`).  Drivers
@@ -243,6 +252,7 @@ class RunConfig:
     shm_threshold_bytes: int = 1 << 16
     warm_pool: bool = False
     attempt_offset: int = 0
+    compile: Optional[bool] = None
 
     def __post_init__(self) -> None:
         """Validate the configuration and canonicalize the layer stack."""
@@ -270,6 +280,8 @@ class RunConfig:
             raise ValueError("shm_threshold_bytes must be >= 0")
         if self.attempt_offset < 0:
             raise ValueError("attempt_offset must be >= 0")
+        if self.compile is not None and not isinstance(self.compile, bool):
+            raise TypeError("compile must be None, True, or False")
 
 
 @dataclass
@@ -372,6 +384,7 @@ class Machine:
         cfg = self.config
         if store is None:
             store = cfg.store
+        fn = self._wrap_compile_mode(fn)
         if cfg.recover:
             return self._run_recovering(fn, args, kwargs, store)
         request = AttemptRequest(
@@ -396,6 +409,19 @@ class Machine:
             recovery = RecoveryReport(initial_size=cfg.size, final_size=cfg.size)
             self._merge_replacements(recovery, result)
         return RunResult(report.values, report, recovery)
+
+    def _wrap_compile_mode(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Pin the mangll execution mode when ``config.compile`` is set.
+
+        Imported lazily: the parallel machinery must not load the
+        mangll stack for runs that never touch it.
+        """
+        if self.config.compile is None:
+            return fn
+        from repro.mangll.op import CompileModeProgram
+
+        mode = "compiled" if self.config.compile else "interpreted"
+        return CompileModeProgram(fn, mode)
 
     @staticmethod
     def _merge_replacements(recovery: RecoveryReport, result: Any) -> None:

@@ -44,6 +44,7 @@ from repro.trace.tracer import (
     PHASE_AMR,
     PHASE_APPLY,
     PHASE_BALANCE,
+    PHASE_COMPILE,
     PHASE_GHOST,
     PHASE_NODES,
     PHASE_PARTITION,
@@ -95,4 +96,5 @@ __all__ = [
     "PHASE_VCYCLE",
     "PHASE_RK",
     "PHASE_APPLY",
+    "PHASE_COMPILE",
 ]

@@ -51,6 +51,7 @@ PHASE_SOLVE = "Solve"  # Krylov + assembly + AMG setup
 PHASE_VCYCLE = "VCycle"  # AMG V-cycle applications (nested in Solve)
 PHASE_RK = "RK"  # one LSRK(5,4) step
 PHASE_APPLY = "Apply"  # one dG operator application
+PHASE_COMPILE = "Compile"  # kernel compilation + bind (mangll.compiler)
 
 UNATTRIBUTED = "(unattributed)"
 

@@ -11,10 +11,9 @@ from repro.apps.dgea.elastic import (
     voigt_pairs,
 )
 from repro.apps.dgea.prem import CMB_RADIUS_KM, EARTH_RADIUS_KM, PREM
-from repro.mangll.dg import DGSolver
-from repro.mangll.dgops import DGSpace
 from repro.mangll.geometry import MultilinearGeometry
 from repro.mangll.mesh import build_mesh
+from repro.mangll.op import DGOperator, MeshContext
 from repro.mangll.rk import lsrk45_step
 from repro.p4est.builders import unit_cube, unit_square
 from repro.p4est.forest import Forest
@@ -129,9 +128,9 @@ def elastic_cube_setup(level=1, degree=3, vs=2.0, bc="free"):
     forest = Forest.new(conn, SerialComm(), level=level)
     ghost = build_ghost(forest)
     mesh = build_mesh(forest, MultilinearGeometry(conn), degree, ghost)
-    space = DGSpace(forest, ghost, mesh, degree)
     model = ElasticModel(3, homogeneous_material(1.0, 4.0, vs), bc=bc)
-    solver = DGSolver(space, model, SerialComm())
+    ctx = MeshContext(forest, ghost, mesh, SerialComm())
+    solver = DGOperator(model, degree).bind(ctx)
     return mesh, model, solver
 
 

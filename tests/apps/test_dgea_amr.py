@@ -5,10 +5,9 @@ import pytest
 
 from repro.apps.dgea.driver import SeismicConfig, SeismicRun
 from repro.apps.dgea.elastic import ElasticModel, homogeneous_material
-from repro.mangll.dg import DGSolver
-from repro.mangll.dgops import DGSpace
 from repro.mangll.geometry import MultilinearGeometry
 from repro.mangll.mesh import build_mesh
+from repro.mangll.op import DGOperator, MeshContext
 from repro.mangll.rk import lsrk45_step
 from repro.p4est.builders import unit_cube, unit_square
 from repro.p4est.forest import Forest
@@ -74,9 +73,8 @@ def test_elastic_2d_plane_wave():
     forest = Forest.new(conn, SerialComm(), level=3)
     ghost = build_ghost(forest)
     mesh = build_mesh(forest, MultilinearGeometry(conn), 3, ghost)
-    space = DGSpace(forest, ghost, mesh, 3)
     model = ElasticModel(2, homogeneous_material(1.0, 3.0, 1.5), bc="mirror")
-    solver = DGSolver(space, model, SerialComm())
+    solver = DGOperator(model, 3).bind(MeshContext(forest, ghost, mesh, SerialComm()))
     nl = mesh.nelem_local
     x = mesh.coords[:nl]
     cp = 3.0
@@ -102,7 +100,6 @@ def test_coupled_acoustic_elastic_interface():
     forest = Forest.new(conn, SerialComm(), level=3)
     ghost = build_ghost(forest)
     mesh = build_mesh(forest, MultilinearGeometry(conn), 2, ghost)
-    space = DGSpace(forest, ghost, mesh, 2)
 
     def material(x):
         # Fluid below, solid above, with a smooth resolved transition
@@ -119,7 +116,7 @@ def test_coupled_acoustic_elastic_interface():
         return rho, lam, mu
 
     model = ElasticModel(2, material)
-    solver = DGSolver(space, model, SerialComm())
+    solver = DGOperator(model, 2).bind(MeshContext(forest, ghost, mesh, SerialComm()))
     nl = mesh.nelem_local
     x = mesh.coords[:nl]
     q = np.zeros((nl, mesh.npts, 5))

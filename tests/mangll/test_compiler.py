@@ -1,0 +1,457 @@
+"""Tests for the mangll kernel compiler and the ``mangll.op`` frontend.
+
+The contract under test is strict: for every specialization the
+compiled kernel must return **bit-identical** results to the
+interpreted reference (``np.array_equal``, no tolerance), because the
+compiler only applies transforms proven to preserve IEEE semantics
+(see docs/KERNELS.md).  On top of that the suite pins the cache
+behaviour (memory/disk hits, stale-fingerprint regeneration, racing
+writers), the communication-freedom guard, the deprecation shims on
+the legacy constructors, and the ``RunConfig(compile=...)`` mode
+plumbing across SPMD ranks.
+"""
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.mangll import compiler as kc
+from repro.mangll.compiler import (
+    CompileError,
+    KernelCache,
+    assert_communication_free,
+)
+from repro.mangll.compiler.cache import fingerprint
+from repro.mangll.geometry import MultilinearGeometry
+from repro.mangll.mesh import build_mesh
+from repro.mangll.models import AcousticModel, AdvectionModel
+from repro.mangll.op import (
+    CGOperator,
+    DGOperator,
+    MeshContext,
+    TransferOperator,
+    get_default_mode,
+    set_default_mode,
+    transfer_fields,
+)
+from repro.p4est.balance import balance
+from repro.p4est.builders import rotcubes, unit_cube, unit_square
+from repro.p4est.forest import Forest
+from repro.p4est.ghost import build_ghost
+from repro.p4est.nodes import lnodes
+from repro.parallel import Machine, RunConfig, SerialComm
+from repro.parallel.collectives import collective_spec
+
+CONNS = {2: unit_square, 3: unit_cube}
+
+
+def make_ctx(dim, degree, *, ln_too=False, conn_fn=None, seed=0):
+    """A small adapted (hanging-face) mesh context on one rank."""
+    comm = SerialComm()
+    conn = (conn_fn or CONNS[dim])()
+    forest = Forest.new(conn, comm, level=1)
+    rng = np.random.default_rng(seed)
+    forest.refine(mask=rng.random(len(forest.local)) < 0.4)
+    balance(forest)
+    ghost = build_ghost(forest)
+    mesh = build_mesh(forest, MultilinearGeometry(conn), degree, ghost)
+    ln = lnodes(forest, ghost, degree) if ln_too else None
+    return MeshContext(forest, ghost, mesh, comm, ln)
+
+
+def make_model(name, dim):
+    if name == "advection":
+        return AdvectionModel(dim, np.linspace(0.5, 1.0, dim))
+    return AcousticModel(dim, c=1.3, rho=0.7)
+
+
+def random_q(ctx, model, seed=7):
+    rng = np.random.default_rng(seed)
+    nl = ctx.mesh.nelem_local
+    return rng.standard_normal((nl, ctx.mesh.npts, model.nfields))
+
+
+# --- dG RHS: compiled == interpreted, bit for bit ---------------------------
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+@pytest.mark.parametrize("degree", [2, 3, 4, 5])
+@pytest.mark.parametrize("model_name", ["advection", "acoustic"])
+def test_dg_rhs_bit_identical(dim, degree, model_name):
+    if dim == 3 and degree == 5:
+        ctx = make_ctx(dim, degree, seed=2)  # keep the 216-point mesh small
+    else:
+        ctx = make_ctx(dim, degree)
+    model = make_model(model_name, dim)
+    compiled = DGOperator(model, degree).bind(ctx)
+    interp = DGOperator(model, degree, compile=False).bind(ctx)
+    assert compiled._kernel is not None and interp._kernel is None
+    q = random_q(ctx, model)
+    for t in (0.0, 0.37):
+        assert np.array_equal(compiled.rhs(q, t), interp.rhs(q, t))
+    assert compiled.stable_dt(q) == interp.stable_dt(q)
+    assert np.array_equal(
+        compiled.integrate_quantity(q), interp.integrate_quantity(q)
+    )
+
+
+def test_dg_rhs_bit_identical_rotated_trees():
+    """Rotated inter-tree faces (the hard orientation path) stay exact."""
+    ctx = make_ctx(3, 3, conn_fn=rotcubes, seed=4)
+    model = make_model("acoustic", 3)
+    q = random_q(ctx, model)
+    got = DGOperator(model, 3).bind(ctx).rhs(q, 0.2)
+    want = DGOperator(model, 3, compile=False).bind(ctx).rhs(q, 0.2)
+    assert np.array_equal(got, want)
+
+
+def test_dg_generic_model_bit_identical():
+    """A model the lowerer doesn't special-case runs through ``extern``
+    calls and stays bit-identical to the interpreted reference."""
+
+    class WrappedAdvection:
+        """Duck-typed model the lowerer cannot recognize."""
+
+        def __init__(self, dim):
+            self._m = AdvectionModel(dim, np.linspace(0.5, 1.0, dim))
+            self.dim = dim
+            self.nfields = self._m.nfields
+
+        def __getattr__(self, name):
+            return getattr(self._m, name)
+
+    ctx = make_ctx(2, 3)
+    model = WrappedAdvection(2)
+    assert kc.model_kind(model) == "generic"
+    compiled = DGOperator(model, 3).bind(ctx)
+    interp = DGOperator(model, 3, compile=False).bind(ctx)
+    q = random_q(ctx, model)
+    assert np.array_equal(compiled.rhs(q, 0.1), interp.rhs(q, 0.1))
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+def test_dg_elastic_model_tolerance_and_material_hoisted(dim):
+    """The elastic kind uses the tolerance-validated fast lowering
+    (paired conforming faces, fused gathers, BLAS mortar products): the
+    compiled RHS agrees with the reference to near machine precision,
+    and the material field is evaluated once at bind time (zero calls
+    on reapply, while the reference re-evaluates every application)."""
+    from repro.apps.dgea.elastic import ElasticModel, homogeneous_material
+
+    ctx = make_ctx(dim, 3)
+    calls = {"n": 0}
+    base = homogeneous_material(1.0, 3.0, 1.5)
+
+    def counting_material(x):
+        calls["n"] += 1
+        return base(x)
+
+    model = ElasticModel(dim, counting_material, bc="mirror")
+    assert kc.model_kind(model) == "elastic"
+    compiled = DGOperator(model, 3).bind(ctx)
+    interp = DGOperator(model, 3, compile=False).bind(ctx)
+    # The fast lowering pairs every local-local conforming mortar.
+    from repro.mangll.compiler.lower import FACE_K
+
+    kinds = [B["k"] for B in compiled._P["fb"]]
+    assert FACE_K["face_pair"] in kinds
+    q = random_q(ctx, model)
+    for t in (0.0, 0.37):
+        rc, ri = compiled.rhs(q, t), interp.rhs(q, t)
+        assert np.abs(rc - ri).max() <= 1e-13 * np.abs(ri).max()
+    warm = calls["n"]
+    compiled.rhs(q, 0.2)
+    assert calls["n"] == warm  # memoized: no material calls on reapply
+    interp.rhs(q, 0.2)
+    assert calls["n"] > warm  # the reference re-evaluates every time
+
+
+def test_permutation_rows():
+    """Conforming mortar transfers are detected as permutations; any
+    genuine interpolation (or non-square) matrix is rejected."""
+    from repro.mangll.compiler.lower import permutation_rows
+
+    eye = np.eye(4)
+    assert np.array_equal(permutation_rows(eye), np.arange(4))
+    p = eye[[2, 0, 3, 1]]
+    rows = permutation_rows(p)
+    v = np.arange(4.0)
+    assert np.array_equal(p @ v, v[rows])
+    assert permutation_rows(np.full((4, 4), 0.25)) is None
+    assert permutation_rows(np.ones((2, 4))) is None
+    half = np.eye(4)
+    half[0, 0] = 0.5
+    half[0, 1] = 0.5
+    assert permutation_rows(half) is None
+
+
+# --- CG element kernels -----------------------------------------------------
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+@pytest.mark.parametrize("degree", [1, 3])
+def test_cg_elem_kernels_bit_identical(dim, degree):
+    ctx = make_ctx(dim, degree, ln_too=True)
+    compiled = CGOperator(degree).bind(ctx)
+    interp = CGOperator(degree, compile=False).bind(ctx)
+    nl = ctx.mesh.nelem_local
+    coeff = np.random.default_rng(3).random((nl, compiled.npts)) + 0.5
+    for c in (None, coeff):
+        assert np.array_equal(compiled.elem_laplacian(c), interp.elem_laplacian(c))
+        assert np.array_equal(compiled.elem_mass(c), interp.elem_mass(c))
+    # Assembly consumes the element matrices unchanged downstream.
+    Ac = compiled.assemble_matrix(compiled.elem_laplacian(coeff))
+    Ai = interp.assemble_matrix(interp.elem_laplacian(coeff))
+    assert (Ac != Ai).nnz == 0
+
+
+# --- p-transfer -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+def test_transfer_bit_identical(dim):
+    degree = 3
+    ctx = make_ctx(dim, degree, seed=5)
+    old = ctx.forest.local.copy()
+    new = Forest.new(CONNS[dim](), SerialComm(), level=1).local
+    rng = np.random.default_rng(11)
+    nl = ctx.mesh.nelem_local
+    for q_old in (
+        rng.standard_normal((nl, ctx.mesh.npts)),  # squeezed single field
+        rng.standard_normal((nl, ctx.mesh.npts, 2)),
+    ):
+        got = transfer_fields(old, q_old, new, degree)
+        ref = transfer_fields(old, q_old, new, degree, compile=False)
+        assert got.shape == ref.shape
+        assert np.array_equal(got, ref)
+    op = TransferOperator(degree)
+    q3 = rng.standard_normal((nl, ctx.mesh.npts, 3))
+    assert np.array_equal(
+        op.apply(old, q3, new), transfer_fields(old, q3, new, degree, compile=False)
+    )
+
+
+def test_transfer_rejects_bad_shape():
+    ctx = make_ctx(2, 2)
+    old = ctx.forest.local.copy()
+    new = Forest.new(unit_square(), SerialComm(), level=1).local
+    bad = np.zeros((ctx.mesh.nelem_local + 1, ctx.mesh.npts))
+    with pytest.raises(ValueError, match="q_old shape"):
+        transfer_fields(old, bad, new, 2)
+    with pytest.raises(ValueError, match="q_old shape"):
+        transfer_fields(old, bad, new, 2, compile=False)
+
+
+# --- kernel cache -----------------------------------------------------------
+
+
+def test_cache_memory_hits_and_misses(tmp_path):
+    cache = KernelCache(str(tmp_path))
+    k1 = kc.compile_dg_rhs(2, 3, 1, "advection", cache=cache)
+    assert cache.misses == 1 and cache.hits == 0
+    k2 = kc.compile_dg_rhs(2, 3, 1, "advection", cache=cache)
+    assert cache.hits == 1 and cache.misses == 1
+    assert k2.fn("kernel") is k1.fn("kernel")  # same exec'd module
+    kc.compile_dg_rhs(2, 4, 1, "advection", cache=cache)  # new key
+    assert cache.misses == 2
+
+
+def test_cache_disk_roundtrip(tmp_path):
+    first = KernelCache(str(tmp_path))
+    kc.compile_cg_elem(2, 3, cache=first)
+    path = first.path_for(kc.cg_cache_key(2, 3))
+    assert path.exists() and path.read_text().startswith("# repro-kernel v")
+    # A fresh cache (new process, same dir) loads from disk, not build.
+    second = KernelCache(str(tmp_path))
+    kc.compile_cg_elem(2, 3, cache=second)
+    assert second.disk_hits == 1 and second.misses == 0
+
+
+def test_cache_stale_fingerprint_regenerates(tmp_path):
+    cache = KernelCache(str(tmp_path))
+    kc.compile_transfer(2, 2, cache=cache)
+    path = cache.path_for(kc.transfer_cache_key(2, 2))
+    path.write_text(path.read_text() + "\n# hand edit\n")  # corrupt body
+    fresh = KernelCache(str(tmp_path))
+    kc.compile_transfer(2, 2, cache=fresh)
+    assert fresh.stale == 1 and fresh.misses == 1
+    # The regenerated entry is valid again.
+    again = KernelCache(str(tmp_path))
+    kc.compile_transfer(2, 2, cache=again)
+    assert again.disk_hits == 1 and again.stale == 0
+
+
+def test_cache_memory_only_mode():
+    cache = KernelCache(None)
+    compiled = kc.compile_dg_rhs(2, 2, 1, "advection", cache=cache)
+    assert cache.path_for(compiled.key) is None
+    assert cache.misses == 1
+    kc.compile_dg_rhs(2, 2, 1, "advection", cache=cache)
+    assert cache.hits == 1
+
+
+def test_cache_concurrent_writers_publish_complete_files(tmp_path):
+    """Racing writers on one key each publish atomically; the survivor
+    parses clean (no torn header/body) and fingerprints correctly."""
+    results, errs = [], []
+
+    def worker():
+        try:
+            cache = KernelCache(str(tmp_path))  # one cache per "process"
+            results.append(kc.compile_dg_rhs(2, 3, 1, "advection", cache=cache))
+        except Exception as e:  # pragma: no cover - diagnostic
+            errs.append(e)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errs
+    path = KernelCache(str(tmp_path)).path_for(kc.dg_cache_key(2, 3, 1, "advection"))
+    head, _, body = path.read_text().partition("\n")
+    assert fingerprint(kc.dg_cache_key(2, 3, 1, "advection"), body) in head
+    assert not list(tmp_path.glob(".tmp-*"))  # no leaked temp files
+
+
+def test_generated_source_is_communication_free(tmp_path):
+    cache = KernelCache(str(tmp_path))
+    for compiled in (
+        kc.compile_dg_rhs(2, 3, 3, "acoustic", cache=cache),
+        kc.compile_dg_rhs(2, 3, 5, "generic", cache=cache),
+        kc.compile_cg_elem(2, 2, cache=cache),
+        kc.compile_transfer(2, 2, cache=cache),
+    ):
+        src = cache.path_for(compiled.key).read_text().partition("\n")[2]
+        assert_communication_free(src, compiled.key)  # must not raise
+
+
+def test_communication_guard_rejects_comm_calls():
+    for bad in (
+        "def kernel(q, comm):\n    return comm.allreduce(q.sum())\n",
+        "def kernel(q, f):\n    f.exchange(q)\n    return q\n",
+        "def kernel(q):\n    balance(q)\n    return q\n",
+    ):
+        with pytest.raises(CompileError, match="communication-free"):
+            assert_communication_free(bad, "test-key")
+    assert_communication_free("def kernel(q):\n    return q * 2\n", "ok-key")
+
+
+# --- deprecation shims ------------------------------------------------------
+
+
+def test_legacy_constructors_warn():
+    from repro.mangll.cgops import CGSpace
+    from repro.mangll.dg import DGSolver
+    from repro.mangll.dgops import DGSpace
+
+    ctx = make_ctx(2, 2, ln_too=True)
+    space = DGSpace(ctx.forest, ctx.ghost, ctx.mesh, 2)
+    model = make_model("advection", 2)
+    with pytest.warns(DeprecationWarning, match="DGSolver.*deprecated.*DGOperator"):
+        DGSolver(space, model, ctx.comm)
+    with pytest.warns(DeprecationWarning, match="CGSpace.*deprecated.*CGOperator"):
+        CGSpace(ctx.mesh, ctx.ln, ctx.comm)
+
+
+def test_op_frontend_does_not_warn():
+    ctx = make_ctx(2, 2, ln_too=True)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        DGOperator(make_model("advection", 2), 2).bind(ctx)
+        DGOperator(make_model("advection", 2), 2, compile=False).bind(ctx)
+        CGOperator(2).bind(ctx)
+        CGOperator(2, compile=False).bind(ctx)
+
+
+# --- op frontend surface ----------------------------------------------------
+
+
+def test_bound_dg_operator_is_collective_stamped():
+    ctx = make_ctx(2, 2)
+    op = DGOperator(make_model("advection", 2), 2).bind(ctx)
+    for name in ("rhs", "stable_dt", "integrate_quantity"):
+        assert collective_spec(getattr(op, name)) is not None
+        assert collective_spec(getattr(op.solver, name)) is not None
+
+
+def test_dg_operator_exposes_kernel_key():
+    ctx = make_ctx(2, 3)
+    op = DGOperator(make_model("acoustic", 2), 3).bind(ctx)
+    assert op.kernel_key == "dg_rhs-d2-p3-f3-acoustic"
+    assert op.dim == 2 and op.degree == 3
+
+
+def test_cg_operator_requires_lnodes():
+    ctx = make_ctx(2, 2)  # no ln
+    with pytest.raises(ValueError, match="lnodes"):
+        CGOperator(2).bind(ctx)
+
+
+def test_dg_operator_rejects_degree_mismatch():
+    ctx = make_ctx(2, 2)
+    with pytest.raises(ValueError, match="degree"):
+        DGOperator(make_model("advection", 2), 3).bind(ctx)
+
+
+def test_run_config_compile_flag_validation():
+    with pytest.raises(TypeError, match="compile"):
+        RunConfig(size=1, compile="yes")
+
+
+def test_set_default_mode_roundtrip():
+    assert get_default_mode() == "compiled"
+    prev = set_default_mode("interpreted")
+    try:
+        assert prev == "compiled" and get_default_mode() == "interpreted"
+        ctx = make_ctx(2, 2)
+        assert DGOperator(make_model("advection", 2), 2).bind(ctx)._kernel is None
+        with pytest.raises(ValueError):
+            set_default_mode("jit")
+    finally:
+        set_default_mode("compiled")
+
+
+def test_run_config_compile_sets_mode_per_rank():
+    from tests.parallel.helpers import run as spmd
+
+    def prog(comm, expect):
+        from repro.mangll.op import get_default_mode
+
+        return get_default_mode() == expect
+
+    for flag, expect in ((True, "compiled"), (False, "interpreted")):
+        assert all(spmd(3, prog, expect, compile=flag))
+    # Outside a run the process default is untouched.
+    assert get_default_mode() == "compiled"
+
+
+def test_compiled_rhs_matches_interpreted_across_ranks():
+    """The SPMD path (real ghost exchange, 3 ranks) stays bit-exact."""
+    from tests.parallel.helpers import run as spmd
+
+    def prog(comm):
+        conn = unit_square()
+        forest = Forest.new(conn, comm, level=2)
+        forest.refine(
+            callback=lambda o: (o.x < o.D.root_len // 2) & (o.level < 3),
+            recursive=True,
+        )
+        forest.partition()
+        balance(forest)
+        ghost = build_ghost(forest)
+        mesh = build_mesh(forest, MultilinearGeometry(conn), 3, ghost)
+        ctx = MeshContext(forest, ghost, mesh, comm)
+        model = AcousticModel(2, c=1.1, rho=0.9)
+        nl = mesh.nelem_local
+        x = mesh.coords[:nl]
+        q = np.zeros((nl, mesh.npts, model.nfields))
+        q[..., 0] = np.sin(3 * x[..., 0]) * np.cos(2 * x[..., 1])
+        q[..., 1] = x[..., 0] * x[..., 1]
+        got = DGOperator(model, 3).bind(ctx).rhs(q, 0.1)
+        want = DGOperator(model, 3, compile=False).bind(ctx).rhs(q, 0.1)
+        return bool(np.array_equal(got, want))
+
+    assert all(spmd(3, prog))

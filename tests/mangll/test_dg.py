@@ -4,11 +4,11 @@ and hanging faces), conservation, exactness, convergence, parallelism."""
 import numpy as np
 import pytest
 
-from repro.mangll.dg import DGSolver
 from repro.mangll.dgops import BOUNDARY, COARSE, CONFORMING, FINE, DGSpace
 from repro.mangll.geometry import BrickGeometry, MultilinearGeometry, ShellGeometry
 from repro.mangll.mesh import build_mesh, face_node_indices
 from repro.mangll.models import AcousticModel, AdvectionModel
+from repro.mangll.op import DGOperator, MeshContext
 from repro.mangll.rk import lsrk45_integrate, lsrk45_step
 from repro.p4est.balance import balance
 from repro.p4est.builders import (
@@ -35,6 +35,11 @@ def make_space(conn, comm, level, degree, geometry=None, refine_mask_fn=None):
     geo = geometry or MultilinearGeometry(conn)
     mesh = build_mesh(forest, geo, degree, ghost)
     return forest, ghost, mesh, DGSpace(forest, ghost, mesh, degree)
+
+
+def make_solver(forest, ghost, mesh, model, comm):
+    """Bind the dG operator through the op frontend (the supported API)."""
+    return DGOperator(model, mesh.degree).bind(MeshContext(forest, ghost, mesh, comm))
 
 
 def nodal_field(mesh, fn):
@@ -164,7 +169,7 @@ def test_rhs_rank_invariant(size):
             conn, comm, 2, 2, refine_mask_fn=refine_fn
         )
         model = AdvectionModel(2, [1.0, 0.5])
-        solver = DGSolver(space, model, comm)
+        solver = make_solver(forest, ghost, mesh, model, comm)
         q = np.sin(mesh.coords[: mesh.nelem_local, :, 0]) * np.cos(
             mesh.coords[: mesh.nelem_local, :, 1]
         )
@@ -190,7 +195,7 @@ def test_advection_exact_for_linear_field():
     forest, ghost, mesh, space = make_space(conn, SerialComm(), 2, 2)
     v = np.array([0.7, -0.3])
     model = AdvectionModel(2, v)
-    solver = DGSolver(space, model, SerialComm())
+    solver = make_solver(forest, ghost, mesh, model, SerialComm())
     nl = mesh.nelem_local
     x = mesh.coords[:nl]
     q = 2.0 * x[..., 0] + 3.0 * x[..., 1] + 1.0
@@ -216,7 +221,7 @@ def test_advection_conservation_periodic():
         conn, SerialComm(), 2, 3, geometry=BrickGeometry(2, 2)
     )
     model = AdvectionModel(2, [1.0, 0.37])
-    solver = DGSolver(space, model, SerialComm())
+    solver = make_solver(forest, ghost, mesh, model, SerialComm())
     nl = mesh.nelem_local
     x = mesh.coords[:nl]
     rng = np.random.default_rng(0)
@@ -240,7 +245,7 @@ def test_advection_conservation_hanging():
         conn, SerialComm(), 2, 2, geometry=BrickGeometry(2, 2), refine_mask_fn=refine_fn
     )
     model = AdvectionModel(2, [0.9, 0.41])
-    solver = DGSolver(space, model, SerialComm())
+    solver = make_solver(forest, ghost, mesh, model, SerialComm())
     nl = mesh.nelem_local
     x = mesh.coords[:nl]
     q = np.exp(-15 * ((x[..., 0] - 1) ** 2 + (x[..., 1] - 0.8) ** 2))
@@ -258,7 +263,7 @@ def gaussian_advect_error(level, degree, steps_factor=1.0):
     )
     v = np.array([1.0, 0.0])
     model = AdvectionModel(2, v)
-    solver = DGSolver(space, model, SerialComm())
+    solver = make_solver(forest, ghost, mesh, model, SerialComm())
     nl = mesh.nelem_local
     x = mesh.coords[:nl]
 
@@ -288,7 +293,7 @@ def test_acoustic_energy_decay_and_rigid_walls():
     conn = unit_square()
     forest, ghost, mesh, space = make_space(conn, SerialComm(), 2, 3)
     model = AcousticModel(2, c=1.0, rho=1.0)
-    solver = DGSolver(space, model, SerialComm())
+    solver = make_solver(forest, ghost, mesh, model, SerialComm())
     nl = mesh.nelem_local
     x = mesh.coords[:nl]
     q = np.zeros((nl, mesh.npts, 3))
@@ -326,7 +331,7 @@ def test_advection_on_shell_conserves():
         return v
 
     model = AdvectionModel(3, rotation)
-    solver = DGSolver(space, model, SerialComm())
+    solver = make_solver(forest, ghost, mesh, model, SerialComm())
     nl = mesh.nelem_local
     x = mesh.coords[:nl]
     q = np.exp(-10 * ((x[..., 0] - 0.8) ** 2 + x[..., 1] ** 2 + x[..., 2] ** 2))
@@ -347,7 +352,7 @@ def test_parallel_advection_matches_serial(size):
     def run(comm):
         forest, ghost, mesh, space = make_space(conn, comm, 2, 2)
         model = AdvectionModel(2, [1.0, 0.25], inflow=0.0)
-        solver = DGSolver(space, model, comm)
+        solver = make_solver(forest, ghost, mesh, model, comm)
         nl = mesh.nelem_local
         x = mesh.coords[:nl]
         q = np.exp(-25 * ((x[..., 0] - 0.7) ** 2 + (x[..., 1] - 0.5) ** 2))

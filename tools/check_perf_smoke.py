@@ -1,16 +1,26 @@
 """Gate kernel performance against a checked-in baseline.
 
-Reads the machine-readable artifact written by
-``benchmarks/bench_fig4_p4est_weak.py`` (``bench_results/fig4_p4est_weak.json``)
-and compares the normalized per-kernel costs against
-``benchmarks/perf_baseline.json``.  A gated kernel whose cost exceeds
-``baseline * max_regression_factor`` fails the check; kernels that got
-faster are reported but never fail.
+Two gates share this script:
+
+* **fig4 kernels** — reads ``bench_results/fig4_p4est_weak.json`` and
+  compares normalized per-kernel costs against the
+  ``normalized_s_per_Moct_core`` section of
+  ``benchmarks/perf_baseline.json``.  A gated kernel whose cost exceeds
+  ``baseline * max_regression_factor`` fails; kernels that got faster
+  are reported but never fail.
+* **compiled dG RHS** — reads ``bench_results/dg_rhs_smoke.json``
+  (written by ``benchmarks/bench_dg_rhs_smoke.py``) and checks each
+  gated case in the baseline's ``dg_rhs`` section: absolute
+  ``us_per_elem`` must stay under ``max_us_per_elem`` and the
+  compiled-vs-interpreted ``speedup`` must stay over ``min_speedup``.
+  This gate is skipped (with a notice) when the smoke artifact is
+  absent, so the fig4-only invocation keeps working.
 
 Usage::
 
     python tools/check_perf_smoke.py \
         [--result bench_results/fig4_p4est_weak.json] \
+        [--dg-rhs-result bench_results/dg_rhs_smoke.json] \
         [--baseline benchmarks/perf_baseline.json] \
         [--factor 1.2]
 
@@ -27,6 +37,7 @@ import sys
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_RESULT = os.path.join(REPO, "bench_results", "fig4_p4est_weak.json")
+DEFAULT_DG_RHS = os.path.join(REPO, "bench_results", "dg_rhs_smoke.json")
 DEFAULT_BASELINE = os.path.join(REPO, "benchmarks", "perf_baseline.json")
 
 
@@ -63,14 +74,53 @@ def check(result: dict, baseline: dict, factor: float | None = None) -> int:
     return failures
 
 
+def check_dg_rhs(result: dict, baseline: dict) -> int:
+    """Gate the compiled dG-RHS smoke cases; return the failure count."""
+    gate = baseline.get("dg_rhs")
+    if gate is None:
+        return 0
+    failures = 0
+    print("perf-smoke dg_rhs gate: us/elem ceiling + compiled-vs-interpreted floor")
+    print(
+        f"{'case':>10}  {'us/elem':>8} {'budget':>7}  "
+        f"{'speedup':>8} {'floor':>6}  verdict"
+    )
+    for case in gate["gated"]:
+        cur = result.get(case)
+        if cur is None:
+            print(f"{case:>10}  {'missing':>8}  FAIL")
+            failures += 1
+            continue
+        us, budget = cur["us_per_elem"], gate["max_us_per_elem"][case]
+        sp, floor = cur["speedup"], gate["min_speedup"][case]
+        ok = us <= budget and sp >= floor
+        verdict = "ok" if ok else "FAIL"
+        print(
+            f"{case:>10}  {us:8.1f} {budget:7.1f}  "
+            f"{sp:7.2f}x {floor:5.2f}x  {verdict}"
+        )
+        if not ok:
+            failures += 1
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point: 0 on success, 1 on regression, 2 on missing input."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--result", default=DEFAULT_RESULT)
+    parser.add_argument("--dg-rhs-result", default=DEFAULT_DG_RHS)
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
     parser.add_argument("--factor", type=float, default=None)
     args = parser.parse_args(argv)
-    failures = check(load(args.result), load(args.baseline), args.factor)
+    baseline = load(args.baseline)
+    failures = check(load(args.result), baseline, args.factor)
+    if os.path.exists(args.dg_rhs_result):
+        failures += check_dg_rhs(load(args.dg_rhs_result), baseline)
+    else:
+        print(
+            f"perf-smoke: {args.dg_rhs_result} absent; skipping dg_rhs gate "
+            f"(run benchmarks/bench_dg_rhs_smoke.py to enable it)"
+        )
     if failures:
         print(
             f"perf-smoke: {failures} kernel(s) regressed; if intentional, "
